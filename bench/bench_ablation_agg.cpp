@@ -1,0 +1,59 @@
+// Ablation A3: AGG ALU bank width.
+//
+// The paper banks 16 32-bit ALUs in the aggregator — exactly one 64B flit
+// (16 words) per cycle, matched to the NoC link width. This sweep shows
+// what narrower or wider banks would do on aggregation-heavy benchmarks.
+#include <iostream>
+
+#include "accel/compiler.hpp"
+#include "accel/simulator.hpp"
+#include "common/table.hpp"
+#include "gnn/model.hpp"
+#include "graph/dataset.hpp"
+
+namespace {
+
+void sweep(const gnna::graph::Dataset& ds, const gnna::gnn::ModelSpec& model,
+           const std::string& label) {
+  using namespace gnna;
+  const accel::CompiledProgram prog =
+      accel::ProgramCompiler{}.compile(model, ds);
+  std::cout << "--- " << label << " ---\n";
+  Table t({"AGG ALUs", "Latency (ms)", "AGG utilization",
+           "Mean mem BW (GB/s)"});
+  for (const std::uint32_t alus : {2U, 4U, 8U, 16U, 32U}) {
+    accel::AcceleratorConfig cfg = accel::AcceleratorConfig::cpu_iso_bw();
+    cfg.tile_params.agg_alus = alus;
+    accel::AcceleratorSim sim(cfg);
+    const accel::RunStats rs = sim.run(prog);
+    t.add_row({std::to_string(alus), format_double(rs.millis, 3),
+               format_percent(rs.agg_utilization),
+               format_double(rs.mean_bandwidth_gbps, 1)});
+    std::cerr << "[ablation-agg] " << label << " alus=" << alus << " done\n";
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  using namespace gnna;
+
+  std::cout << "=== Ablation: AGG ALU bank width (CPU iso-BW, 2.4 GHz) "
+               "===\n\n";
+  {
+    const graph::Dataset cora = graph::make_dataset(graph::DatasetId::kCora);
+    sweep(cora,
+          gnn::make_gcn(cora.spec.vertex_features, cora.spec.output_features),
+          "GCN / Cora (wide 1433-word aggregations)");
+    sweep(cora,
+          gnn::make_gat(cora.spec.vertex_features, cora.spec.output_features),
+          "GAT / Cora (64-word aggregations fed by the DNA)");
+  }
+  std::cout << "Expected shape: below 16 ALUs the bank cannot keep up with "
+               "one 64B flit per cycle\nand becomes a serialization point "
+               "on wide aggregations; above 16 the NoC link is\nthe limit, "
+               "so extra ALUs buy nothing.\n";
+  return 0;
+}

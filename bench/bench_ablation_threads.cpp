@@ -1,0 +1,70 @@
+// Ablation A2: GPE software-thread pool size.
+//
+// The GPE hides memory latency by context-switching between software
+// threads (Section IV: single-cycle switches). This sweep shows how many
+// threads are needed to cover the fixed 20 ns memory latency for a
+// memory-bound workload (GCN/Pubmed) and a traversal-bound one
+// (PGNN on a DBLP-like community graph).
+#include <iostream>
+
+#include "accel/compiler.hpp"
+#include "accel/simulator.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "gnn/model.hpp"
+#include "graph/dataset.hpp"
+
+namespace {
+
+void sweep(const gnna::graph::Dataset& ds, const gnna::gnn::ModelSpec& model,
+           const std::string& label) {
+  using namespace gnna;
+  const accel::CompiledProgram prog =
+      accel::ProgramCompiler{}.compile(model, ds);
+  std::cout << "--- " << label << " ---\n";
+  Table t({"GPE threads", "Latency (ms)", "GPE utilization",
+           "Mean mem BW (GB/s)", "Alloc stalls"});
+  for (const std::uint32_t threads : {1U, 2U, 4U, 8U, 16U, 32U, 64U}) {
+    accel::AcceleratorConfig cfg = accel::AcceleratorConfig::cpu_iso_bw();
+    cfg.tile_params.gpe_threads = threads;
+    accel::AcceleratorSim sim(cfg);
+    const accel::RunStats rs = sim.run(prog);
+    t.add_row({std::to_string(threads), format_double(rs.millis, 3),
+               format_percent(rs.gpe_utilization),
+               format_double(rs.mean_bandwidth_gbps, 1),
+               std::to_string(rs.alloc_stalls)});
+    std::cerr << "[ablation-threads] " << label << " threads=" << threads
+              << " done\n";
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  using namespace gnna;
+
+  std::cout << "=== Ablation: GPE software-thread pool size (CPU iso-BW) "
+               "===\n\n";
+
+  {
+    const graph::Dataset pubmed =
+        graph::make_dataset(graph::DatasetId::kPubmed);
+    sweep(pubmed,
+          gnn::make_gcn(pubmed.spec.vertex_features,
+                        pubmed.spec.output_features),
+          "GCN / Pubmed (memory-bound)");
+  }
+  {
+    const graph::Dataset dblp = benchutil::make_community_subset(200, 900);
+    sweep(dblp, gnn::make_pgnn(1, 3),
+          "PGNN / community-200 (traversal-bound)");
+  }
+
+  std::cout << "Expected shape: the memory-bound GCN saturates quickly (a "
+               "handful of threads\ncover the 20 ns latency); the "
+               "traversal-bound PGNN keeps benefiting from more\nthreads "
+               "because every walk step is a dependent memory round trip.\n";
+  return 0;
+}

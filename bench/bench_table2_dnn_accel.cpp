@@ -1,0 +1,40 @@
+// Reproduces Table II: inference latencies of GCN on a plain DNN spatial
+// architecture accelerator (Table I array), at unlimited bandwidth and at
+// 68 GB/s, assuming a 2.4 GHz clock.
+#include <iostream>
+
+#include "baseline/dnn_accel_study.hpp"
+#include "common/table.hpp"
+#include "graph/dataset.hpp"
+
+int main() {
+  using namespace gnna;
+
+  std::cout << "=== Table II: GCN inference latency on a DNN spatial "
+               "architecture accelerator (2.4 GHz) ===\n\n";
+
+  Table t({"Input Graph", "Unlimited BW (ms)", "68GBps BW (ms)",
+           "paper: unlimited", "paper: 68GBps"});
+  struct PaperRow {
+    graph::DatasetId id;
+    double unlimited;
+    double bw;
+  };
+  const PaperRow paper[] = {
+      {graph::DatasetId::kCora, 0.791, 1.597},
+      {graph::DatasetId::kCiteseer, 1.434, 2.661},
+      {graph::DatasetId::kPubmed, 22.129, 64.636},
+  };
+  for (const auto& row : paper) {
+    const baseline::DnnAccelResult r = baseline::run_dnn_accel_study(row.id);
+    t.add_row({graph::dataset_spec(row.id).name,
+               format_double(r.latency_unlimited_ms, 3),
+               format_double(r.latency_bw_ms, 3),
+               format_double(row.unlimited, 3), format_double(row.bw, 3)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nShape checks: latency ordering Cora < Citeseer << Pubmed;\n"
+               "bandwidth-limited latency exceeds unlimited for all inputs.\n";
+  return 0;
+}

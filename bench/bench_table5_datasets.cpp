@@ -1,0 +1,36 @@
+// Reproduces Table V: input dataset statistics, verified against the
+// actually generated synthetic stand-ins.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "graph/dataset.hpp"
+
+int main() {
+  using namespace gnna;
+
+  std::cout << "=== Table V: input dataset statistics (declared = paper; "
+               "generated = synthetic stand-in) ===\n\n";
+
+  Table t({"Dataset", "Graphs", "Total Nodes", "Total Edges",
+           "Vertex Feat.", "Edge Feat.", "Output Feat.", "Generated N/E",
+           "Adjacency sparsity"});
+  for (const auto id : graph::kAllDatasets) {
+    const graph::Dataset ds = graph::make_dataset(id);
+    const auto& s = ds.spec;
+    const double density =
+        static_cast<double>(s.total_edges) /
+        (static_cast<double>(s.total_nodes) * s.total_nodes);
+    t.add_row({s.name, std::to_string(s.num_graphs),
+               std::to_string(s.total_nodes), std::to_string(s.total_edges),
+               std::to_string(s.vertex_features),
+               std::to_string(s.edge_features),
+               std::to_string(s.output_features),
+               std::to_string(ds.total_nodes()) + "/" +
+                   std::to_string(ds.total_edges()),
+               format_percent(1.0 - density)});
+  }
+  t.print(std::cout);
+  std::cout << "\nGenerated totals match the declared Table V rows exactly "
+               "by construction (see tests/graph/test_dataset.cpp).\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Table VI (accelerator configurations) and Fig 9 (topologies),
+// rendered as ASCII mesh maps.
+#include <iostream>
+#include <vector>
+
+#include "accel/config.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+void draw_topology(const gnna::accel::AcceleratorConfig& cfg,
+                   std::ostream& os) {
+  os << cfg.name << " (" << cfg.mesh_width << "x" << cfg.mesh_height
+     << " mesh; T = tile, M = memory node, . = router only):\n";
+  std::vector<std::vector<char>> grid(
+      cfg.mesh_height, std::vector<char>(cfg.mesh_width, '.'));
+  for (const auto& [x, y] : cfg.tile_coords) grid[y][x] = 'T';
+  for (const auto& [x, y] : cfg.mem_coords) grid[y][x] = 'M';
+  for (std::uint32_t y = cfg.mesh_height; y-- > 0;) {
+    os << "    ";
+    for (std::uint32_t x = 0; x < cfg.mesh_width; ++x) {
+      os << grid[y][x] << ' ';
+    }
+    os << '\n';
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+int main() {
+  using namespace gnna;
+  using accel::AcceleratorConfig;
+
+  std::cout << "=== Table VI: GNN accelerator configurations ===\n\n";
+
+  Table t({"Configuration", "Tiles", "Mem. Nodes", "ALUs", "Mem. BW (GBps)"});
+  for (const auto& cfg :
+       {AcceleratorConfig::cpu_iso_bw(), AcceleratorConfig::gpu_iso_bw(),
+        AcceleratorConfig::gpu_iso_flops()}) {
+    t.add_row({cfg.name, std::to_string(cfg.num_tiles()),
+               std::to_string(cfg.num_mem_nodes()),
+               std::to_string(cfg.total_alus()),
+               format_double(cfg.total_mem_bandwidth_gbps(), 0)});
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper values: 1/1/198/68, 8/8/1584/544, 16/8/3168/544.\n";
+
+  std::cout << "\n=== Fig 9: topologies ===\n\n";
+  draw_topology(AcceleratorConfig::cpu_iso_bw(), std::cout);
+  draw_topology(AcceleratorConfig::gpu_iso_bw(), std::cout);
+  draw_topology(AcceleratorConfig::gpu_iso_flops(), std::cout);
+  return 0;
+}

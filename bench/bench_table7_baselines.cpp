@@ -1,0 +1,46 @@
+// Reproduces Table VII: inference latencies of the benchmark GNNs on the
+// CPU and GPU baseline systems (Table III).
+//
+// The paper measured these on real hardware running the public reference
+// implementations; offline we carry the measured values as reference data
+// (they anchor the Fig 8 speedups, as in the paper) and cross-check them
+// against our analytical roofline + dispatch-overhead device models
+// (DESIGN.md §4).
+#include <iostream>
+
+#include "baseline/baselines.hpp"
+#include "common/table.hpp"
+#include "gnn/workload.hpp"
+#include "graph/dataset.hpp"
+
+int main() {
+  using namespace gnna;
+
+  std::cout << "=== Table VII: baseline inference latencies (ms) ===\n\n";
+
+  const baseline::DeviceModel cpu = baseline::cpu_xeon_e5_2680v4();
+  const baseline::DeviceModel gpu = baseline::gpu_titan_xp();
+
+  Table t({"Benchmark", "Input Graph", "CPU (paper)", "CPU (model)",
+           "GPU (paper)", "GPU (model)"});
+  for (const auto& row : baseline::table7_reference()) {
+    const auto dataset_id = gnn::benchmark_dataset(row.benchmark);
+    const graph::Dataset ds = graph::make_dataset(dataset_id);
+    const gnn::WorkProfile wp =
+        gnn::profile_work(gnn::make_benchmark_model(row.benchmark), ds);
+    const double density = baseline::input_feature_density(dataset_id);
+    const std::string name = gnn::benchmark_name(row.benchmark);
+    const auto slash = name.find('/');
+    t.add_row({name.substr(0, slash), name.substr(slash + 1),
+               format_double(row.cpu_ms, 2),
+               format_double(baseline::estimate_latency_ms(cpu, wp, density), 2),
+               format_double(row.gpu_ms, 3),
+               format_double(baseline::estimate_latency_ms(gpu, wp, density), 3)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nThe paper-measured column is the Fig 8 speedup anchor; the "
+               "model column is an\nindependent analytical sanity check "
+               "(deviations recorded in EXPERIMENTS.md).\n";
+  return 0;
+}

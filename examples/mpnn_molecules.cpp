@@ -1,0 +1,73 @@
+// Molecular property inference with an MPNN (Gilmer-style message passing)
+// over a batch of QM9-like molecules: run the model functionally to get
+// real property estimates, then simulate the same workload on the
+// accelerator to see where the time goes.
+//
+//   $ ./examples/mpnn_molecules
+#include <iostream>
+
+#include "accel/compiler.hpp"
+#include "accel/config.hpp"
+#include "accel/simulator.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "gnn/functional.hpp"
+#include "gnn/model.hpp"
+#include "graph/generator.hpp"
+
+int main() {
+  using namespace gnna;
+
+  // A batch of 50 random molecules (12-13 atoms, bond features).
+  Rng rng(2024);
+  graph::Dataset mols;
+  mols.spec = {"molecules", 50, 0, 0, 13, 5, 73};
+  for (int i = 0; i < 50; ++i) {
+    const NodeId atoms = 12 + (i % 2);
+    const EdgeId bonds = atoms;
+    mols.graphs.push_back(graph::generate_molecule_graph(rng, atoms, bonds));
+    mols.undirected.push_back(mols.graphs.back().symmetrized());
+    std::vector<float> nf(std::size_t{atoms} * 13);
+    for (auto& x : nf) x = rng.next_float(0.0F, 1.0F);
+    mols.node_features.push_back(std::move(nf));
+    std::vector<float> ef(std::size_t{bonds} * 5);
+    for (auto& x : ef) x = rng.next_float(0.0F, 1.0F);
+    mols.edge_features.push_back(std::move(ef));
+  }
+  mols.spec.total_nodes = mols.total_nodes();
+  mols.spec.total_edges = mols.total_edges();
+
+  const gnn::ModelSpec mpnn = gnn::make_mpnn(13, 5, 73);
+  std::cout << "model: " << mpnn.name << " with " << mpnn.layers.size()
+            << " layers (embed, 3 message-passing steps, readout)\n";
+
+  // 1. Functional inference: one 73-dim property vector per molecule.
+  const gnn::FunctionalExecutor exec(mpnn);
+  const linalg::Matrix props = exec.run_dataset(mols);
+  std::cout << "functional output: " << props.rows() << " molecules x "
+            << props.cols() << " predicted properties\n";
+  std::cout << "molecule 0, first 4 properties: ";
+  for (int i = 0; i < 4; ++i) std::cout << props(0, i) << ' ';
+  std::cout << "\n\n";
+
+  // 2. Cycle-level simulation: per-phase breakdown.
+  const accel::CompiledProgram prog =
+      accel::ProgramCompiler{}.compile(mpnn, mols);
+  accel::AcceleratorSim sim(accel::AcceleratorConfig::cpu_iso_bw());
+  const accel::RunStats rs = sim.run(prog);
+
+  std::cout << "simulated latency on CPU iso-BW @ 2.4 GHz: "
+            << format_double(rs.millis, 3) << " ms\n";
+  std::cout << "DNA utilization " << format_percent(rs.dna_utilization)
+            << " (message passing is compute-bound: the per-edge edge "
+               "network dominates)\n\n";
+
+  Table t({"Phase", "Cycles", "Share"});
+  for (const auto& ph : rs.phases) {
+    t.add_row({ph.name, std::to_string(ph.cycles),
+               format_percent(static_cast<double>(ph.cycles) /
+                              static_cast<double>(rs.cycles))});
+  }
+  t.print(std::cout);
+  return 0;
+}

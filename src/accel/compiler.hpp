@@ -1,0 +1,18 @@
+// Lowers GNN models onto the accelerator (gnn IR -> phase programs).
+#pragma once
+
+#include "accel/program.hpp"
+#include "gnn/layer.hpp"
+#include "graph/dataset.hpp"
+
+namespace gnna::accel {
+
+class ProgramCompiler {
+ public:
+  /// Lower `model` running over `dataset` into phases + a memory map.
+  /// `dataset` must outlive the returned program (non-owning pointer).
+  [[nodiscard]] CompiledProgram compile(const gnn::ModelSpec& model,
+                                        const graph::Dataset& dataset) const;
+};
+
+}  // namespace gnna::accel

@@ -1,0 +1,101 @@
+#include "accel/dnq.hpp"
+
+#include <cassert>
+
+namespace gnna::accel {
+
+Dnq::Dnq(const TileParams& params) : params_(params) {
+  const std::uint32_t q0 =
+      params.dnq_data_bytes / 16 * params.dnq_queue0_sixteenths;
+  configure(q0, params.dnq_data_bytes - q0);
+}
+
+void Dnq::configure(std::uint32_t queue0_bytes, std::uint32_t queue1_bytes) {
+  assert(live_entries_ == 0 && "reconfiguring a non-empty DNQ");
+  assert(queue0_bytes + queue1_bytes <= params_.dnq_data_bytes);
+  capacity_bytes_ = {queue0_bytes, queue1_bytes};
+  active_queue_ = 0;
+}
+
+std::optional<DnqHandle> Dnq::allocate(std::uint8_t queue,
+                                       std::uint32_t width_words, Dest dest) {
+  assert(queue < 2);
+  const std::uint64_t bytes = std::uint64_t{width_words} * 4;
+  const std::uint32_t max_dest_entries =
+      params_.dnq_dest_bytes / params_.dnq_dest_entry_bytes;
+  if (live_entries_ >= max_dest_entries ||
+      bytes_used_[queue] + bytes > capacity_bytes_[queue]) {
+    stats_.alloc_failures.add();
+    return std::nullopt;
+  }
+  DnqHandle h;
+  if (!free_list_.empty()) {
+    h = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    h = static_cast<DnqHandle>(entries_.size());
+    entries_.emplace_back();
+  }
+  Entry& e = entries_[h];
+  e.active = true;
+  e.queue = queue;
+  e.width_words = width_words;
+  e.received_bytes = 0;
+  e.dest = dest;
+  bytes_used_[queue] += bytes;
+  fifo_[queue].push_back(h);
+  ++live_entries_;
+  stats_.allocations.add();
+  return h;
+}
+
+void Dnq::on_message(const noc::Message& msg) {
+  // Memory responses carry the entry handle in the echoed tag (c); unit
+  // fills (kDnqWrite) carry it in a.
+  const auto h = static_cast<DnqHandle>(
+      msg.kind == noc::MsgKind::kMemReadResp ? msg.c : msg.a);
+  assert(h < entries_.size() && entries_[h].active &&
+         "DNQ write to dead entry");
+  Entry& e = entries_[h];
+  e.received_bytes += msg.payload_bytes;
+  stats_.enqueued_words.add(msg.payload_bytes / 4);
+  assert(e.received_bytes <= std::uint64_t{e.width_words} * 4 &&
+         "DNQ entry overfilled");
+}
+
+bool Dnq::head_ready(std::uint8_t q) const {
+  if (fifo_[q].empty()) return false;
+  return entries_[fifo_[q].front()].ready();
+}
+
+DnqEntry Dnq::pop_head(std::uint8_t q) {
+  const DnqHandle h = fifo_[q].front();
+  fifo_[q].pop_front();
+  Entry& e = entries_[h];
+  DnqEntry out;
+  out.queue = q;
+  out.width_words = e.width_words;
+  out.dest = e.dest;
+  bytes_used_[q] -= std::uint64_t{e.width_words} * 4;
+  e.active = false;
+  --live_entries_;
+  free_list_.push_back(h);
+  stats_.dequeues.add();
+  return out;
+}
+
+std::optional<DnqEntry> Dnq::try_dequeue(double idle_core_cycles) {
+  if (head_ready(active_queue_)) return pop_head(active_queue_);
+  // Lazy switch: only flip to the other queue after the DNA has sat idle
+  // for the configured threshold, to limit switch churn.
+  const std::uint8_t other = active_queue_ == 0 ? 1 : 0;
+  if (idle_core_cycles >= params_.dnq_idle_switch_cycles &&
+      head_ready(other)) {
+    active_queue_ = other;
+    stats_.queue_switches.add();
+    return pop_head(active_queue_);
+  }
+  return std::nullopt;
+}
+
+}  // namespace gnna::accel

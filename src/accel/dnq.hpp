@@ -1,0 +1,104 @@
+// The DNN Queue (DNQ) — Fig 6.
+//
+// "The DNQ is responsible for staging inputs to the spatial architecture
+//  accelerator and providing support for multiple simultaneous DNN models.
+//  The queue supports delayed enqueues, which allow queue space to be
+//  allocated before data is written. ... The control logic maintains two
+//  sets of head and tail pointers, allowing it to manage two virtual
+//  queues. ... Due to the single dequeue interface, only one queue may
+//  dequeue at a time. A lazy queue switching algorithm is used, whereby the
+//  queue eligible for dequeue is only switched when the DNA has been idle
+//  for 16 cycles."
+//
+// Entries are allocated (delayed enqueue) with a destination for the
+// eventual DNA result; data arrives as NoC messages carrying the entry
+// handle; ready is tracked per 4B word (we count received words); dequeue
+// is FIFO per virtual queue and only when the head entry is fully ready.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "accel/addrmap.hpp"
+#include "accel/config.hpp"
+#include "common/stats.hpp"
+#include "noc/message.hpp"
+
+namespace gnna::accel {
+
+using DnqHandle = std::uint32_t;
+
+struct DnqStats {
+  Counter allocations;
+  Counter alloc_failures;
+  Counter enqueued_words;
+  Counter dequeues;
+  Counter queue_switches;
+};
+
+/// A dequeued entry handed to the DNA.
+struct DnqEntry {
+  std::uint8_t queue = 0;
+  std::uint32_t width_words = 0;
+  Dest dest;
+};
+
+class Dnq {
+ public:
+  explicit Dnq(const TileParams& params);
+
+  /// Reconfigure the virtual-queue split (allocation bus, per phase).
+  /// Frees nothing: must only be called when the queue is empty.
+  void configure(std::uint32_t queue0_bytes, std::uint32_t queue1_bytes);
+
+  /// Delayed enqueue: reserve space in virtual queue `queue` for an entry
+  /// of `width_words`, recording the result destination. nullopt when the
+  /// data or destination scratchpad is full.
+  [[nodiscard]] std::optional<DnqHandle> allocate(std::uint8_t queue,
+                                                  std::uint32_t width_words,
+                                                  Dest dest);
+
+  /// Data arrival (kMemReadResp / kDnqWrite with a = handle).
+  void on_message(const noc::Message& msg);
+
+  /// DNA-side single dequeue interface with lazy switching. `idle_cycles`
+  /// is how long (in core cycles) the DNA has been idle. Returns the head
+  /// entry of the eligible queue if it is fully ready.
+  [[nodiscard]] std::optional<DnqEntry> try_dequeue(double idle_core_cycles);
+
+  [[nodiscard]] bool empty() const { return live_entries_ == 0; }
+  [[nodiscard]] std::uint32_t live_entries() const { return live_entries_; }
+  [[nodiscard]] std::uint8_t active_queue() const { return active_queue_; }
+  [[nodiscard]] const DnqStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    bool active = false;
+    std::uint8_t queue = 0;
+    std::uint32_t width_words = 0;
+    std::uint64_t received_bytes = 0;
+    Dest dest;
+
+    [[nodiscard]] bool ready() const {
+      return received_bytes >= std::uint64_t{width_words} * 4;
+    }
+  };
+
+  [[nodiscard]] bool head_ready(std::uint8_t q) const;
+  DnqEntry pop_head(std::uint8_t q);
+
+  TileParams params_;
+  std::array<std::uint32_t, 2> capacity_bytes_{};
+  std::array<std::uint64_t, 2> bytes_used_{};
+  std::array<std::deque<DnqHandle>, 2> fifo_;
+  std::vector<Entry> entries_;
+  std::vector<DnqHandle> free_list_;
+  std::uint32_t live_entries_ = 0;
+  std::uint8_t active_queue_ = 0;
+  DnqStats stats_;
+};
+
+}  // namespace gnna::accel

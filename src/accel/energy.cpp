@@ -1,0 +1,37 @@
+#include "accel/energy.hpp"
+
+namespace gnna::accel {
+
+EnergyBreakdown estimate_energy(const RunStats& run,
+                                const AcceleratorConfig& cfg,
+                                const EnergyModel& model) {
+  constexpr double kPjToUj = 1e-6;
+  EnergyBreakdown e;
+  e.dram_uj = static_cast<double>(run.mem_bytes_served) *
+              model.pj_per_dram_byte * kPjToUj;
+  e.noc_uj = (static_cast<double>(run.noc_flit_hops) * model.pj_per_flit_hop +
+              static_cast<double>(run.noc_flits_delivered) *
+                  model.pj_per_flit_eject) *
+             kPjToUj;
+  e.dna_uj =
+      static_cast<double>(run.dna_macs) * model.pj_per_mac * kPjToUj;
+  e.agg_uj = static_cast<double>(run.agg_words_reduced) *
+             model.pj_per_agg_word * kPjToUj;
+  e.dnq_uj =
+      static_cast<double>(run.dnq_words) * model.pj_per_dnq_word * kPjToUj;
+  e.gpe_uj =
+      static_cast<double>(run.gpe_actions) * model.pj_per_gpe_op * kPjToUj;
+  // Leakage: static power integrated over the runtime, per tile.
+  e.leakage_uj = model.mw_leakage_per_tile * 1e-3 /* W */ * run.seconds *
+                 cfg.num_tiles() * 1e6 /* J -> uJ */;
+
+  if (run.mem_bytes_served > 0) {
+    e.dram_waste_fraction =
+        1.0 - static_cast<double>(run.mem_bytes_requested) /
+                  static_cast<double>(run.mem_bytes_served);
+    if (e.dram_waste_fraction < 0.0) e.dram_waste_fraction = 0.0;
+  }
+  return e;
+}
+
+}  // namespace gnna::accel

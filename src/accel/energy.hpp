@@ -1,0 +1,57 @@
+// Post-hoc energy model for the accelerator.
+//
+// Section II motivates the design with energy: "a significant amount of
+// energy [is] wasted on unnecessary memory accesses" when a dense DNN
+// accelerator processes sparse graphs. The paper itself reports latency
+// only; this module extends the reproduction with the standard
+// activity-counter energy estimate used by accelerator papers of the era
+// (Eyeriss/Graphicionado-style): each architectural event carries a fixed
+// energy cost, and the simulator's RunStats supply the event counts.
+//
+// Default coefficients are 45/28 nm-class textbook values (order-of-
+// magnitude, documented per field); they are deliberately configurable
+// because absolute Joules are not a claim the paper makes.
+#pragma once
+
+#include "accel/config.hpp"
+#include "accel/simulator.hpp"
+
+namespace gnna::accel {
+
+/// Per-event energy coefficients in picojoules.
+struct EnergyModel {
+  double pj_per_dram_byte = 40.0;   // DDR3/4 interface + array, ~pJ/byte
+  double pj_per_flit_hop = 60.0;    // 64B flit across one link + router
+  double pj_per_flit_eject = 15.0;  // ejection + reassembly
+  double pj_per_mac = 2.0;          // 32-bit fixed-point MAC incl. RF
+  double pj_per_agg_word = 1.5;     // AGG ALU op + scratchpad access
+  double pj_per_dnq_word = 0.8;     // DNQ scratchpad write + ready bit
+  double pj_per_gpe_op = 15.0;      // lightweight control core, per op
+  double mw_leakage_per_tile = 25.0;  // static power per tile
+};
+
+/// Energy breakdown of one simulated run, in microjoules.
+struct EnergyBreakdown {
+  double dram_uj = 0.0;
+  double noc_uj = 0.0;
+  double dna_uj = 0.0;
+  double agg_uj = 0.0;
+  double dnq_uj = 0.0;
+  double gpe_uj = 0.0;
+  double leakage_uj = 0.0;
+
+  [[nodiscard]] double total_uj() const {
+    return dram_uj + noc_uj + dna_uj + agg_uj + dnq_uj + gpe_uj + leakage_uj;
+  }
+
+  /// Fraction of DRAM energy spent on bytes nobody asked for (64B-line
+  /// padding of small/unaligned accesses) — the waste Section II is about.
+  double dram_waste_fraction = 0.0;
+};
+
+/// Estimate the energy of `run` on configuration `cfg`.
+[[nodiscard]] EnergyBreakdown estimate_energy(const RunStats& run,
+                                              const AcceleratorConfig& cfg,
+                                              const EnergyModel& model = {});
+
+}  // namespace gnna::accel

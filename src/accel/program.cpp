@@ -1,0 +1,18 @@
+#include "accel/program.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gnna::accel {
+
+std::size_t CompiledProgram::graph_of(NodeId v) const {
+  assert(!graphs.empty());
+  // graphs are sorted by node_offset; find the last layout with offset <= v.
+  auto it = std::upper_bound(
+      graphs.begin(), graphs.end(), v,
+      [](NodeId value, const GraphLayout& g) { return value < g.node_offset; });
+  assert(it != graphs.begin());
+  return static_cast<std::size_t>(std::distance(graphs.begin(), it) - 1);
+}
+
+}  // namespace gnna::accel

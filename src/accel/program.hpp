@@ -1,0 +1,173 @@
+// Compiled accelerator programs.
+//
+// The ProgramCompiler lowers a gnn::ModelSpec running on a graph::Dataset
+// into a sequence of PhaseSpecs — the unit Algorithm 1 iterates: each phase
+// configures the DNQ/AGG/DNA (line 14), runs one vertex program for every
+// vertex (lines 16-20), and ends with a global barrier (line 22). A GNN
+// layer lowers to one or more phases (e.g. GAT needs a projection phase
+// before its attention phase; PGNN's A^(2^j) powers become repeated 1-hop
+// aggregation phases).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "common/types.hpp"
+#include "dataflow/spatial.hpp"
+#include "graph/dataset.hpp"
+
+namespace gnna::accel {
+
+using RegionId = std::uint32_t;
+
+/// A named range of the simulated physical address space.
+struct Region {
+  std::string name;
+  Addr base = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Flat address space, page-interleaved across memory nodes by the
+/// simulator. Regions are 64B-aligned so buffers never share a DRAM line.
+class MemoryMap {
+ public:
+  RegionId add_region(std::string name, std::uint64_t bytes) {
+    Region r;
+    r.name = std::move(name);
+    r.base = next_;
+    r.bytes = bytes;
+    next_ = (next_ + bytes + 63) / 64 * 64;
+    regions_.push_back(std::move(r));
+    return static_cast<RegionId>(regions_.size() - 1);
+  }
+
+  [[nodiscard]] const Region& region(RegionId id) const {
+    return regions_.at(id);
+  }
+  [[nodiscard]] Addr addr(RegionId id, std::uint64_t offset) const {
+    return regions_.at(id).base + offset;
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const { return next_; }
+  [[nodiscard]] std::size_t num_regions() const { return regions_.size(); }
+
+ private:
+  Addr next_ = 0;
+  std::vector<Region> regions_;
+};
+
+/// A per-vertex dense buffer living in a region: the vector for global
+/// vertex v starts at region base + v * width_words * 4.
+struct BufferRef {
+  RegionId region = 0;
+  std::uint32_t width_words = 0;
+};
+
+/// What the vertex program of a phase does.
+enum class PhaseKind : std::uint8_t {
+  /// Gather neighborhood vectors into an AGG entry; the completed
+  /// aggregate optionally flows through the DNA (GCN's
+  /// aggregate-then-project, Fig 1) and lands in the output buffer. With
+  /// walk_len > 1 the "neighborhood" is every walk endpoint at that depth,
+  /// reached by chains of dependent row loads (PGNN's multi-hop
+  /// convolution — the "complicated graph traversal" of Section VI-A).
+  kGatherAggregate,
+  /// Per-vertex DNA work with no neighbor exchange: load one or more
+  /// per-vertex inputs into a DNQ entry, project, write out (MPNN embed,
+  /// GAT projection, PGNN's final per-vertex projection).
+  kProject,
+  /// Per-edge DNA work: each neighbor contributes a DNQ entry that the DNA
+  /// transforms before aggregation (GAT attention, MPNN messages); the
+  /// aggregate optionally flows through a second DNA model on virtual
+  /// queue 1 (MPNN's GRU).
+  kEdgeDnaAggregate,
+};
+
+/// One phase. All widths are in 4-byte words.
+struct PhaseSpec {
+  std::string name;
+  PhaseKind kind = PhaseKind::kProject;
+
+  // Neighbor gather source (kGatherAggregate / kEdgeDnaAggregate).
+  BufferRef gather;
+  bool include_self = true;     // vertex contributes its own vector
+  bool weighted_edges = false;  // traversal reads 8B/edge (id + weight)
+
+  // kGatherAggregate: length of the walks whose endpoints are gathered
+  // (1 = direct neighbors). For walk_len > 1 the GPE enumerates the walk
+  // tree with dependent row loads, and `expected_contribs[global_v]`
+  // (filled by the compiler) gives the number of contributions per vertex.
+  std::uint32_t walk_len = 1;
+  std::vector<std::uint64_t> expected_contribs;
+
+  // Per-entry extra inputs: loaded per *vertex* for kProject, per *edge*
+  // for kEdgeDnaAggregate (e.g. MPNN edge features, PGNN power terms).
+  std::vector<BufferRef> extra_inputs;
+  // Per-edge extras are indexed by global edge id rather than vertex id.
+  bool extra_inputs_per_edge = false;
+
+  // Words the GPE itself copies into each DNQ-0 entry (e.g. GAT's p_v).
+  std::uint32_t gpe_words_per_entry = 0;
+
+  // DNA model on virtual queue 0: a chain of matmuls executed per entry
+  // (e.g. MPNN's two-layer edge MLP + message matvec). Empty means the
+  // phase has no DNA stage. m is the per-entry batch, normally 1.
+  std::vector<dataflow::MatmulShape> dna_shapes;
+  std::uint32_t dna_out_words = 0;
+
+  // Aggregation stage; width 0 means no AGG stage.
+  std::uint32_t agg_width_words = 0;
+  ReduceOp agg_op = ReduceOp::kSum;
+
+  // Second DNA model on virtual queue 1 (MPNN GRU); empty means unused.
+  std::vector<dataflow::MatmulShape> dna2_shapes;
+  std::uint32_t dna2_out_words = 0;
+  // Words the GPE copies into the DNQ-1 entry (e.g. h_v for the GRU).
+  std::uint32_t dna2_gpe_words = 0;
+
+  // Work items are whole graphs instead of vertices (MPNN readout): the
+  // task gathers the graph's entire contiguous state block and the output
+  // buffer is indexed by graph id.
+  bool per_graph = false;
+
+  // Final per-vertex (or per-graph) output buffer.
+  BufferRef output;
+
+  // DNA weights streamed from memory when the phase is configured (every
+  // tile reads its own copy from `weight_region`).
+  std::uint64_t weight_bytes = 0;
+  RegionId weight_region = 0;
+
+  [[nodiscard]] bool has_dna() const { return !dna_shapes.empty(); }
+  [[nodiscard]] bool has_dna2() const { return !dna2_shapes.empty(); }
+  [[nodiscard]] bool has_agg() const { return agg_width_words > 0; }
+};
+
+/// Per-graph topology placement in the address space.
+struct GraphLayout {
+  RegionId row_ptr = 0;
+  RegionId col_idx = 0;
+  NodeId node_offset = 0;  // first global vertex id of this graph
+  EdgeId edge_offset = 0;  // first global edge id (symmetrized CSR order)
+};
+
+/// A fully lowered program: what the runtime executes.
+struct CompiledProgram {
+  std::string name;
+  std::vector<PhaseSpec> phases;
+  MemoryMap memmap;
+  std::vector<GraphLayout> graphs;
+  const graph::Dataset* dataset = nullptr;  // non-owning
+
+  [[nodiscard]] NodeId total_vertices() const {
+    NodeId n = 0;
+    for (const auto& g : dataset->graphs) n += g.num_nodes();
+    return n;
+  }
+
+  /// Graph index owning global vertex `v` (graphs are laid out in order).
+  [[nodiscard]] std::size_t graph_of(NodeId v) const;
+};
+
+}  // namespace gnna::accel

@@ -1,0 +1,35 @@
+#include "accel/report.hpp"
+
+#include <sstream>
+
+namespace gnna::accel {
+
+std::string run_stats_csv_header() {
+  return "program,config,core_clock_ghz,cycles,millis,"
+         "mem_bytes_requested,mem_bytes_served,mean_bandwidth_gbps,"
+         "bandwidth_utilization,dna_utilization,gpe_utilization,"
+         "agg_utilization,tasks_completed,packets_delivered,"
+         "avg_packet_latency,dnq_queue_switches,alloc_stalls,"
+         "noc_flit_hops,dna_macs";
+}
+
+std::string run_stats_csv_row(const RunStats& rs) {
+  std::ostringstream ss;
+  ss << rs.program_name << ',' << rs.config_name << ','
+     << rs.core_clock_ghz << ',' << rs.cycles << ',' << rs.millis << ','
+     << rs.mem_bytes_requested << ',' << rs.mem_bytes_served << ','
+     << rs.mean_bandwidth_gbps << ',' << rs.bandwidth_utilization << ','
+     << rs.dna_utilization << ',' << rs.gpe_utilization << ','
+     << rs.agg_utilization << ',' << rs.tasks_completed << ','
+     << rs.packets_delivered << ',' << rs.avg_packet_latency << ','
+     << rs.dnq_queue_switches << ',' << rs.alloc_stalls << ','
+     << rs.noc_flit_hops << ',' << rs.dna_macs;
+  return ss.str();
+}
+
+void write_csv(std::ostream& os, const std::vector<RunStats>& runs) {
+  os << run_stats_csv_header() << '\n';
+  for (const auto& rs : runs) os << run_stats_csv_row(rs) << '\n';
+}
+
+}  // namespace gnna::accel

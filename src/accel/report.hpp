@@ -1,0 +1,22 @@
+// Machine-readable export of simulation results (CSV), so sweep scripts
+// can post-process bench output without scraping ASCII tables.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "accel/simulator.hpp"
+
+namespace gnna::accel {
+
+/// Header row matching run_stats_csv_row(). Ends without a newline.
+[[nodiscard]] std::string run_stats_csv_header();
+
+/// One CSV row for `rs`. Ends without a newline. Fields are quoted only
+/// when needed (names contain no commas by construction).
+[[nodiscard]] std::string run_stats_csv_row(const RunStats& rs);
+
+/// Convenience: header + rows for a batch.
+void write_csv(std::ostream& os, const std::vector<RunStats>& runs);
+
+}  // namespace gnna::accel

@@ -1,0 +1,21 @@
+#include "accel/runner.hpp"
+
+#include "accel/compiler.hpp"
+#include "graph/dataset.hpp"
+
+namespace gnna::accel {
+
+RunStats simulate_benchmark(gnn::Benchmark benchmark,
+                            const AcceleratorConfig& cfg, std::uint64_t seed) {
+  const graph::Dataset ds =
+      graph::make_dataset(gnn::benchmark_dataset(benchmark), seed);
+  const gnn::ModelSpec model = gnn::make_benchmark_model(benchmark);
+  const ProgramCompiler compiler;
+  const CompiledProgram prog = compiler.compile(model, ds);
+  AcceleratorSim sim(cfg);
+  RunStats rs = sim.run(prog);
+  rs.program_name = gnn::benchmark_name(benchmark);
+  return rs;
+}
+
+}  // namespace gnna::accel

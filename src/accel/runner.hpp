@@ -1,0 +1,16 @@
+// Convenience wrapper: benchmark -> dataset + model + compile + simulate.
+#pragma once
+
+#include "accel/config.hpp"
+#include "accel/simulator.hpp"
+#include "gnn/model.hpp"
+
+namespace gnna::accel {
+
+/// Simulate one Table VII benchmark on `cfg` and return the run stats.
+/// Builds the dataset and model internally (deterministic by `seed`).
+[[nodiscard]] RunStats simulate_benchmark(gnn::Benchmark benchmark,
+                                          const AcceleratorConfig& cfg,
+                                          std::uint64_t seed = 2020);
+
+}  // namespace gnna::accel

@@ -1,0 +1,181 @@
+#include "accel/simulator.hpp"
+
+#include <stdexcept>
+
+namespace gnna::accel {
+
+AcceleratorSim::AcceleratorSim(AcceleratorConfig cfg,
+                               graph::PartitionPolicy partition)
+    : cfg_(std::move(cfg)), partition_(partition) {}
+
+void AcceleratorSim::build() {
+  net_ = std::make_unique<noc::MeshNetwork>(cfg_.mesh_width, cfg_.mesh_height,
+                                            cfg_.noc_params);
+
+  // Register endpoints: three per tile (GPE, AGG, DNQ/DNA — the 7-port
+  // crossbar), one per memory node.
+  struct TileEps {
+    EndpointId gpe, agg, dnq;
+  };
+  std::vector<TileEps> tile_eps;
+  tile_eps.reserve(cfg_.tile_coords.size());
+  for (const auto& [x, y] : cfg_.tile_coords) {
+    TileEps eps{};
+    eps.gpe = net_->add_endpoint(x, y);
+    eps.agg = net_->add_endpoint(x, y);
+    eps.dnq = net_->add_endpoint(x, y);
+    tile_eps.push_back(eps);
+  }
+  std::vector<EndpointId> mem_eps;
+  mem_eps.reserve(cfg_.mem_coords.size());
+  for (const auto& [x, y] : cfg_.mem_coords) {
+    mem_eps.push_back(net_->add_endpoint(x, y));
+  }
+  net_->finalize();
+
+  addr_map_ = std::make_unique<AddressMap>(mem_eps, cfg_.interleave_bytes);
+  for (const auto& eps : tile_eps) {
+    tiles_.push_back(std::make_unique<Tile>(cfg_, *net_, eps.gpe, eps.agg,
+                                            eps.dnq, *addr_map_));
+  }
+  for (const EndpointId ep : mem_eps) {
+    mems_.push_back(std::make_unique<mem::MemoryController>(
+        *net_, ep, cfg_.mem_params, cfg_.noc_clock));
+  }
+}
+
+bool AcceleratorSim::everything_idle() const {
+  for (const auto& t : tiles_) {
+    if (!t->idle()) return false;
+  }
+  for (const auto& m : mems_) {
+    if (!m->idle()) return false;
+  }
+  return net_->idle();
+}
+
+std::uint64_t AcceleratorSim::progress_signature() const {
+  std::uint64_t sig = net_->stats().packets_sent.value() +
+                      net_->stats().packets_delivered.value();
+  for (const auto& t : tiles_) {
+    sig += t->gpe().stats().actions.value();
+    sig += t->dna().stats().entries_processed.value();
+    sig += t->agg().stats().contributions.value();
+  }
+  return sig;
+}
+
+RunStats AcceleratorSim::run(const CompiledProgram& prog) {
+  if (used_) throw std::logic_error("AcceleratorSim::run: already used");
+  used_ = true;
+  build();
+
+  const auto num_tiles = static_cast<std::uint32_t>(tiles_.size());
+
+  RunStats rs;
+  rs.config_name = cfg_.name;
+  rs.program_name = prog.name;
+  rs.core_clock_ghz = cfg_.core_clock.ghz();
+
+  std::uint64_t mem_served_before_phase = 0;
+
+  for (const PhaseSpec& phase : prog.phases) {
+    // Work distribution (the shared in-memory work queues of Algorithm 1,
+    // realized as a static round-robin split across GPEs).
+    const std::uint32_t num_items =
+        phase.per_graph ? static_cast<std::uint32_t>(prog.dataset->graphs.size())
+                        : prog.total_vertices();
+    std::vector<std::vector<std::uint32_t>> work(num_tiles);
+    if (partition_ == graph::PartitionPolicy::kBlock) {
+      const std::uint32_t per = (num_items + num_tiles - 1) / num_tiles;
+      for (std::uint32_t i = 0; i < num_items; ++i) {
+        work[per == 0 ? 0 : i / per].push_back(i);
+      }
+    } else {
+      for (std::uint32_t i = 0; i < num_items; ++i) {
+        work[i % num_tiles].push_back(i);
+      }
+    }
+
+    const Cycle phase_start = net_->now();
+    for (std::uint32_t t = 0; t < num_tiles; ++t) {
+      tiles_[t]->begin_phase(prog, phase, std::move(work[t]));
+    }
+
+    // Run to the global barrier.
+    std::uint64_t last_sig = progress_signature();
+    Cycle last_progress = net_->now();
+    while (!everything_idle()) {
+      for (auto& t : tiles_) t->tick();
+      for (auto& m : mems_) m->tick();
+      net_->tick();
+
+      const std::uint64_t sig = progress_signature();
+      if (sig != last_sig) {
+        last_sig = sig;
+        last_progress = net_->now();
+      } else if (net_->now() - last_progress > watchdog_cycles_) {
+        throw std::runtime_error("AcceleratorSim: no progress in phase " +
+                                 phase.name + " for " +
+                                 std::to_string(watchdog_cycles_) +
+                                 " cycles (deadlock?)");
+      }
+    }
+
+    PhaseStats ps;
+    ps.name = phase.name;
+    ps.cycles = net_->now() - phase_start;
+    std::uint64_t served = 0;
+    for (const auto& m : mems_) served += m->stats().bytes_served.value();
+    ps.mem_bytes_served = served - mem_served_before_phase;
+    mem_served_before_phase = served;
+    ps.tasks = num_items;
+    rs.phases.push_back(std::move(ps));
+  }
+
+  // Aggregate statistics.
+  rs.cycles = net_->now();
+  rs.seconds = cfg_.noc_clock.cycles_to_seconds(static_cast<double>(rs.cycles));
+  rs.millis = rs.seconds * 1e3;
+
+  for (const auto& m : mems_) {
+    rs.mem_bytes_requested += m->stats().bytes_requested.value();
+    rs.mem_bytes_served += m->stats().bytes_served.value();
+  }
+  rs.mean_bandwidth_gbps =
+      rs.seconds > 0.0
+          ? static_cast<double>(rs.mem_bytes_served) / rs.seconds / 1e9
+          : 0.0;
+  const double peak_gbps = cfg_.total_mem_bandwidth_gbps();
+  rs.bandwidth_utilization =
+      peak_gbps > 0.0 ? rs.mean_bandwidth_gbps / peak_gbps : 0.0;
+
+  const double denom = static_cast<double>(rs.cycles) * num_tiles;
+  double dna_busy = 0.0;
+  double gpe_busy = 0.0;
+  double agg_busy = 0.0;
+  for (const auto& t : tiles_) {
+    dna_busy += t->dna().stats().busy_cycles;
+    gpe_busy += t->gpe().stats().busy_cycles;
+    agg_busy += t->agg().stats().busy_cycles;
+    rs.tasks_completed += t->gpe().stats().tasks_completed.value();
+    rs.dnq_queue_switches += t->dnq().stats().queue_switches.value();
+    rs.alloc_stalls += t->gpe().stats().alloc_stalls.value();
+    rs.agg_words_reduced += t->agg().stats().words_reduced.value();
+    rs.dna_macs += t->dna().stats().macs.value();
+    rs.gpe_actions += t->gpe().stats().actions.value();
+    rs.dnq_words += t->dnq().stats().enqueued_words.value();
+  }
+  rs.noc_flit_hops = net_->stats().flit_hops.value();
+  rs.noc_flits_delivered = net_->stats().flits_delivered.value();
+  if (denom > 0.0) {
+    rs.dna_utilization = dna_busy / denom;
+    rs.gpe_utilization = gpe_busy / denom;
+    rs.agg_utilization = agg_busy / denom;
+  }
+  rs.packets_delivered = net_->stats().packets_delivered.value();
+  rs.avg_packet_latency = net_->stats().packet_latency.mean();
+  return rs;
+}
+
+}  // namespace gnna::accel

@@ -1,0 +1,92 @@
+// Whole-accelerator simulator: builds the mesh (Fig 9), instantiates tiles
+// and memory nodes, and executes a compiled program phase by phase with
+// global barriers between phases (Algorithm 1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/config.hpp"
+#include "accel/program.hpp"
+#include "accel/tile.hpp"
+#include "graph/partition.hpp"
+#include "mem/memory.hpp"
+#include "noc/network.hpp"
+
+namespace gnna::accel {
+
+/// Per-phase slice of a run.
+struct PhaseStats {
+  std::string name;
+  Cycle cycles = 0;
+  std::uint64_t mem_bytes_served = 0;
+  std::uint64_t tasks = 0;
+};
+
+/// Result of simulating one program on one configuration.
+struct RunStats {
+  std::string config_name;
+  std::string program_name;
+  double core_clock_ghz = 0.0;
+
+  Cycle cycles = 0;  // NoC-clock cycles end to end
+  double seconds = 0.0;
+  double millis = 0.0;
+
+  std::uint64_t mem_bytes_requested = 0;
+  std::uint64_t mem_bytes_served = 0;
+  double mean_bandwidth_gbps = 0.0;   // served bytes / runtime
+  double bandwidth_utilization = 0.0; // vs aggregate peak (Fig 10 left)
+
+  double dna_utilization = 0.0;  // fraction of time DNA busy (Fig 10 right)
+  double gpe_utilization = 0.0;
+  double agg_utilization = 0.0;
+
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t packets_delivered = 0;
+  double avg_packet_latency = 0.0;
+  std::uint64_t dnq_queue_switches = 0;
+  std::uint64_t alloc_stalls = 0;
+
+  // Raw activity counters (inputs to the energy model, src/accel/energy.*).
+  std::uint64_t noc_flit_hops = 0;
+  std::uint64_t noc_flits_delivered = 0;
+  std::uint64_t agg_words_reduced = 0;
+  std::uint64_t dna_macs = 0;
+  std::uint64_t gpe_actions = 0;
+  std::uint64_t dnq_words = 0;
+
+  std::vector<PhaseStats> phases;
+};
+
+class AcceleratorSim {
+ public:
+  explicit AcceleratorSim(
+      AcceleratorConfig cfg,
+      graph::PartitionPolicy partition = graph::PartitionPolicy::kRoundRobin);
+
+  /// Execute `prog` to completion and report timing/utilization. A fresh
+  /// simulator instance is required per run.
+  [[nodiscard]] RunStats run(const CompiledProgram& prog);
+
+  /// Progress watchdog threshold (cycles without any progress).
+  void set_watchdog_cycles(Cycle c) { watchdog_cycles_ = c; }
+
+ private:
+  void build();
+  [[nodiscard]] bool everything_idle() const;
+  [[nodiscard]] std::uint64_t progress_signature() const;
+
+  AcceleratorConfig cfg_;
+  graph::PartitionPolicy partition_;
+  bool used_ = false;
+  Cycle watchdog_cycles_ = 2'000'000;
+
+  std::unique_ptr<noc::MeshNetwork> net_;
+  std::unique_ptr<AddressMap> addr_map_;
+  std::vector<std::unique_ptr<Tile>> tiles_;
+  std::vector<std::unique_ptr<mem::MemoryController>> mems_;
+};
+
+}  // namespace gnna::accel

@@ -1,0 +1,69 @@
+// Baseline execution platforms.
+//
+// The paper measures its baselines on real hardware (Table III: a 14-core
+// Xeon E5-2680v4 and a Titan XP) running the public reference
+// implementations of each benchmark, and reports the results in Table VII.
+// We cannot run that stack offline, so (DESIGN.md §4):
+//
+//  * table7_reference() carries the paper's measured numbers as data —
+//    they are the denominators of the Fig 8 speedups, exactly as in the
+//    paper;
+//  * CPU/GPU DeviceModels provide an independent analytical estimate
+//    (roofline + framework-dispatch overhead) fed by the WorkProfile, so
+//    the anchors can be sanity-checked; EXPERIMENTS.md records
+//    model-vs-measured deviations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "gnn/model.hpp"
+#include "gnn/workload.hpp"
+#include "graph/dataset.hpp"
+
+namespace gnna::baseline {
+
+/// Analytical model of one baseline device.
+struct DeviceModel {
+  std::string name;
+  double fixed_overhead_ms = 0.0;  // session / driver setup per inference
+  double op_dispatch_ms = 0.0;     // per framework op / kernel launch
+  double dense_gflops = 0.0;       // sustained on the models' thin GEMMs
+  double edge_gflops = 0.0;        // sustained on per-edge irregular compute
+  double agg_gadds = 0.0;          // sparse aggregation adds per second
+  double mem_gbps = 0.0;           // sustained streaming bandwidth
+};
+
+/// Table III CPU: 14-core Xeon E5-2680v4 @ 2.4 GHz, 4x DDR4-2133.
+[[nodiscard]] DeviceModel cpu_xeon_e5_2680v4();
+
+/// Table III GPU: NVIDIA Titan XP @ 1582 MHz, GDDR5X @ 547.7 GB/s.
+[[nodiscard]] DeviceModel gpu_titan_xp();
+
+/// Density of the *input* feature matrix in the reference implementations
+/// (citation datasets use sparse bag-of-words features; the first layer's
+/// projection only touches nonzeros). Synthetic value matched to the real
+/// datasets; 1.0 where the reference uses dense features.
+[[nodiscard]] double input_feature_density(graph::DatasetId id);
+
+/// Estimated inference latency of `work` on `dev`. `input_density` scales
+/// the first layer's dense MACs and feature bytes (sparse-input trick).
+[[nodiscard]] double estimate_latency_ms(const DeviceModel& dev,
+                                         const gnn::WorkProfile& work,
+                                         double input_density);
+
+/// One row of Table VII (the paper's measured baseline latencies).
+struct Table7Row {
+  gnn::Benchmark benchmark;
+  double cpu_ms;
+  double gpu_ms;
+};
+
+/// The paper's Table VII, in paper order.
+[[nodiscard]] std::span<const Table7Row> table7_reference();
+
+/// Measured baseline latency for `b` (paper data).
+[[nodiscard]] Table7Row table7_row(gnn::Benchmark b);
+
+}  // namespace gnna::baseline

@@ -1,0 +1,76 @@
+#include "baseline/dnn_accel_study.hpp"
+
+namespace gnna::baseline {
+
+DnnAccelResult run_dnn_accel_study(graph::DatasetId dataset,
+                                   const DnnAccelStudyParams& params) {
+  const graph::DatasetSpec& spec = graph::dataset_spec(dataset);
+  DnnAccelResult res;
+  res.dataset = spec.name;
+
+  const auto n = static_cast<std::uint64_t>(spec.total_nodes);
+  const auto f = static_cast<std::uint64_t>(spec.vertex_features);
+  const auto h = static_cast<std::uint64_t>(params.gcn_hidden);
+  const auto c = static_cast<std::uint64_t>(spec.output_features);
+  // Adjacency density as the paper counts it: E nonzeros in the dense
+  // N x N vertex adjacency matrix.
+  const double density =
+      static_cast<double>(spec.total_edges) / (static_cast<double>(n) * n);
+  res.adjacency_sparsity = 1.0 - density;
+
+  // GCN as the paper describes it for this study: a series of FC layers
+  // (projections, dense weights) and convolutions whose weights are the
+  // adjacency matrix (sparse). Project-first order, A * (H W). The conv is
+  // framed transposed (C^T = (HW)^T A^T) so the adjacency occupies the
+  // weight operand of the mapper, exactly as "a convolution with the
+  // adjacency matrix as the weights".
+  res.layers = {
+      {"proj1", {n, f, h, 1.0}, {}},
+      {"conv1 (A)", {h, n, n, density}, {}},
+      {"proj2", {n, h, c, 1.0}, {}},
+      {"conv2 (A)", {c, n, n, density}, {}},
+  };
+
+  const dataflow::Mapper mapper(params.array);
+  dataflow::MappingStats totals;
+  std::uint64_t lat_unlimited = 0;
+  std::uint64_t lat_bw = 0;
+  for (auto& layer : res.layers) {
+    layer.stats = mapper.map(layer.shape, params.bandwidth, params.clock);
+    totals += layer.stats;
+    lat_unlimited += layer.stats.latency_cycles(params.clock, std::nullopt);
+    lat_bw += layer.stats.latency_cycles(params.clock, params.bandwidth);
+  }
+
+  res.latency_unlimited_ms =
+      params.clock.cycles_to_millis(static_cast<double>(lat_unlimited));
+  res.latency_bw_ms =
+      params.clock.cycles_to_millis(static_cast<double>(lat_bw));
+
+  // Fig 2: bandwidth demand and PE utilization when the array is
+  // compute-paced (unlimited bandwidth).
+  const double compute_seconds = params.clock.cycles_to_seconds(
+      static_cast<double>(totals.compute_cycles));
+  if (compute_seconds > 0.0) {
+    res.offchip_bw_total_gbps =
+        static_cast<double>(totals.dram_bytes_total) / compute_seconds / 1e9;
+    res.offchip_bw_useful_gbps =
+        static_cast<double>(totals.dram_bytes_useful) / compute_seconds / 1e9;
+  }
+  res.pe_util_total = totals.pe_utilization_total(params.array);
+  res.pe_util_useful = totals.pe_utilization_useful(params.array);
+
+  res.useful_compute_fraction =
+      totals.total_macs == 0
+          ? 0.0
+          : static_cast<double>(totals.useful_macs) /
+                static_cast<double>(totals.total_macs);
+  res.useful_memory_fraction =
+      totals.dram_bytes_total == 0
+          ? 0.0
+          : static_cast<double>(totals.dram_bytes_useful) /
+                static_cast<double>(totals.dram_bytes_total);
+  return res;
+}
+
+}  // namespace gnna::baseline

@@ -1,0 +1,56 @@
+// The Section II study: GCN running on a plain DNN spatial-architecture
+// accelerator (Table I), with the graph convolution expressed as a dense
+// convolution whose weights are the adjacency matrix. Produces Table II
+// (inference latencies at unlimited and 68 GB/s bandwidth) and Fig 2
+// (off-chip bandwidth and PE utilization, total vs useful).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dataflow/spatial.hpp"
+#include "graph/dataset.hpp"
+
+namespace gnna::baseline {
+
+struct DnnAccelLayer {
+  std::string name;
+  dataflow::MatmulShape shape;
+  dataflow::MappingStats stats;
+};
+
+struct DnnAccelResult {
+  std::string dataset;
+  std::vector<DnnAccelLayer> layers;
+
+  double adjacency_sparsity = 0.0;
+
+  double latency_unlimited_ms = 0.0;
+  double latency_bw_ms = 0.0;  // at the configured bandwidth
+
+  // Fig 2 quantities (at unlimited bandwidth, compute-paced):
+  double offchip_bw_total_gbps = 0.0;
+  double offchip_bw_useful_gbps = 0.0;
+  double pe_util_total = 0.0;
+  double pe_util_useful = 0.0;
+
+  // Overall useful fractions quoted in the text ("only 1% of the memory
+  // requests and 2% of the compute are useful" for Pubmed).
+  double useful_compute_fraction = 0.0;
+  double useful_memory_fraction = 0.0;
+};
+
+struct DnnAccelStudyParams {
+  dataflow::SpatialArrayConfig array =
+      dataflow::SpatialArrayConfig::eyeriss();  // Table I
+  Frequency clock = Frequency::giga_hertz(2.4);
+  Bandwidth bandwidth = Bandwidth::gb_per_s(68.0);
+  std::uint32_t gcn_hidden = 16;
+};
+
+/// Run the study for one input graph dataset.
+[[nodiscard]] DnnAccelResult run_dnn_accel_study(
+    graph::DatasetId dataset, const DnnAccelStudyParams& params = {});
+
+}  // namespace gnna::baseline

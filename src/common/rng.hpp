@@ -1,0 +1,128 @@
+// Deterministic pseudo-random number generation.
+//
+// All synthetic datasets and property tests must be reproducible across
+// platforms, so we implement a fixed algorithm (splitmix64 seeding a
+// xoshiro256**) instead of relying on std:: distributions whose outputs are
+// implementation-defined.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace gnna {
+
+/// splitmix64: used to expand a single seed into generator state.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality, reproducible PRNG.
+class Rng {
+ public:
+  constexpr explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  constexpr std::uint64_t operator()() { return next(); }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift reduction.
+  constexpr std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Rejection-free is fine for simulation purposes; bias is < 2^-64*bound.
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  constexpr float next_float(float lo, float hi) {
+    return lo + static_cast<float>(next_double()) * (hi - lo);
+  }
+
+  /// Bernoulli trial with probability p.
+  constexpr bool next_bool(double p) { return next_double() < p; }
+
+  /// Standard normal via Box-Muller (uses two uniforms; not constexpr
+  /// because of std::log/std::cos).
+  double next_gaussian() {
+    double u1 = next_double();
+    while (u1 <= 1e-300) u1 = next_double();
+    const double u2 = next_double();
+    constexpr double kTwoPi = 6.283185307179586;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+  }
+
+  /// Zipf-like sample in [0, n): probability of rank r proportional to
+  /// 1/(r+1)^alpha. Used for power-law-ish degree sequences of citation
+  /// graphs. Implemented by inverse-transform on the (approximate)
+  /// generalized harmonic CDF via exponentiation of a uniform.
+  std::uint64_t next_zipf(std::uint64_t n, double alpha) {
+    if (n <= 1) return 0;
+    // For alpha != 1 the CDF of the continuous analogue is invertible in
+    // closed form; we then clamp to the integer support.
+    const double u = next_double();
+    double x = 0.0;
+    if (alpha == 1.0) {
+      x = std::pow(static_cast<double>(n), u) - 1.0;
+    } else {
+      const double one_minus = 1.0 - alpha;
+      const double nn = std::pow(static_cast<double>(n), one_minus);
+      x = std::pow(u * (nn - 1.0) + 1.0, 1.0 / one_minus) - 1.0;
+    }
+    auto r = static_cast<std::uint64_t>(x);
+    if (r >= n) r = n - 1;
+    return r;
+  }
+
+  /// Derive an independent stream (for per-component RNGs).
+  [[nodiscard]] constexpr Rng fork(std::uint64_t stream) {
+    Rng child(state_[0] ^ (stream * 0xD2B74407B1CE6E93ULL));
+    child.state_[1] ^= state_[1];
+    child.state_[2] ^= state_[2] + stream;
+    child.state_[3] ^= state_[3];
+    // Decorrelate.
+    for (int i = 0; i < 8; ++i) child.next();
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace gnna

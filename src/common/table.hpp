@@ -1,0 +1,81 @@
+// Plain-text table printer used by the bench binaries to reproduce the
+// paper's tables and figure series in a uniform format.
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gnna {
+
+/// Column-aligned ASCII table. Usage:
+///   Table t({"Input Graph", "Latency (ms)"});
+///   t.add_row({"Cora", format_double(0.791, 3)});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+      os << '|';
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : std::string{};
+        os << ' ' << std::left << std::setw(static_cast<int>(widths[i]))
+           << cell << " |";
+      }
+      os << '\n';
+    };
+    auto print_rule = [&] {
+      os << '|';
+      for (const auto w : widths) os << std::string(w + 2, '-') << '|';
+      os << '\n';
+    };
+
+    print_rule();
+    print_row(header_);
+    print_rule();
+    for (const auto& r : rows_) print_row(r);
+    print_rule();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting for table cells.
+[[nodiscard]] inline std::string format_double(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+/// "12.3x" style speedup cell.
+[[nodiscard]] inline std::string format_speedup(double v) {
+  return format_double(v, 2) + "x";
+}
+
+/// "79%" style percentage cell.
+[[nodiscard]] inline std::string format_percent(double fraction) {
+  return format_double(fraction * 100.0, 1) + "%";
+}
+
+}  // namespace gnna

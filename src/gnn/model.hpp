@@ -1,0 +1,67 @@
+// Builders for the four benchmark GNN models (Section V) and the
+// benchmark/input pairs of the evaluation (Table VII).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gnn/layer.hpp"
+#include "graph/dataset.hpp"
+
+namespace gnna::gnn {
+
+/// Graph Convolutional Network (Kipf & Welling): two kConv layers with the
+/// symmetric renormalized adjacency; hidden width 16, ReLU.
+[[nodiscard]] ModelSpec make_gcn(std::uint32_t in_features,
+                                 std::uint32_t out_features,
+                                 std::uint32_t hidden = 16);
+
+/// Graph Attention Network (Velickovic et al.), Cora configuration: 8 heads
+/// of width 8 then a single-head output layer. The attention normalization
+/// (softmax over coefficients) is dropped, as in the paper's accelerator
+/// implementation (Section VI).
+[[nodiscard]] ModelSpec make_gat(std::uint32_t in_features,
+                                 std::uint32_t out_features,
+                                 std::uint32_t heads = 8,
+                                 std::uint32_t head_width = 8);
+
+/// Message Passing Neural Network (Gilmer et al.): embedding to hidden
+/// width d, T message-passing steps with an edge-network + GRU update, and
+/// a sum readout to the output width.
+[[nodiscard]] ModelSpec make_mpnn(std::uint32_t in_features,
+                                  std::uint32_t edge_features,
+                                  std::uint32_t out_features,
+                                  std::uint32_t hidden = 64,
+                                  std::uint32_t steps = 3);
+
+/// Power GNN (Chen, Li & Bruna's LGNN power-of-adjacency component): each
+/// layer sums terms over A^(2^j), j = 0..hops-1, plus a self term; the
+/// multi-hop traversal dominates and the per-vertex dense work is tiny.
+[[nodiscard]] ModelSpec make_pgnn(std::uint32_t in_features,
+                                  std::uint32_t out_features,
+                                  std::uint32_t hidden = 8,
+                                  std::uint32_t hops = 3,
+                                  std::uint32_t layers = 2);
+
+/// The six benchmark/input pairs of Table VII, in paper order.
+enum class Benchmark : std::uint8_t {
+  kGcnCora,
+  kGcnCiteseer,
+  kGcnPubmed,
+  kGatCora,
+  kMpnnQm9,
+  kPgnnDblp,
+};
+
+inline constexpr Benchmark kAllBenchmarks[] = {
+    Benchmark::kGcnCora,   Benchmark::kGcnCiteseer, Benchmark::kGcnPubmed,
+    Benchmark::kGatCora,   Benchmark::kMpnnQm9,     Benchmark::kPgnnDblp,
+};
+
+[[nodiscard]] std::string benchmark_name(Benchmark b);
+[[nodiscard]] graph::DatasetId benchmark_dataset(Benchmark b);
+
+/// Model sized for the benchmark's dataset (feature widths from Table V).
+[[nodiscard]] ModelSpec make_benchmark_model(Benchmark b);
+
+}  // namespace gnna::gnn

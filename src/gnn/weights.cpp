@@ -1,0 +1,77 @@
+#include "gnn/weights.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace gnna::gnn {
+namespace {
+
+linalg::Matrix init_matrix(Rng& rng, std::size_t rows, std::size_t cols) {
+  const float bound =
+      1.0F / std::sqrt(static_cast<float>(rows == 0 ? 1 : rows));
+  return linalg::Matrix::random(rng, rows, cols, -bound, bound);
+}
+
+std::vector<float> init_vector(Rng& rng, std::size_t n, std::size_t fan_in) {
+  const float bound =
+      1.0F / std::sqrt(static_cast<float>(fan_in == 0 ? 1 : fan_in));
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.next_float(-bound, bound);
+  return v;
+}
+
+}  // namespace
+
+ModelWeights make_weights(const ModelSpec& spec) {
+  ModelWeights w;
+  w.layers.reserve(spec.layers.size());
+  Rng base(spec.weight_seed * 0x6C8E9CF570932BD5ULL + 1);
+  for (std::size_t li = 0; li < spec.layers.size(); ++li) {
+    const LayerSpec& l = spec.layers[li];
+    Rng rng = base.fork(li + 1);
+    LayerWeights lw;
+    switch (l.kind) {
+      case LayerKind::kProject:
+      case LayerKind::kConv:
+      case LayerKind::kReadout:
+        lw.w = init_matrix(rng, l.in_features, l.out_features);
+        lw.bias = init_vector(rng, l.out_features, l.in_features);
+        break;
+      case LayerKind::kAttentionConv: {
+        const std::uint32_t d = l.head_width();
+        for (std::uint32_t h = 0; h < l.heads; ++h) {
+          lw.head_w.push_back(init_matrix(rng, l.in_features, d));
+          lw.head_a.push_back(init_vector(rng, 2ULL * d, d));
+        }
+        break;
+      }
+      case LayerKind::kMessagePass: {
+        const std::uint32_t d = l.out_features;
+        lw.edge_w1 = init_matrix(rng, l.edge_features, l.edge_hidden);
+        lw.edge_bias1 = init_vector(rng, l.edge_hidden, l.edge_features);
+        lw.edge_w2 = init_matrix(rng, l.edge_hidden,
+                                 static_cast<std::size_t>(d) * d);
+        lw.edge_bias2 =
+            init_vector(rng, static_cast<std::size_t>(d) * d, l.edge_hidden);
+        lw.gru_wz = init_matrix(rng, d, d);
+        lw.gru_wr = init_matrix(rng, d, d);
+        lw.gru_wh = init_matrix(rng, d, d);
+        lw.gru_uz = init_matrix(rng, d, d);
+        lw.gru_ur = init_matrix(rng, d, d);
+        lw.gru_uh = init_matrix(rng, d, d);
+        break;
+      }
+      case LayerKind::kMultiHopConv:
+        lw.hop_w.push_back(init_matrix(rng, l.in_features, l.out_features));
+        for (std::uint32_t j = 0; j < l.hops; ++j) {
+          lw.hop_w.push_back(init_matrix(rng, l.in_features, l.out_features));
+        }
+        break;
+    }
+    w.layers.push_back(std::move(lw));
+  }
+  return w;
+}
+
+}  // namespace gnna::gnn

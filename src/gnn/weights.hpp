@@ -1,0 +1,51 @@
+// Deterministic weight generation for the functional executor.
+//
+// Inference weights are immaterial to timing (the simulator never looks at
+// values), but the functional path needs real numbers so tests can compare
+// executor output against independent references. Weights are a pure
+// function of (ModelSpec::weight_seed, layer index), so every component in
+// the repo sees the same model.
+#pragma once
+
+#include <vector>
+
+#include "gnn/layer.hpp"
+#include "linalg/matrix.hpp"
+
+namespace gnna::gnn {
+
+/// Weights for one layer; which members are populated depends on the kind.
+struct LayerWeights {
+  // kProject / kConv / kReadout: main projection [in x out] + bias[out].
+  linalg::Matrix w;
+  std::vector<float> bias;
+
+  // kAttentionConv: per-head projection [in x head_width] and attention
+  // vector a[2 * head_width] (first half dotted with the destination
+  // feature, second half with the source feature).
+  std::vector<linalg::Matrix> head_w;
+  std::vector<std::vector<float>> head_a;
+
+  // kMessagePass: two-layer edge network [edge_features x hidden] (ReLU)
+  // then [hidden x d*d], and GRU gate weights (all [d x d]).
+  linalg::Matrix edge_w1;
+  std::vector<float> edge_bias1;
+  linalg::Matrix edge_w2;
+  std::vector<float> edge_bias2;
+  linalg::Matrix gru_wz, gru_wr, gru_wh;  // applied to the message
+  linalg::Matrix gru_uz, gru_ur, gru_uh;  // applied to the state
+
+  // kMultiHopConv: hop_w[0] is the self term W_self; hop_w[1 + j] applies to
+  // A^(2^j) X.
+  std::vector<linalg::Matrix> hop_w;
+};
+
+/// All layers' weights.
+struct ModelWeights {
+  std::vector<LayerWeights> layers;
+};
+
+/// Generate weights for `spec` (uniform in +-1/sqrt(fan_in)).
+[[nodiscard]] ModelWeights make_weights(const ModelSpec& spec);
+
+}  // namespace gnna::gnn

@@ -1,0 +1,133 @@
+#include "gnn/workload.hpp"
+
+namespace gnna::gnn {
+namespace {
+
+constexpr std::uint64_t kWord = 4;
+
+struct GraphCounts {
+  std::uint64_t nodes = 0;
+  std::uint64_t sym_edges = 0;  // directed count after symmetrization
+  std::uint64_t graphs = 0;
+};
+
+GraphCounts count_graphs(const graph::Dataset& ds) {
+  GraphCounts c;
+  c.graphs = ds.graphs.size();
+  for (const auto& g : ds.graphs) c.nodes += g.num_nodes();
+  for (const auto& g : ds.undirected) c.sym_edges += g.num_edges();
+  return c;
+}
+
+}  // namespace
+
+WorkProfile profile_work(const ModelSpec& model, const graph::Dataset& ds) {
+  const GraphCounts gc = count_graphs(ds);
+  WorkProfile wp;
+
+  std::uint32_t cur_width = model.input_features();
+  for (const LayerSpec& l : model.layers) {
+    LayerWork w;
+    w.name = l.name;
+    const std::uint64_t n = gc.nodes;
+    const std::uint64_t s = gc.sym_edges;
+    const std::uint64_t contribs = s + (l.include_self ? n : 0);
+
+    switch (l.kind) {
+      case LayerKind::kProject:
+        w.dense_macs = n * l.in_features * l.out_features;
+        w.launches = gc.graphs * 2;
+        break;
+      case LayerKind::kConv:
+        w.dense_macs = n * l.in_features * l.out_features;
+        w.agg_adds = contribs * l.out_features;  // aggregate in out space
+        w.structure_bytes = (n + s) * kWord +
+                            (l.norm != AggNorm::kSum ? s * kWord : 0);
+        w.launches = gc.graphs * 3;
+        break;
+      case LayerKind::kAttentionConv: {
+        w.dense_macs = n * l.in_features * l.out_features;
+        // Per edge (and self), per head: 2*head_width coefficient MACs plus
+        // head_width scaling MACs.
+        w.edge_macs =
+            contribs * l.heads * (3ULL * l.head_width());
+        w.agg_adds = contribs * l.out_features;
+        w.structure_bytes = (n + s) * kWord;
+        w.launches = gc.graphs * (3 + 3ULL * l.heads);
+        break;
+      }
+      case LayerKind::kMessagePass: {
+        const std::uint64_t d = l.out_features;
+        // Edge network (two-layer MLP ef -> hidden -> d*d) and message
+        // matvec per directed edge.
+        w.edge_macs =
+            s * (std::uint64_t{l.edge_features} * l.edge_hidden +
+                 std::uint64_t{l.edge_hidden} * d * d + d * d);
+        // GRU: six d x d gate matmuls per vertex.
+        w.dense_macs = n * 6 * d * d;
+        w.agg_adds = s * d;
+        w.structure_bytes = (n + s) * kWord;
+        w.launches = gc.graphs * 12;
+        break;
+      }
+      case LayerKind::kMultiHopConv: {
+        const std::uint64_t applications =
+            l.hops == 0 ? 0 : (std::uint64_t{1} << (l.hops - 1));
+        w.agg_adds = applications * s * l.in_features;
+        w.dense_macs =
+            n * (std::uint64_t{l.hops} + 1) * l.in_features * l.out_features;
+        w.structure_bytes = applications * (n + s) * kWord;
+        w.launches = gc.graphs * (applications + l.hops + 3);
+        break;
+      }
+      case LayerKind::kReadout:
+        w.agg_adds = n * l.in_features;  // pooling
+        w.dense_macs = gc.graphs * l.in_features * l.out_features;
+        w.launches = gc.graphs * 2;
+        break;
+    }
+
+    w.feature_read_bytes = n * cur_width * kWord;
+    w.feature_write_bytes =
+        (l.kind == LayerKind::kReadout ? gc.graphs : n) * l.out_features *
+        kWord;
+    // Gathered neighbor traffic counts as reads too (cache-unfriendly).
+    if (l.kind == LayerKind::kConv || l.kind == LayerKind::kAttentionConv ||
+        l.kind == LayerKind::kMessagePass) {
+      w.feature_read_bytes += contribs * l.out_features * kWord;
+    }
+    if (l.kind == LayerKind::kMultiHopConv) {
+      const std::uint64_t applications =
+          l.hops == 0 ? 0 : (std::uint64_t{1} << (l.hops - 1));
+      w.feature_read_bytes += applications * s * l.in_features * kWord;
+    }
+
+    switch (l.kind) {
+      case LayerKind::kAttentionConv:
+        w.weight_bytes = std::uint64_t{l.in_features} * l.out_features * kWord +
+                         l.heads * 2ULL * l.head_width() * kWord;
+        break;
+      case LayerKind::kMessagePass: {
+        const std::uint64_t d = l.out_features;
+        w.weight_bytes = (std::uint64_t{l.edge_features} * l.edge_hidden +
+                          std::uint64_t{l.edge_hidden} * d * d + 6 * d * d) *
+                         kWord;
+        break;
+      }
+      case LayerKind::kMultiHopConv:
+        w.weight_bytes = (std::uint64_t{l.hops} + 1) * l.in_features *
+                         l.out_features * kWord;
+        break;
+      default:
+        w.weight_bytes =
+            std::uint64_t{l.in_features} * l.out_features * kWord;
+        break;
+    }
+
+    cur_width = l.out_features;
+    wp.layers.push_back(std::move(w));
+  }
+  return wp;
+}
+
+}  // namespace gnna::gnn

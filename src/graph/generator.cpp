@@ -1,0 +1,159 @@
+#include "graph/generator.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+namespace gnna::graph {
+namespace {
+
+[[nodiscard]] constexpr std::uint64_t edge_key(NodeId u, NodeId v) {
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+void check_capacity(NodeId n, EdgeId e, bool undirected) {
+  const std::uint64_t cap =
+      undirected ? static_cast<std::uint64_t>(n) * (n - 1) / 2
+                 : static_cast<std::uint64_t>(n) * (n - 1);
+  if (e > cap) {
+    throw std::invalid_argument(
+        "graph generator: requested more edges than the simple graph holds");
+  }
+}
+
+}  // namespace
+
+Graph generate_citation_graph(Rng& rng, NodeId num_nodes, EdgeId num_edges,
+                              double alpha) {
+  if (num_nodes < 2 && num_edges > 0) {
+    throw std::invalid_argument("citation graph needs >= 2 nodes for edges");
+  }
+  check_capacity(num_nodes, num_edges, /*undirected=*/false);
+
+  // Hidden popularity ranking: rank r is mapped to a random vertex so hubs
+  // are not clustered at low ids (vertex ids carry no meaning downstream,
+  // but partitioners hash by id and should not get a sorted-degree gift).
+  std::vector<NodeId> by_rank(num_nodes);
+  std::iota(by_rank.begin(), by_rank.end(), NodeId{0});
+  for (NodeId i = num_nodes; i > 1; --i) {
+    const auto j = static_cast<NodeId>(rng.next_below(i));
+    std::swap(by_rank[i - 1], by_rank[j]);
+  }
+
+  GraphBuilder b(num_nodes);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts = std::uint64_t{200} * num_edges + 10000;
+  while (seen.size() < num_edges) {
+    // Zipf-biased sampling saturates on near-complete graphs; fall back to
+    // uniform endpoints so the exact edge count is always reached.
+    const bool fallback = ++attempts > max_attempts;
+    const auto src = static_cast<NodeId>(rng.next_below(num_nodes));
+    const auto dst = fallback
+                         ? static_cast<NodeId>(rng.next_below(num_nodes))
+                         : by_rank[rng.next_zipf(num_nodes, alpha)];
+    if (src == dst) continue;
+    if (!seen.insert(edge_key(src, dst)).second) continue;
+    b.add_edge(src, dst);
+  }
+  return std::move(b).build(/*dedupe=*/false);
+}
+
+Graph generate_molecule_graph(Rng& rng, NodeId num_nodes, EdgeId num_edges) {
+  check_capacity(num_nodes, num_edges, /*undirected=*/true);
+  GraphBuilder b(num_nodes);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(num_edges * 2);
+
+  auto try_add = [&](NodeId u, NodeId v) {
+    if (u == v) return false;
+    if (u > v) std::swap(u, v);  // store each bond once, low -> high
+    if (!seen.insert(edge_key(u, v)).second) return false;
+    b.add_edge(u, v);
+    return true;
+  };
+
+  // Backbone: random attachment tree over as many vertices as the edge
+  // budget allows (molecule skeleton). Vertex i attaches to a uniformly
+  // random earlier vertex, giving chain/branch shapes.
+  const NodeId backbone =
+      std::min<NodeId>(num_nodes, static_cast<NodeId>(num_edges) + 1);
+  for (NodeId i = 1; i < backbone; ++i) {
+    try_add(i, static_cast<NodeId>(rng.next_below(i)));
+  }
+  // Ring closures: extra random bonds until the exact budget is met.
+  while (seen.size() < num_edges) {
+    const auto u = static_cast<NodeId>(rng.next_below(num_nodes));
+    const auto v = static_cast<NodeId>(rng.next_below(num_nodes));
+    try_add(u, v);
+  }
+  return std::move(b).build(/*dedupe=*/false);
+}
+
+Graph generate_community_graph(Rng& rng, NodeId num_nodes, EdgeId num_edges,
+                               std::uint32_t num_communities,
+                               double intra_fraction) {
+  if (num_communities == 0) {
+    throw std::invalid_argument("community graph needs >= 1 community");
+  }
+  check_capacity(num_nodes, num_edges, /*undirected=*/false);
+
+  const NodeId comm_size =
+      (num_nodes + num_communities - 1) / num_communities;
+  auto community_of = [&](NodeId v) { return v / comm_size; };
+  auto random_in_community = [&](std::uint32_t c) {
+    const NodeId lo = c * comm_size;
+    const NodeId hi = std::min<NodeId>(num_nodes, lo + comm_size);
+    return static_cast<NodeId>(lo + rng.next_below(hi - lo));
+  };
+
+  GraphBuilder b(num_nodes);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts = std::uint64_t{200} * num_edges + 10000;
+  while (seen.size() < num_edges) {
+    if (++attempts > max_attempts) {
+      // Dense intra blocks can saturate; fall back to uniform edges so the
+      // exact edge count is always reached.
+      const auto src = static_cast<NodeId>(rng.next_below(num_nodes));
+      const auto dst = static_cast<NodeId>(rng.next_below(num_nodes));
+      if (src == dst) continue;
+      if (!seen.insert(edge_key(src, dst)).second) continue;
+      b.add_edge(src, dst);
+      continue;
+    }
+    const auto src = static_cast<NodeId>(rng.next_below(num_nodes));
+    NodeId dst = kInvalidNode;
+    if (rng.next_bool(intra_fraction)) {
+      dst = random_in_community(
+          static_cast<std::uint32_t>(community_of(src)));
+    } else {
+      dst = static_cast<NodeId>(rng.next_below(num_nodes));
+    }
+    if (src == dst) continue;
+    if (!seen.insert(edge_key(src, dst)).second) continue;
+    b.add_edge(src, dst);
+  }
+  return std::move(b).build(/*dedupe=*/false);
+}
+
+Graph generate_random_graph(Rng& rng, NodeId num_nodes, EdgeId num_edges) {
+  check_capacity(num_nodes, num_edges, /*undirected=*/false);
+  GraphBuilder b(num_nodes);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  while (seen.size() < num_edges) {
+    const auto src = static_cast<NodeId>(rng.next_below(num_nodes));
+    const auto dst = static_cast<NodeId>(rng.next_below(num_nodes));
+    if (src == dst) continue;
+    if (!seen.insert(edge_key(src, dst)).second) continue;
+    b.add_edge(src, dst);
+  }
+  return std::move(b).build(/*dedupe=*/false);
+}
+
+}  // namespace gnna::graph

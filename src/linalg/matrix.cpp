@@ -1,0 +1,85 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gnna::linalg {
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul: inner dimension mismatch");
+  }
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float aik = a(i, k);
+      if (aik == 0.0F) continue;
+      const auto brow = b.row(k);
+      const auto crow = c.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix add(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("add: shape mismatch");
+  }
+  Matrix c = a;
+  auto cd = c.data();
+  const auto bd = b.data();
+  for (std::size_t i = 0; i < cd.size(); ++i) cd[i] += bd[i];
+  return c;
+}
+
+Matrix add_row_bias(const Matrix& a, std::span<const float> bias) {
+  if (bias.size() != a.cols()) {
+    throw std::invalid_argument("add_row_bias: bias length mismatch");
+  }
+  Matrix c = a;
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    auto r = c.row(i);
+    for (std::size_t j = 0; j < r.size(); ++j) r[j] += bias[j];
+  }
+  return c;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  }
+  return t;
+}
+
+Matrix hconcat(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("hconcat: row count mismatch");
+  }
+  Matrix c(a.rows(), a.cols() + b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto dst = c.row(i);
+    const auto ra = a.row(i);
+    const auto rb = b.row(i);
+    std::copy(ra.begin(), ra.end(), dst.begin());
+    std::copy(rb.begin(), rb.end(), dst.begin() + static_cast<std::ptrdiff_t>(a.cols()));
+  }
+  return c;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double m = 0.0;
+  const auto ad = a.data();
+  const auto bd = b.data();
+  for (std::size_t i = 0; i < ad.size(); ++i) {
+    m = std::max(m, std::abs(static_cast<double>(ad[i]) - bd[i]));
+  }
+  return m;
+}
+
+}  // namespace gnna::linalg

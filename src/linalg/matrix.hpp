@@ -1,0 +1,102 @@
+// Minimal dense linear algebra for the functional GNN executor.
+//
+// This is deliberately a small, clear implementation: the simulator's
+// numbers come from the timing models, and the functional path only has to
+// be trustworthy enough to validate model semantics in tests — so we favour
+// bounds-checked simplicity over BLAS-grade performance.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gnna::linalg {
+
+/// Row-major dense matrix of floats.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0F)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix from_rows(std::size_t rows, std::size_t cols,
+                          std::vector<float> data) {
+    if (data.size() != rows * cols) {
+      throw std::invalid_argument("Matrix::from_rows: size mismatch");
+    }
+    Matrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.data_ = std::move(data);
+    return m;
+  }
+
+  static Matrix random(Rng& rng, std::size_t rows, std::size_t cols,
+                       float lo = -1.0F, float hi = 1.0F) {
+    Matrix m(rows, cols);
+    for (auto& x : m.data_) x = rng.next_float(lo, hi);
+    return m;
+  }
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0F;
+    return m;
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] float& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] float operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<float> row(std::size_t r) {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const float> row(std::size_t r) const {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] std::span<const float> data() const { return data_; }
+  [[nodiscard]] std::span<float> data() { return data_; }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = A * B. Throws on shape mismatch.
+[[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = A + B elementwise.
+[[nodiscard]] Matrix add(const Matrix& a, const Matrix& b);
+
+/// C = A with `bias` (length = cols) added to every row.
+[[nodiscard]] Matrix add_row_bias(const Matrix& a, std::span<const float> bias);
+
+/// B = A^T.
+[[nodiscard]] Matrix transpose(const Matrix& a);
+
+/// Concatenate horizontally: [A | B].
+[[nodiscard]] Matrix hconcat(const Matrix& a, const Matrix& b);
+
+/// Max absolute elementwise difference; infinity on shape mismatch.
+[[nodiscard]] double max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace gnna::linalg

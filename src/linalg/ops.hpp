@@ -1,0 +1,71 @@
+// Elementwise / rowwise neural-network operations shared by the functional
+// GNN executor and its test references.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace gnna::linalg {
+
+inline void relu_inplace(Matrix& m) {
+  for (auto& x : m.data()) x = std::max(x, 0.0F);
+}
+
+[[nodiscard]] inline Matrix relu(Matrix m) {
+  relu_inplace(m);
+  return m;
+}
+
+[[nodiscard]] inline float leaky_relu(float x, float slope = 0.2F) {
+  return x >= 0.0F ? x : slope * x;
+}
+
+inline void leaky_relu_inplace(Matrix& m, float slope = 0.2F) {
+  for (auto& x : m.data()) x = leaky_relu(x, slope);
+}
+
+[[nodiscard]] inline float sigmoid(float x) {
+  return 1.0F / (1.0F + std::exp(-x));
+}
+
+inline void sigmoid_inplace(Matrix& m) {
+  for (auto& x : m.data()) x = sigmoid(x);
+}
+
+[[nodiscard]] inline float tanh_act(float x) { return std::tanh(x); }
+
+inline void tanh_inplace(Matrix& m) {
+  for (auto& x : m.data()) x = std::tanh(x);
+}
+
+/// Numerically-stable softmax over each row.
+inline void row_softmax_inplace(Matrix& m) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    auto r = m.row(i);
+    const float mx = *std::max_element(r.begin(), r.end());
+    float sum = 0.0F;
+    for (auto& x : r) {
+      x = std::exp(x - mx);
+      sum += x;
+    }
+    for (auto& x : r) x /= sum;
+  }
+}
+
+/// Softmax over an arbitrary span (e.g. attention coefficients of one
+/// vertex's neighborhood).
+inline void softmax_inplace(std::span<float> xs) {
+  if (xs.empty()) return;
+  const float mx = *std::max_element(xs.begin(), xs.end());
+  float sum = 0.0F;
+  for (auto& x : xs) {
+    x = std::exp(x - mx);
+    sum += x;
+  }
+  for (auto& x : xs) x /= sum;
+}
+
+}  // namespace gnna::linalg

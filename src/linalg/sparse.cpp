@@ -1,0 +1,102 @@
+#include "linalg/sparse.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gnna::linalg {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<std::size_t> row_ptr,
+                     std::vector<std::size_t> col_idx,
+                     std::vector<float> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  if (row_ptr_.size() != rows_ + 1 || col_idx_.size() != values_.size() ||
+      row_ptr_.back() != values_.size()) {
+    throw std::invalid_argument("CsrMatrix: inconsistent CSR arrays");
+  }
+}
+
+CsrMatrix CsrMatrix::adjacency(const graph::Graph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::size_t> rp(n + 1);
+  std::vector<std::size_t> ci(g.num_edges());
+  std::vector<float> vals(g.num_edges(), 1.0F);
+  for (std::size_t v = 0; v <= n; ++v) rp[v] = g.row_ptr()[v];
+  for (std::size_t e = 0; e < g.num_edges(); ++e) ci[e] = g.col_idx()[e];
+  return {n, n, std::move(rp), std::move(ci), std::move(vals)};
+}
+
+CsrMatrix CsrMatrix::gcn_normalized_adjacency(const graph::Graph& g) {
+  const graph::Graph sym = g.symmetrized().with_self_loops();
+  const std::size_t n = sym.num_nodes();
+  std::vector<float> inv_sqrt_deg(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    inv_sqrt_deg[v] =
+        1.0F / std::sqrt(static_cast<float>(sym.out_degree(
+                   static_cast<NodeId>(v))));
+  }
+  std::vector<std::size_t> rp(n + 1);
+  std::vector<std::size_t> ci(sym.num_edges());
+  std::vector<float> vals(sym.num_edges());
+  for (std::size_t v = 0; v <= n; ++v) rp[v] = sym.row_ptr()[v];
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t e = rp[v]; e < rp[v + 1]; ++e) {
+      const std::size_t u = sym.col_idx()[e];
+      ci[e] = u;
+      vals[e] = inv_sqrt_deg[v] * inv_sqrt_deg[u];
+    }
+  }
+  return {n, n, std::move(rp), std::move(ci), std::move(vals)};
+}
+
+CsrMatrix CsrMatrix::mean_adjacency(const graph::Graph& g) {
+  const graph::Graph sym = g.symmetrized().with_self_loops();
+  const std::size_t n = sym.num_nodes();
+  std::vector<std::size_t> rp(n + 1);
+  std::vector<std::size_t> ci(sym.num_edges());
+  std::vector<float> vals(sym.num_edges());
+  for (std::size_t v = 0; v <= n; ++v) rp[v] = sym.row_ptr()[v];
+  for (std::size_t v = 0; v < n; ++v) {
+    const float inv = 1.0F / static_cast<float>(rp[v + 1] - rp[v]);
+    for (std::size_t e = rp[v]; e < rp[v + 1]; ++e) {
+      ci[e] = sym.col_idx()[e];
+      vals[e] = inv;
+    }
+  }
+  return {n, n, std::move(rp), std::move(ci), std::move(vals)};
+}
+
+Matrix CsrMatrix::to_dense() const {
+  Matrix d(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      d(r, col_idx_[e]) += values_[e];
+    }
+  }
+  return d;
+}
+
+Matrix spmm(const CsrMatrix& s, const Matrix& d) {
+  if (s.cols() != d.rows()) {
+    throw std::invalid_argument("spmm: inner dimension mismatch");
+  }
+  Matrix c(s.rows(), d.cols());
+  const auto rp = s.row_ptr();
+  const auto ci = s.col_idx();
+  const auto vals = s.values();
+  for (std::size_t r = 0; r < s.rows(); ++r) {
+    auto crow = c.row(r);
+    for (std::size_t e = rp[r]; e < rp[r + 1]; ++e) {
+      const float w = vals[e];
+      const auto drow = d.row(ci[e]);
+      for (std::size_t j = 0; j < drow.size(); ++j) crow[j] += w * drow[j];
+    }
+  }
+  return c;
+}
+
+}  // namespace gnna::linalg

@@ -1,0 +1,65 @@
+// Sparse (CSR) matrix support: adjacency-matrix operators for the
+// functional GNN executor and the closed-form GCN reference used in tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "linalg/matrix.hpp"
+
+namespace gnna::linalg {
+
+/// CSR matrix of floats (rows x cols, explicit values).
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  CsrMatrix(std::size_t rows, std::size_t cols,
+            std::vector<std::size_t> row_ptr, std::vector<std::size_t> col_idx,
+            std::vector<float> values);
+
+  /// Unweighted adjacency of `g` (every edge has value 1).
+  static CsrMatrix adjacency(const graph::Graph& g);
+
+  /// GCN propagation operator: D^-1/2 (A + I) D^-1/2 over the symmetrized
+  /// graph, the renormalization trick from Kipf & Welling.
+  static CsrMatrix gcn_normalized_adjacency(const graph::Graph& g);
+
+  /// Row-normalized adjacency with self loops: D^-1 (A + I) (mean
+  /// aggregation).
+  static CsrMatrix mean_adjacency(const graph::Graph& g);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t nnz() const { return values_.size(); }
+
+  [[nodiscard]] std::span<const std::size_t> row_ptr() const {
+    return row_ptr_;
+  }
+  [[nodiscard]] std::span<const std::size_t> col_idx() const {
+    return col_idx_;
+  }
+  [[nodiscard]] std::span<const float> values() const { return values_; }
+
+  /// Dense materialization (tests only; O(rows*cols)).
+  [[nodiscard]] Matrix to_dense() const;
+
+  /// Fraction of zero entries in the dense equivalent.
+  [[nodiscard]] double sparsity() const {
+    const double total = static_cast<double>(rows_) * static_cast<double>(cols_);
+    return total == 0.0 ? 1.0 : 1.0 - static_cast<double>(nnz()) / total;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<float> values_;
+};
+
+/// C = S * D (sparse times dense).
+[[nodiscard]] Matrix spmm(const CsrMatrix& s, const Matrix& d);
+
+}  // namespace gnna::linalg

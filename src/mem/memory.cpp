@@ -1,0 +1,96 @@
+#include "mem/memory.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gnna::mem {
+
+MemoryController::MemoryController(noc::MeshNetwork& net, EndpointId endpoint,
+                                   MemParams params, Frequency clk)
+    : net_(net),
+      endpoint_(endpoint),
+      params_(params),
+      clk_(clk),
+      bytes_per_cycle_(params.bandwidth.bytes_per_cycle(clk)),
+      latency_cycles_(static_cast<double>(
+          clk.nanos_to_cycles(params.latency_ns))) {}
+
+void MemoryController::tick() {
+  const auto now = static_cast<double>(net_.now());
+
+  // Admit new requests while the 32-entry queue has room. Requests beyond
+  // that wait, unseen, in the NoC delivery queue — the backpressure the
+  // paper's model implies.
+  while (queue_.size() < params_.queue_entries) {
+    const noc::Message* head = net_.peek(endpoint_);
+    if (head == nullptr) break;
+    auto msg = net_.poll(endpoint_);
+    assert(msg.has_value());
+
+    const std::uint64_t requested = msg->b;
+    // Granularity: unaligned / partial requests still burn whole 64B lines.
+    const std::uint64_t addr = msg->a;
+    const std::uint64_t first_line = addr / params_.access_granularity;
+    const std::uint64_t last_line =
+        (addr + std::max<std::uint64_t>(requested, 1) - 1) /
+        params_.access_granularity;
+    const std::uint64_t served_bytes =
+        (last_line - first_line + 1) * params_.access_granularity;
+
+    // In-order service: the data bus is busy for the transfer time; the
+    // fixed access latency overlaps pipelining of later requests.
+    const double start = std::max(dram_free_at_, now);
+    const double transfer =
+        static_cast<double>(served_bytes) / bytes_per_cycle_;
+    dram_free_at_ = start + transfer;
+
+    stats_.bytes_requested.add(requested);
+    stats_.bytes_served.add(served_bytes);
+
+    switch (msg->kind) {
+      case noc::MsgKind::kMemReadReq: {
+        stats_.read_requests.add();
+        InFlight inf;
+        inf.request = *msg;
+        inf.respond_at = dram_free_at_ + latency_cycles_;
+        queue_.push_back(inf);
+        break;
+      }
+      case noc::MsgKind::kMemWriteReq:
+        stats_.write_requests.add();
+        // Writes complete silently once bandwidth is accounted.
+        break;
+      default:
+        // Unknown traffic to a memory endpoint is a wiring bug.
+        assert(false && "MemoryController: unexpected message kind");
+        break;
+    }
+  }
+
+  // Issue responses for reads whose data has arrived. In-order: only the
+  // head may respond.
+  while (!queue_.empty() &&
+         queue_.front().respond_at <= now) {
+    const noc::Message& req = queue_.front().request;
+    noc::Message resp;
+    resp.src = endpoint_;
+    resp.dst = req.reply_to != kInvalidEndpoint ? req.reply_to : req.src;
+    resp.kind = noc::MsgKind::kMemReadResp;
+    resp.payload_bytes = static_cast<std::uint32_t>(req.b);
+    resp.a = req.a;
+    resp.b = req.b;
+    resp.c = req.c;
+    net_.send(resp);
+    queue_.pop_front();
+  }
+
+  stats_.queue_depth.add(static_cast<double>(queue_.size()));
+}
+
+double MemoryController::mean_bandwidth_bytes_per_s(Cycle elapsed) const {
+  if (elapsed == 0) return 0.0;
+  const double seconds = clk_.cycles_to_seconds(static_cast<double>(elapsed));
+  return static_cast<double>(stats_.bytes_served.value()) / seconds;
+}
+
+}  // namespace gnna::mem

@@ -1,0 +1,80 @@
+// Off-chip memory controller: the paper's bandwidth-latency model.
+//
+// "For the memory controllers, we implement a simple bandwidth-latency
+//  model that enqueues up to 32 requests and services them in order
+//  according to the latency and bandwidth configuration. Each memory module
+//  is capable of servicing 68GBps of read/write traffic... We assume a
+//  memory access granularity of 64B, and requests which are not integer
+//  multiples of 64B and properly aligned will result in wasted DRAM
+//  bandwidth but not wasted interconnect bandwidth."  (Section V)
+//
+// The controller is attached to one NoC endpoint. Read requests
+// (MsgKind::kMemReadReq, a=address, b=bytes, c=opaque tag) produce
+// responses (kMemReadResp, same a/b/c) addressed back to the requester;
+// write requests consume bandwidth and complete silently. Requests are
+// admitted from the NoC inbox only while fewer than `queue_entries` are in
+// service, so a full queue backpressures naturally.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "noc/network.hpp"
+
+namespace gnna::mem {
+
+struct MemParams {
+  Bandwidth bandwidth = Bandwidth::gb_per_s(68.0);
+  double latency_ns = 20.0;  // fixed access latency (Section VI-A)
+  std::uint32_t queue_entries = 32;
+  std::uint32_t access_granularity = 64;  // bytes
+};
+
+struct MemStats {
+  Counter read_requests;
+  Counter write_requests;
+  Counter bytes_requested;  // payload bytes the components asked for
+  Counter bytes_served;     // bytes the DRAM actually moved (64B granules)
+  Accumulator queue_depth;  // sampled every cycle
+};
+
+class MemoryController {
+ public:
+  /// `clk` is the simulation (NoC) clock, used to convert the bandwidth and
+  /// latency configuration into cycles.
+  MemoryController(noc::MeshNetwork& net, EndpointId endpoint, MemParams params,
+                   Frequency clk);
+
+  void tick();
+
+  [[nodiscard]] bool idle() const {
+    return queue_.empty() && net_.delivery_queue_depth(endpoint_) == 0;
+  }
+
+  [[nodiscard]] EndpointId endpoint() const { return endpoint_; }
+  [[nodiscard]] const MemStats& stats() const { return stats_; }
+
+  /// Mean bandwidth actually delivered so far, in bytes/second.
+  [[nodiscard]] double mean_bandwidth_bytes_per_s(Cycle elapsed) const;
+
+ private:
+  struct InFlight {
+    noc::Message request;
+    double respond_at = 0.0;  // cycle (fractional) the response is ready
+  };
+
+  noc::MeshNetwork& net_;
+  EndpointId endpoint_;
+  MemParams params_;
+  Frequency clk_;
+  double bytes_per_cycle_;
+  double latency_cycles_;
+  double dram_free_at_ = 0.0;  // when the data bus frees up
+  std::deque<InFlight> queue_;  // in-order service, <= queue_entries
+  MemStats stats_;
+};
+
+}  // namespace gnna::mem

@@ -1,0 +1,365 @@
+#include "noc/network.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace gnna::noc {
+namespace {
+
+/// Opposite mesh direction (for credit returns across a link).
+[[nodiscard]] std::uint32_t opposite(std::uint32_t port) {
+  switch (port) {
+    case kPortNorth:
+      return kPortSouth;
+    case kPortSouth:
+      return kPortNorth;
+    case kPortEast:
+      return kPortWest;
+    case kPortWest:
+      return kPortEast;
+    default:
+      return port;
+  }
+}
+
+}  // namespace
+
+Router::Router(std::uint32_t x, std::uint32_t y, std::uint32_t num_local_ports,
+               const NocParams& params)
+    : x_(x), y_(y), num_local_(num_local_ports), params_(params) {
+  buffers_.resize(num_ports());
+  outputs_.resize(num_ports());
+}
+
+MeshNetwork::MeshNetwork(std::uint32_t width, std::uint32_t height,
+                         NocParams params)
+    : width_(width), height_(height), params_(params) {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument("MeshNetwork: empty mesh");
+  }
+  local_ports_per_router_.assign(
+      static_cast<std::size_t>(width) * height, 0);
+}
+
+EndpointId MeshNetwork::add_endpoint(std::uint32_t x, std::uint32_t y) {
+  if (finalized_) {
+    throw std::logic_error("MeshNetwork: add_endpoint after finalize");
+  }
+  if (x >= width_ || y >= height_) {
+    throw std::out_of_range("MeshNetwork: endpoint off the mesh");
+  }
+  EndpointState ep;
+  ep.x = x;
+  ep.y = y;
+  ep.local_port = kFirstLocalPort + local_ports_per_router_[router_index(x, y)];
+  ++local_ports_per_router_[router_index(x, y)];
+  endpoints_.push_back(ep);
+  return static_cast<EndpointId>(endpoints_.size() - 1);
+}
+
+void MeshNetwork::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  routers_.reserve(local_ports_per_router_.size());
+  for (std::uint32_t y = 0; y < height_; ++y) {
+    for (std::uint32_t x = 0; x < width_; ++x) {
+      routers_.emplace_back(x, y, local_ports_per_router_[router_index(x, y)],
+                            params_);
+    }
+  }
+  // Mesh link credits: each output that has a neighbor starts with the
+  // neighbor's full input buffer.
+  for (auto& r : routers_) {
+    if (r.y() + 1 < height_) r.outputs_[kPortNorth].credits = params_.input_buffer_flits;
+    if (r.y() > 0) r.outputs_[kPortSouth].credits = params_.input_buffer_flits;
+    if (r.x() + 1 < width_) r.outputs_[kPortEast].credits = params_.input_buffer_flits;
+    if (r.x() > 0) r.outputs_[kPortWest].credits = params_.input_buffer_flits;
+  }
+  for (auto& ep : endpoints_) {
+    ep.injection_credits = params_.input_buffer_flits;
+  }
+}
+
+void MeshNetwork::send(Message msg) {
+  finalize();
+  if (msg.src >= endpoints_.size() || msg.dst >= endpoints_.size()) {
+    throw std::out_of_range("MeshNetwork::send: bad endpoint");
+  }
+  msg.seq = next_seq_++;
+  msg.injected_at = now_;
+  const std::uint32_t flits = msg.flit_count();
+  EndpointState& src = endpoints_[msg.src];
+  for (std::uint32_t i = 0; i < flits; ++i) {
+    Flit f;
+    f.seq = msg.seq;
+    f.dst = msg.dst;
+    f.index = i;
+    f.head = (i == 0);
+    f.tail = (i == flits - 1);
+    src.injection.push_back(f);
+  }
+  inflight_.emplace(msg.seq, msg);
+  stats_.packets_sent.add();
+}
+
+std::optional<Message> MeshNetwork::poll(EndpointId ep) {
+  EndpointState& e = endpoints_.at(ep);
+  if (e.delivery.empty()) return std::nullopt;
+  Message m = e.delivery.front();
+  e.delivery.pop_front();
+  return m;
+}
+
+const Message* MeshNetwork::peek(EndpointId ep) const {
+  const EndpointState& e = endpoints_.at(ep);
+  return e.delivery.empty() ? nullptr : &e.delivery.front();
+}
+
+std::size_t MeshNetwork::delivery_queue_depth(EndpointId ep) const {
+  return endpoints_.at(ep).delivery.size();
+}
+
+std::size_t MeshNetwork::injection_queue_depth(EndpointId ep) const {
+  return endpoints_.at(ep).injection.size();
+}
+
+std::uint32_t MeshNetwork::route(const Router& r, EndpointId dst) const {
+  const EndpointState& d = endpoints_[dst];
+  if (params_.routing == RoutingAlgorithm::kYX) {
+    if (d.y > r.y()) return kPortNorth;
+    if (d.y < r.y()) return kPortSouth;
+    if (d.x > r.x()) return kPortEast;
+    if (d.x < r.x()) return kPortWest;
+    return d.local_port;
+  }
+  if (d.x > r.x()) return kPortEast;
+  if (d.x < r.x()) return kPortWest;
+  if (d.y > r.y()) return kPortNorth;
+  if (d.y < r.y()) return kPortSouth;
+  return d.local_port;
+}
+
+void MeshNetwork::apply_credits() {
+  while (!credits_.empty() && credits_.front().ready_at <= now_) {
+    const CreditReturn& cr = credits_.front();
+    if (cr.to_endpoint) {
+      ++endpoints_[cr.endpoint].injection_credits;
+    } else {
+      ++routers_[cr.router].outputs_[cr.port].credits;
+    }
+    credits_.pop_front();
+  }
+}
+
+void MeshNetwork::return_credit_for_input(std::uint32_t router,
+                                          std::uint32_t port) {
+  CreditReturn cr;
+  cr.ready_at = now_ + 1;
+  const Router& r = routers_[router];
+  if (port >= kFirstLocalPort) {
+    // Local input: credit goes back to the endpoint occupying that port.
+    for (EndpointId e = 0; e < endpoints_.size(); ++e) {
+      const EndpointState& ep = endpoints_[e];
+      if (ep.x == r.x() && ep.y == r.y() && ep.local_port == port) {
+        cr.to_endpoint = true;
+        cr.endpoint = e;
+        credits_.push_back(cr);
+        return;
+      }
+    }
+    assert(false && "local input port without endpoint");
+    return;
+  }
+  // Mesh input: upstream router's matching output regains a credit.
+  std::uint32_t ux = r.x();
+  std::uint32_t uy = r.y();
+  switch (port) {
+    case kPortNorth:
+      uy += 1;  // flit came from the router above, via its South output
+      break;
+    case kPortSouth:
+      uy -= 1;
+      break;
+    case kPortEast:
+      ux += 1;
+      break;
+    case kPortWest:
+      ux -= 1;
+      break;
+    default:
+      break;
+  }
+  cr.router = router_index(ux, uy);
+  cr.port = opposite(port);
+  credits_.push_back(cr);
+}
+
+void MeshNetwork::phase_route() {
+  for (std::uint32_t ri = 0; ri < routers_.size(); ++ri) {
+    Router& r = routers_[ri];
+    if (r.buffered_flits_ == 0) continue;  // nothing to arbitrate
+    for (auto& out : r.outputs_) out.busy_this_cycle = false;
+
+    // Gather head-of-line requests: input -> desired output.
+    const std::uint32_t ports = r.num_ports();
+    for (std::uint32_t o = 0; o < ports; ++o) {
+      Router::OutputState& out = r.outputs_[o];
+      if (out.busy_this_cycle) continue;
+
+      // Pick the winning input for output o.
+      int winner = -1;
+      if (out.locked_input >= 0) {
+        const auto i = static_cast<std::uint32_t>(out.locked_input);
+        if (!r.buffers_[i].empty() &&
+            route(r, r.buffers_[i].front().dst) == o) {
+          winner = out.locked_input;
+        }
+      } else {
+        for (std::uint32_t step = 0; step < ports; ++step) {
+          const std::uint32_t i = (out.rr_next + step) % ports;
+          if (r.buffers_[i].empty()) continue;
+          const Flit& f = r.buffers_[i].front();
+          if (!f.head) continue;  // body flits only follow a lock
+          if (route(r, f.dst) != o) continue;
+          winner = static_cast<int>(i);
+          out.rr_next = (i + 1) % ports;
+          break;
+        }
+      }
+      if (winner < 0) continue;
+
+      const auto wi = static_cast<std::uint32_t>(winner);
+      const Flit f = r.buffers_[wi].front();
+
+      const bool is_mesh_out = o < kFirstLocalPort;
+      if (is_mesh_out) {
+        if (out.credits == 0) {
+          // Keep the lock (if any) and stall.
+          if (f.head && out.locked_input < 0) {
+            // Not yet locked; try again next cycle.
+          }
+          continue;
+        }
+        --out.credits;
+      }
+
+      // Commit the move.
+      r.buffers_[wi].pop_front();
+      --r.buffered_flits_;
+      out.busy_this_cycle = true;
+      if (f.head) out.locked_input = winner;
+      if (f.tail) out.locked_input = -1;
+      return_credit_for_input(ri, wi);
+
+      LinkEntry le;
+      le.ready_at = now_ + params_.link_delay;
+      le.flit = f;
+      if (is_mesh_out) {
+        std::uint32_t nx = r.x();
+        std::uint32_t ny = r.y();
+        switch (o) {
+          case kPortNorth:
+            ny += 1;
+            break;
+          case kPortSouth:
+            ny -= 1;
+            break;
+          case kPortEast:
+            nx += 1;
+            break;
+          case kPortWest:
+            nx -= 1;
+            break;
+          default:
+            break;
+        }
+        le.dst_router = router_index(nx, ny);
+        le.dst_port = opposite(o);
+        stats_.flit_hops.add();
+      } else {
+        le.to_endpoint = true;
+        le.endpoint = f.dst;
+      }
+      links_.push_back(le);
+      out.busy.tick(true);
+    }
+  }
+}
+
+void MeshNetwork::phase_arrive() {
+  // links_ is sorted by ready_at because link_delay is constant.
+  std::size_t n = links_.size();
+  while (n-- > 0 && !links_.empty() && links_.front().ready_at <= now_) {
+    const LinkEntry le = links_.front();
+    links_.pop_front();
+    if (le.to_endpoint) {
+      EndpointState& ep = endpoints_[le.endpoint];
+      ++ep.assembling_flits;
+      stats_.flits_delivered.add();
+      if (le.flit.tail) {
+        auto it = inflight_.find(le.flit.seq);
+        assert(it != inflight_.end());
+        Message m = it->second;
+        inflight_.erase(it);
+        m.delivered_at = now_;
+        assert(ep.assembling_flits == m.flit_count());
+        ep.assembling_flits = 0;
+        stats_.packets_delivered.add();
+        stats_.packet_latency.add(
+            static_cast<double>(m.delivered_at - m.injected_at));
+        ep.delivery.push_back(m);
+      }
+    } else {
+      Router& dr = routers_[le.dst_router];
+      assert(dr.can_accept(le.dst_port) && "credit protocol violated");
+      dr.accept(le.dst_port, le.flit);
+    }
+  }
+}
+
+void MeshNetwork::phase_inject() {
+  for (EndpointId e = 0; e < endpoints_.size(); ++e) {
+    EndpointState& ep = endpoints_[e];
+    if (ep.injection.empty() || ep.injection_credits == 0) continue;
+    const Flit f = ep.injection.front();
+    ep.injection.pop_front();
+    --ep.injection_credits;
+    LinkEntry le;
+    le.ready_at = now_ + params_.link_delay;
+    le.flit = f;
+    le.dst_router = router_index(ep.x, ep.y);
+    le.dst_port = ep.local_port;
+    links_.push_back(le);
+  }
+}
+
+void MeshNetwork::tick() {
+  finalize();
+  apply_credits();
+  phase_route();
+  phase_arrive();
+  phase_inject();
+  ++now_;
+}
+
+bool MeshNetwork::idle() const {
+  // inflight_ holds every packet from send() until tail ejection, so an
+  // empty map already implies empty router buffers and injection queues;
+  // delivery queues hold packets the components have not consumed yet.
+  if (!links_.empty() || !inflight_.empty()) return false;
+  for (const auto& ep : endpoints_) {
+    if (!ep.delivery.empty()) return false;
+  }
+  return true;
+}
+
+std::uint32_t MeshNetwork::hops_between(EndpointId a, EndpointId b) const {
+  const EndpointState& ea = endpoints_.at(a);
+  const EndpointState& eb = endpoints_.at(b);
+  const auto dx = ea.x > eb.x ? ea.x - eb.x : eb.x - ea.x;
+  const auto dy = ea.y > eb.y ? ea.y - eb.y : eb.y - ea.y;
+  return dx + dy;
+}
+
+}  // namespace gnna::noc

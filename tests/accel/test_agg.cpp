@@ -1,0 +1,237 @@
+#include "accel/agg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <optional>
+
+#include "common/rng.hpp"
+
+namespace gnna::accel {
+namespace {
+
+struct Rig {
+  noc::MeshNetwork net{1, 1};
+  EndpointId agg_ep;
+  EndpointId sink;  // where results land
+  AddressMap amap{{0}, 4096};  // placeholder; rebuilt below
+  std::optional<Agg> agg;
+
+  explicit Rig(TileParams params = TileParams{}, double scale = 1.0) {
+    agg_ep = net.add_endpoint(0, 0);
+    sink = net.add_endpoint(0, 0);
+    const EndpointId mem = net.add_endpoint(0, 0);
+    net.finalize();
+    amap = AddressMap({mem}, 4096);
+    agg.emplace(params, net, agg_ep, amap, scale);
+  }
+
+  Dest to_sink() {
+    Dest d;
+    d.kind = Dest::Kind::kDnqEntry;
+    d.ep = sink;
+    d.handle = 99;
+    return d;
+  }
+
+  /// Deliver a timing-only contribution of `words` to handle `h`.
+  void contribute(AggHandle h, std::uint32_t words) {
+    noc::Message m;
+    m.src = sink;
+    m.dst = agg_ep;
+    m.kind = noc::MsgKind::kAggWrite;
+    m.payload_bytes = words * 4;
+    m.a = h;
+    net.send(m);
+  }
+
+  std::vector<noc::Message> run(Cycle cycles) {
+    std::vector<noc::Message> out;
+    for (Cycle c = 0; c < cycles; ++c) {
+      agg->tick();
+      net.tick();
+      while (auto m = net.poll(sink)) out.push_back(*m);
+    }
+    return out;
+  }
+};
+
+TEST(Agg, AllocateAndComplete) {
+  Rig rig;
+  const auto h = rig.agg->allocate(4, 8, ReduceOp::kSum, rig.to_sink());
+  ASSERT_TRUE(h.has_value());
+  rig.contribute(*h, 4);
+  rig.contribute(*h, 4);
+  const auto out = rig.run(50);
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(out[0].kind, noc::MsgKind::kDnqWrite);
+  EXPECT_EQ(out[0].a, 99U);
+  EXPECT_EQ(out[0].payload_bytes, 16U);
+  EXPECT_TRUE(rig.agg->idle());
+  EXPECT_EQ(rig.agg->stats().completions.value(), 1U);
+}
+
+TEST(Agg, ZeroExpectedCompletesImmediately) {
+  Rig rig;
+  const auto h = rig.agg->allocate(4, 0, ReduceOp::kSum, rig.to_sink());
+  ASSERT_TRUE(h.has_value());
+  EXPECT_FALSE(rig.agg->entry_active(*h));  // already completed
+  const auto out = rig.run(50);
+  EXPECT_EQ(out.size(), 1U);
+}
+
+TEST(Agg, SplitContributionsCountWords) {
+  // A contribution split across two memory segments still counts by words,
+  // not by message.
+  Rig rig;
+  const auto h = rig.agg->allocate(16, 16, ReduceOp::kSum, rig.to_sink());
+  rig.contribute(*h, 10);
+  EXPECT_TRUE(rig.run(20).empty());  // not yet complete
+  rig.contribute(*h, 6);
+  EXPECT_EQ(rig.run(50).size(), 1U);
+}
+
+TEST(Agg, DataScratchpadCapacityEnforced) {
+  TileParams p;
+  p.agg_data_bytes = 1024;
+  Rig rig(p);
+  // 1024 / (64 words * 4B) = 4 entries.
+  std::vector<AggHandle> hs;
+  for (int i = 0; i < 4; ++i) {
+    const auto h = rig.agg->allocate(64, 64, ReduceOp::kSum, rig.to_sink());
+    ASSERT_TRUE(h.has_value()) << i;
+    hs.push_back(*h);
+  }
+  EXPECT_FALSE(
+      rig.agg->allocate(64, 64, ReduceOp::kSum, rig.to_sink()).has_value());
+  EXPECT_EQ(rig.agg->stats().alloc_failures.value(), 1U);
+  // Freeing one entry re-enables allocation.
+  rig.contribute(hs[0], 64);
+  rig.run(20);
+  EXPECT_TRUE(
+      rig.agg->allocate(64, 64, ReduceOp::kSum, rig.to_sink()).has_value());
+}
+
+TEST(Agg, ControlScratchpadCapacityEnforced) {
+  TileParams p;
+  p.agg_ctrl_bytes = 64;  // 4 entries at 16B metadata each
+  Rig rig(p);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        rig.agg->allocate(1, 1, ReduceOp::kSum, rig.to_sink()).has_value());
+  }
+  EXPECT_FALSE(
+      rig.agg->allocate(1, 1, ReduceOp::kSum, rig.to_sink()).has_value());
+}
+
+TEST(Agg, ResultToMemoryIsWriteRequest) {
+  Rig rig;
+  Dest d;
+  d.kind = Dest::Kind::kMemWrite;
+  d.addr = 0x100;
+  const auto h = rig.agg->allocate(8, 8, ReduceOp::kSum, d);
+  rig.contribute(*h, 8);
+  // Result goes to the memory endpoint (2), not the sink.
+  std::vector<noc::Message> mem_msgs;
+  for (Cycle c = 0; c < 50; ++c) {
+    rig.agg->tick();
+    rig.net.tick();
+    while (auto m = rig.net.poll(2)) mem_msgs.push_back(*m);
+  }
+  ASSERT_EQ(mem_msgs.size(), 1U);
+  EXPECT_EQ(mem_msgs[0].kind, noc::MsgKind::kMemWriteReq);
+  EXPECT_EQ(mem_msgs[0].a, 0x100U);
+  EXPECT_EQ(mem_msgs[0].b, 32U);
+}
+
+TEST(Agg, ThroughputOneFlitPerCycle) {
+  Rig rig;
+  const auto h =
+      rig.agg->allocate(16, 16 * 100, ReduceOp::kSum, rig.to_sink());
+  for (int i = 0; i < 100; ++i) rig.contribute(*h, 16);
+  rig.run(2000);
+  // 100 contributions of one flit each: at least ~100 busy cycles.
+  EXPECT_NEAR(rig.agg->stats().busy_cycles, 100.0, 1.0);
+}
+
+TEST(Agg, SlowCoreClockScalesBusyTime) {
+  Rig rig(TileParams{}, /*scale=*/2.0);  // core at half the NoC clock
+  const auto h = rig.agg->allocate(16, 16 * 10, ReduceOp::kSum, rig.to_sink());
+  for (int i = 0; i < 10; ++i) rig.contribute(*h, 16);
+  rig.run(200);
+  EXPECT_NEAR(rig.agg->stats().busy_cycles, 20.0, 1.0);
+}
+
+TEST(Agg, HandleReuseAfterCompletion) {
+  Rig rig;
+  const auto h1 = rig.agg->allocate(4, 4, ReduceOp::kSum, rig.to_sink());
+  rig.contribute(*h1, 4);
+  rig.run(20);
+  const auto h2 = rig.agg->allocate(4, 4, ReduceOp::kSum, rig.to_sink());
+  ASSERT_TRUE(h2.has_value());
+  EXPECT_EQ(*h1, *h2);  // freed slot reused
+  EXPECT_TRUE(rig.agg->entry_active(*h2));
+}
+
+// ---- Value-accurate path: the associativity property the AGG relies on.
+
+class AggValueOrder : public ::testing::TestWithParam<ReduceOp> {};
+
+TEST_P(AggValueOrder, ArrivalOrderDoesNotChangeResult) {
+  const ReduceOp op = GetParam();
+  Rng rng(static_cast<std::uint64_t>(op) * 13 + 5);
+  constexpr std::uint32_t kWidth = 8;
+  constexpr int kContribs = 12;
+
+  std::vector<std::vector<Fixed32>> contribs(kContribs);
+  for (auto& c : contribs) {
+    for (std::uint32_t w = 0; w < kWidth; ++w) {
+      c.push_back(Fixed32::from_double(rng.next_float(-50.0F, 50.0F)));
+    }
+  }
+
+  auto run_order = [&](const std::vector<int>& order) {
+    Rig rig;
+    const auto h = rig.agg->allocate(kWidth, kWidth * kContribs, op,
+                                     Dest{});  // no destination
+    std::vector<Fixed32> result;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (i + 1 == order.size()) {
+        // Snapshot before the final contribution completes the entry.
+        result.assign(rig.agg->entry_values(*h).begin(),
+                      rig.agg->entry_values(*h).end());
+        // Fold the last one manually to reproduce the final state.
+        const auto& last = contribs[order[i]];
+        for (std::uint32_t w = 0; w < kWidth; ++w) {
+          result[w] = apply_reduce(op, result[w], last[w]);
+        }
+      }
+      rig.agg->contribute_values(*h, contribs[order[i]]);
+    }
+    return result;
+  };
+
+  std::vector<int> order(kContribs);
+  std::iota(order.begin(), order.end(), 0);
+  const auto expected = run_order(order);
+  for (int trial = 0; trial < 10; ++trial) {
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.next_below(i)]);
+    }
+    EXPECT_EQ(run_order(order), expected) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, AggValueOrder,
+                         ::testing::Values(ReduceOp::kSum, ReduceOp::kMax,
+                                           ReduceOp::kMin));
+
+TEST(Agg, ValueIdentitiesInitialized) {
+  Rig rig;
+  const auto h = rig.agg->allocate(3, 3, ReduceOp::kMax, Dest{});
+  const auto vals = rig.agg->entry_values(*h);
+  for (const Fixed32 v : vals) EXPECT_EQ(v, Fixed32::min_value());
+}
+
+}  // namespace
+}  // namespace gnna::accel

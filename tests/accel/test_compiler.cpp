@@ -1,0 +1,173 @@
+#include "accel/compiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gnn/model.hpp"
+#include "graph/dataset.hpp"
+#include "graph/generator.hpp"
+
+namespace gnna::accel {
+namespace {
+
+/// Small synthetic dataset for compiler tests.
+graph::Dataset tiny_dataset(std::uint32_t vf = 6, std::uint32_t ef = 0) {
+  Rng rng(3);
+  graph::Dataset ds;
+  ds.spec = {"tiny", 1, 20, 40, vf, ef, 3};
+  ds.graphs.push_back(graph::generate_random_graph(rng, 20, 40));
+  ds.undirected.push_back(ds.graphs[0].symmetrized());
+  ds.node_features.emplace_back(std::size_t{20} * vf, 0.5F);
+  ds.edge_features.emplace_back(std::size_t{40} * ef, 0.5F);
+  return ds;
+}
+
+TEST(Compiler, GcnLowersToOnePhasePerLayer) {
+  const auto ds = tiny_dataset();
+  const auto prog =
+      ProgramCompiler{}.compile(gnn::make_gcn(6, 3, 4), ds);
+  ASSERT_EQ(prog.phases.size(), 2U);
+  for (const auto& ph : prog.phases) {
+    EXPECT_EQ(ph.kind, PhaseKind::kGatherAggregate);
+    EXPECT_TRUE(ph.has_dna());
+    EXPECT_TRUE(ph.include_self);
+    EXPECT_TRUE(ph.weighted_edges);  // sym-norm coefficients
+  }
+  EXPECT_EQ(prog.phases[0].agg_width_words, 6U);
+  EXPECT_EQ(prog.phases[0].dna_out_words, 4U);
+  EXPECT_EQ(prog.phases[1].agg_width_words, 4U);
+  EXPECT_EQ(prog.phases[1].dna_out_words, 3U);
+}
+
+TEST(Compiler, GatLowersToProjectionPlusAttention) {
+  const auto ds = tiny_dataset();
+  const auto prog =
+      ProgramCompiler{}.compile(gnn::make_gat(6, 3, 2, 4), ds);
+  ASSERT_EQ(prog.phases.size(), 4U);
+  EXPECT_EQ(prog.phases[0].kind, PhaseKind::kProject);
+  EXPECT_EQ(prog.phases[1].kind, PhaseKind::kEdgeDnaAggregate);
+  // Attention entries carry p_v copied by the GPE.
+  EXPECT_EQ(prog.phases[1].gpe_words_per_entry, 8U);
+  EXPECT_FALSE(prog.phases[1].has_dna2());
+}
+
+TEST(Compiler, MpnnUsesBothVirtualQueues) {
+  const auto ds = tiny_dataset(6, 5);
+  const auto prog =
+      ProgramCompiler{}.compile(gnn::make_mpnn(6, 5, 3, 8, 2), ds);
+  // embed + 2 message-pass + readout.
+  ASSERT_EQ(prog.phases.size(), 4U);
+  const PhaseSpec& mp = prog.phases[1];
+  EXPECT_EQ(mp.kind, PhaseKind::kEdgeDnaAggregate);
+  EXPECT_TRUE(mp.has_dna2());
+  EXPECT_EQ(mp.dna2_gpe_words, 8U);
+  EXPECT_TRUE(mp.extra_inputs_per_edge);
+  ASSERT_EQ(mp.dna_shapes.size(), 3U);  // MLP layer 1, layer 2, matvec
+  EXPECT_EQ(mp.dna_shapes[1].n, 64U);   // hidden -> d*d = 8*8
+  const PhaseSpec& ro = prog.phases.back();
+  EXPECT_TRUE(ro.per_graph);
+}
+
+TEST(Compiler, PgnnLowersToWalkPhases) {
+  const auto ds = tiny_dataset(1);
+  const auto prog =
+      ProgramCompiler{}.compile(gnn::make_pgnn(1, 3, 4, 3, 2), ds);
+  // Per layer: 3 hop phases (walks of 1, 2, 4) + 1 projection.
+  ASSERT_EQ(prog.phases.size(), 8U);
+  EXPECT_EQ(prog.phases[0].walk_len, 1U);
+  EXPECT_EQ(prog.phases[1].walk_len, 2U);
+  EXPECT_EQ(prog.phases[2].walk_len, 4U);
+  EXPECT_EQ(prog.phases[3].kind, PhaseKind::kProject);
+  // Projection consumes self + 3 power terms.
+  EXPECT_EQ(prog.phases[3].extra_inputs.size(), 4U);
+  EXPECT_FALSE(prog.phases[0].has_dna());
+}
+
+TEST(Compiler, WalkCountsMatchBruteForce) {
+  const auto ds = tiny_dataset(1);
+  const auto prog =
+      ProgramCompiler{}.compile(gnn::make_pgnn(1, 3, 4, 2, 1), ds);
+  const graph::Graph& g = ds.undirected[0];
+  // walk_len 2 phase is phases[1].
+  const auto& counts = prog.phases[1].expected_contribs;
+  ASSERT_EQ(counts.size(), g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::uint64_t brute = 0;
+    for (const NodeId u : g.neighbors(v)) brute += g.out_degree(u);
+    EXPECT_EQ(counts[v], brute) << "vertex " << v;
+  }
+}
+
+TEST(Compiler, RegionsDoNotOverlap) {
+  const auto ds = tiny_dataset(6, 5);
+  const auto prog =
+      ProgramCompiler{}.compile(gnn::make_mpnn(6, 5, 3, 8, 2), ds);
+  std::vector<std::pair<Addr, Addr>> ranges;
+  for (std::size_t r = 0; r < prog.memmap.num_regions(); ++r) {
+    const Region& reg = prog.memmap.region(static_cast<RegionId>(r));
+    ranges.emplace_back(reg.base, reg.base + reg.bytes);
+  }
+  std::sort(ranges.begin(), ranges.end());
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_LE(ranges[i - 1].second, ranges[i].first);
+  }
+}
+
+TEST(Compiler, RegionsAre64ByteAligned) {
+  const auto ds = tiny_dataset();
+  const auto prog = ProgramCompiler{}.compile(gnn::make_gcn(6, 3), ds);
+  for (std::size_t r = 0; r < prog.memmap.num_regions(); ++r) {
+    EXPECT_EQ(prog.memmap.region(static_cast<RegionId>(r)).base % 64, 0U);
+  }
+}
+
+TEST(Compiler, WeightRegionsSized) {
+  const auto ds = tiny_dataset();
+  const auto prog = ProgramCompiler{}.compile(gnn::make_gcn(6, 3, 4), ds);
+  for (const auto& ph : prog.phases) {
+    ASSERT_GT(ph.weight_bytes, 0U);
+    EXPECT_EQ(prog.memmap.region(ph.weight_region).bytes, ph.weight_bytes);
+  }
+  EXPECT_EQ(prog.phases[0].weight_bytes, 6U * 4U * 4U);
+}
+
+TEST(Compiler, InputWidthMismatchThrows) {
+  const auto ds = tiny_dataset(6);
+  EXPECT_THROW(ProgramCompiler{}.compile(gnn::make_gcn(7, 3), ds),
+               std::invalid_argument);
+}
+
+TEST(Compiler, GraphOfResolvesMultiGraphDatasets) {
+  Rng rng(5);
+  graph::Dataset ds;
+  ds.spec = {"multi", 3, 15, 9, 2, 0, 2};
+  for (int i = 0; i < 3; ++i) {
+    ds.graphs.push_back(graph::generate_random_graph(rng, 5, 3));
+    ds.undirected.push_back(ds.graphs.back().symmetrized());
+    ds.node_features.emplace_back(10, 0.0F);
+    ds.edge_features.emplace_back();
+  }
+  const auto prog = ProgramCompiler{}.compile(gnn::make_gcn(2, 2, 2), ds);
+  EXPECT_EQ(prog.graph_of(0), 0U);
+  EXPECT_EQ(prog.graph_of(4), 0U);
+  EXPECT_EQ(prog.graph_of(5), 1U);
+  EXPECT_EQ(prog.graph_of(14), 2U);
+  EXPECT_EQ(prog.total_vertices(), 15U);
+}
+
+TEST(Compiler, WalkExplosionGuard) {
+  // A dense graph with 4-hop walks must trip the safety bound.
+  Rng rng(6);
+  graph::Dataset ds;
+  ds.spec = {"dense", 1, 200, 19900, 1, 0, 2};
+  ds.graphs.push_back(graph::generate_random_graph(rng, 200, 19900));
+  ds.undirected.push_back(ds.graphs[0].symmetrized());
+  ds.node_features.emplace_back(200, 0.0F);
+  ds.edge_features.emplace_back();
+  EXPECT_THROW(ProgramCompiler{}.compile(gnn::make_pgnn(1, 2, 4, 3), ds),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gnna::accel

@@ -1,0 +1,177 @@
+#include "accel/dna.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+namespace gnna::accel {
+namespace {
+
+struct Rig {
+  noc::MeshNetwork net{1, 1};
+  EndpointId dna_ep;
+  EndpointId sink;
+  AddressMap amap{{0}, 4096};
+  std::optional<Dna> dna;
+  Dnq dnq{TileParams{}};
+
+  explicit Rig(TileParams params = TileParams{}, double scale = 1.0) {
+    dna_ep = net.add_endpoint(0, 0);
+    sink = net.add_endpoint(0, 0);
+    const EndpointId mem = net.add_endpoint(0, 0);
+    net.finalize();
+    amap = AddressMap({mem}, 4096);
+    dna.emplace(params, net, dna_ep, amap, scale);
+  }
+
+  Dest to_sink() {
+    Dest d;
+    d.kind = Dest::Kind::kAggEntry;
+    d.ep = sink;
+    d.handle = 5;
+    return d;
+  }
+
+  DnqHandle ready_entry(std::uint8_t queue, std::uint32_t words) {
+    const auto h = dnq.allocate(queue, words, to_sink());
+    EXPECT_TRUE(h.has_value());
+    noc::Message m;
+    m.kind = noc::MsgKind::kDnqWrite;
+    m.a = *h;
+    m.payload_bytes = words * 4;
+    dnq.on_message(m);
+    return *h;
+  }
+
+  std::vector<noc::Message> run(Cycle cycles) {
+    std::vector<noc::Message> out;
+    for (Cycle c = 0; c < cycles; ++c) {
+      dna->tick(dnq);
+      net.tick();
+      while (auto m = net.poll(sink)) out.push_back(*m);
+    }
+    return out;
+  }
+};
+
+TEST(Dna, ProcessesEntryAndEmitsResult) {
+  Rig rig;
+  rig.dna->configure({{10.0, 16}}, 0);
+  rig.ready_entry(0, 8);
+  const auto out = rig.run(200);
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(out[0].kind, noc::MsgKind::kAggWrite);
+  EXPECT_EQ(out[0].a, 5U);
+  EXPECT_EQ(out[0].payload_bytes, 64U);  // 16 words
+  EXPECT_EQ(rig.dna->stats().entries_processed.value(), 1U);
+  EXPECT_TRUE(rig.dna->idle());
+}
+
+TEST(Dna, WaitsForWeightsBeforeProcessing) {
+  Rig rig;
+  rig.dna->configure({{4.0, 4}}, /*weight_bytes=*/1024);
+  rig.ready_entry(0, 4);
+  EXPECT_TRUE(rig.run(100).empty());
+  EXPECT_FALSE(rig.dna->idle());
+  rig.dna->on_weight_data(512);
+  EXPECT_TRUE(rig.run(50).empty());  // still half missing
+  rig.dna->on_weight_data(512);
+  EXPECT_EQ(rig.run(200).size(), 1U);
+}
+
+TEST(Dna, InitiationIntervalPacesThroughput) {
+  TileParams p;
+  p.dna_min_ii = 4;
+  p.dna_pipeline_latency = 0;
+  Rig rig(p);
+  rig.dna->configure({{50.0, 1}}, 0);
+  for (int i = 0; i < 5; ++i) rig.ready_entry(0, 1);
+  Cycle start = rig.net.now();
+  const auto out = rig.run(1000);
+  ASSERT_EQ(out.size(), 5U);
+  // 5 entries at II=50 => at least 250 cycles of array time.
+  EXPECT_GE(rig.net.now() - start, 250U);
+  EXPECT_NEAR(rig.dna->stats().busy_cycles, 250.0, 1.0);
+}
+
+TEST(Dna, MinIiFloorApplies) {
+  TileParams p;
+  p.dna_min_ii = 8;
+  Rig rig(p);
+  rig.dna->configure({{1.0, 1}}, 0);  // model faster than the floor
+  for (int i = 0; i < 4; ++i) rig.ready_entry(0, 1);
+  rig.run(500);
+  EXPECT_NEAR(rig.dna->stats().busy_cycles, 32.0, 1.0);
+}
+
+TEST(Dna, WideEntryReadoutDominatesTinyModel) {
+  TileParams p;
+  p.dna_min_ii = 1;
+  Rig rig(p);
+  rig.dna->configure({{1.0, 1}}, 0);
+  rig.ready_entry(0, 512);  // 32 flits of readout at 16 words/cycle
+  rig.run(200);
+  EXPECT_NEAR(rig.dna->stats().busy_cycles, 32.0, 1.0);
+}
+
+TEST(Dna, PipelineLatencyDelaysResultNotThroughput) {
+  TileParams p;
+  p.dna_min_ii = 4;
+  p.dna_pipeline_latency = 100;
+  Rig rig(p);
+  rig.dna->configure({{4.0, 1}}, 0);
+  rig.ready_entry(0, 1);
+  const auto out = rig.run(300);
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_GE(out[0].delivered_at, 104U);
+}
+
+TEST(Dna, TwoModelsViaVirtualQueues) {
+  TileParams p;
+  p.dnq_idle_switch_cycles = 2;
+  Rig rig(p);
+  rig.dnq = Dnq{p};
+  rig.dnq.configure(31 * 1024, 31 * 1024);
+  rig.dna->configure({{4.0, 2}, {4.0, 7}}, 0);
+  rig.ready_entry(0, 4);
+  rig.ready_entry(1, 4);
+  const auto out = rig.run(500);
+  ASSERT_EQ(out.size(), 2U);
+  // Queue 0's model emits 2 words, queue 1's 7 words.
+  EXPECT_EQ(out[0].payload_bytes, 8U);
+  EXPECT_EQ(out[1].payload_bytes, 28U);
+}
+
+TEST(Dna, ResultToMemoryDest) {
+  Rig rig;
+  rig.dna->configure({{4.0, 16}}, 0);
+  Dest d;
+  d.kind = Dest::Kind::kMemWrite;
+  d.addr = 0x200;
+  const auto h = rig.dnq.allocate(0, 4, d);
+  noc::Message m;
+  m.kind = noc::MsgKind::kDnqWrite;
+  m.a = *h;
+  m.payload_bytes = 16;
+  rig.dnq.on_message(m);
+  std::vector<noc::Message> mem_msgs;
+  for (Cycle c = 0; c < 300; ++c) {
+    rig.dna->tick(rig.dnq);
+    rig.net.tick();
+    while (auto got = rig.net.poll(2)) mem_msgs.push_back(*got);
+  }
+  ASSERT_EQ(mem_msgs.size(), 1U);
+  EXPECT_EQ(mem_msgs[0].kind, noc::MsgKind::kMemWriteReq);
+  EXPECT_EQ(mem_msgs[0].a, 0x200U);
+}
+
+TEST(Dna, CoreClockScaleStretchesBusyTime) {
+  Rig rig(TileParams{}, /*scale=*/2.0);
+  rig.dna->configure({{10.0, 1}}, 0);
+  rig.ready_entry(0, 1);
+  rig.run(200);
+  EXPECT_NEAR(rig.dna->stats().busy_cycles, 20.0, 1.0);
+}
+
+}  // namespace
+}  // namespace gnna::accel

@@ -1,0 +1,160 @@
+#include "accel/dnq.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gnna::accel {
+namespace {
+
+Dest mem_dest(Addr addr) {
+  Dest d;
+  d.kind = Dest::Kind::kMemWrite;
+  d.addr = addr;
+  return d;
+}
+
+noc::Message fill(DnqHandle h, std::uint32_t bytes) {
+  noc::Message m;
+  m.kind = noc::MsgKind::kDnqWrite;
+  m.a = h;
+  m.payload_bytes = bytes;
+  return m;
+}
+
+TEST(Dnq, AllocateFillDequeue) {
+  Dnq q{TileParams{}};
+  const auto h = q.allocate(0, 8, mem_dest(0x40));
+  ASSERT_TRUE(h.has_value());
+  EXPECT_FALSE(q.try_dequeue(0).has_value());  // not ready
+  q.on_message(fill(*h, 32));
+  const auto e = q.try_dequeue(0);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->width_words, 8U);
+  EXPECT_EQ(e->dest.addr, 0x40U);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Dnq, PartialFillNotReady) {
+  Dnq q{TileParams{}};
+  const auto h = q.allocate(0, 8, mem_dest(0));
+  q.on_message(fill(*h, 16));
+  EXPECT_FALSE(q.try_dequeue(0).has_value());
+  q.on_message(fill(*h, 16));
+  EXPECT_TRUE(q.try_dequeue(0).has_value());
+}
+
+TEST(Dnq, FifoOrderWithinQueue) {
+  Dnq q{TileParams{}};
+  const auto h1 = q.allocate(0, 1, mem_dest(1));
+  const auto h2 = q.allocate(0, 1, mem_dest(2));
+  // Fill the SECOND entry first: head-of-line blocking until h1 is ready.
+  q.on_message(fill(*h2, 4));
+  EXPECT_FALSE(q.try_dequeue(0).has_value());
+  q.on_message(fill(*h1, 4));
+  EXPECT_EQ(q.try_dequeue(0)->dest.addr, 1U);
+  EXPECT_EQ(q.try_dequeue(0)->dest.addr, 2U);
+}
+
+TEST(Dnq, DataCapacityPerQueue) {
+  TileParams p;
+  p.dnq_data_bytes = 1024;
+  p.dnq_queue0_sixteenths = 8;  // 512B each
+  Dnq q{p};
+  q.configure(512, 512);
+  // Queue 0 takes 4 x 32-word (128B) entries, then fails.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.allocate(0, 32, mem_dest(i)).has_value()) << i;
+  }
+  EXPECT_FALSE(q.allocate(0, 32, mem_dest(9)).has_value());
+  // Queue 1 has independent capacity.
+  EXPECT_TRUE(q.allocate(1, 32, mem_dest(10)).has_value());
+  EXPECT_EQ(q.stats().alloc_failures.value(), 1U);
+}
+
+TEST(Dnq, DestScratchpadLimitsEntryCount) {
+  TileParams p;
+  p.dnq_dest_bytes = 32;  // 4 entries at 8B each
+  Dnq q{p};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.allocate(0, 1, mem_dest(i)).has_value());
+  }
+  EXPECT_FALSE(q.allocate(0, 1, mem_dest(5)).has_value());
+}
+
+TEST(Dnq, FreedSpaceReusable) {
+  TileParams p;
+  p.dnq_data_bytes = 128;
+  Dnq q{p};
+  q.configure(128, 0);
+  const auto h = q.allocate(0, 32, mem_dest(0));
+  ASSERT_TRUE(h.has_value());
+  EXPECT_FALSE(q.allocate(0, 32, mem_dest(1)).has_value());
+  q.on_message(fill(*h, 128));
+  ASSERT_TRUE(q.try_dequeue(0).has_value());
+  EXPECT_TRUE(q.allocate(0, 32, mem_dest(1)).has_value());
+}
+
+TEST(Dnq, LazySwitchWaitsForIdleThreshold) {
+  Dnq q{TileParams{}};  // switch threshold 16 cycles
+  q.configure(31 * 1024, 31 * 1024);
+  const auto h1 = q.allocate(1, 1, mem_dest(7));
+  q.on_message(fill(*h1, 4));
+  // Queue 1's head is ready but the active queue is 0 (empty): the switch
+  // must not happen before 16 idle cycles.
+  EXPECT_EQ(q.active_queue(), 0);
+  EXPECT_FALSE(q.try_dequeue(10.0).has_value());
+  EXPECT_EQ(q.stats().queue_switches.value(), 0U);
+  const auto e = q.try_dequeue(16.0);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->dest.addr, 7U);
+  EXPECT_EQ(q.active_queue(), 1);
+  EXPECT_EQ(q.stats().queue_switches.value(), 1U);
+}
+
+TEST(Dnq, NoSwitchWhenActiveHeadReady) {
+  Dnq q{TileParams{}};
+  q.configure(31 * 1024, 31 * 1024);
+  const auto h0 = q.allocate(0, 1, mem_dest(1));
+  const auto h1 = q.allocate(1, 1, mem_dest(2));
+  q.on_message(fill(*h0, 4));
+  q.on_message(fill(*h1, 4));
+  // Even with huge idle time, the active queue serves first.
+  EXPECT_EQ(q.try_dequeue(1000.0)->dest.addr, 1U);
+  EXPECT_EQ(q.stats().queue_switches.value(), 0U);
+}
+
+TEST(Dnq, SwitchBackAndForth) {
+  Dnq q{TileParams{}};
+  q.configure(31 * 1024, 31 * 1024);
+  const auto h1 = q.allocate(1, 1, mem_dest(1));
+  q.on_message(fill(*h1, 4));
+  ASSERT_TRUE(q.try_dequeue(100.0).has_value());
+  EXPECT_EQ(q.active_queue(), 1);
+  const auto h0 = q.allocate(0, 1, mem_dest(2));
+  q.on_message(fill(*h0, 4));
+  ASSERT_TRUE(q.try_dequeue(100.0).has_value());
+  EXPECT_EQ(q.active_queue(), 0);
+  EXPECT_EQ(q.stats().queue_switches.value(), 2U);
+}
+
+TEST(Dnq, StatsCountWordsAndDequeues) {
+  Dnq q{TileParams{}};
+  const auto h = q.allocate(0, 4, mem_dest(0));
+  q.on_message(fill(*h, 16));
+  (void)q.try_dequeue(0);
+  EXPECT_EQ(q.stats().allocations.value(), 1U);
+  EXPECT_EQ(q.stats().enqueued_words.value(), 4U);
+  EXPECT_EQ(q.stats().dequeues.value(), 1U);
+}
+
+TEST(Dnq, LiveEntriesTracksOutstanding) {
+  Dnq q{TileParams{}};
+  const auto h1 = q.allocate(0, 1, mem_dest(0));
+  (void)q.allocate(0, 1, mem_dest(1));
+  EXPECT_EQ(q.live_entries(), 2U);
+  q.on_message(fill(*h1, 4));
+  (void)q.try_dequeue(0);
+  EXPECT_EQ(q.live_entries(), 1U);
+}
+
+}  // namespace
+}  // namespace gnna::accel

@@ -1,0 +1,104 @@
+#include "accel/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "accel/compiler.hpp"
+#include "common/rng.hpp"
+#include "gnn/model.hpp"
+#include "graph/generator.hpp"
+
+namespace gnna::accel {
+namespace {
+
+RunStats synthetic_run() {
+  RunStats rs;
+  rs.seconds = 1e-3;
+  rs.mem_bytes_served = 1'000'000;
+  rs.mem_bytes_requested = 600'000;
+  rs.noc_flit_hops = 10'000;
+  rs.noc_flits_delivered = 5'000;
+  rs.dna_macs = 1'000'000;
+  rs.agg_words_reduced = 100'000;
+  rs.dnq_words = 50'000;
+  rs.gpe_actions = 20'000;
+  return rs;
+}
+
+TEST(Energy, ComponentsComputedFromCounters) {
+  const RunStats rs = synthetic_run();
+  const AcceleratorConfig cfg = AcceleratorConfig::cpu_iso_bw();
+  EnergyModel m;
+  const EnergyBreakdown e = estimate_energy(rs, cfg, m);
+  EXPECT_NEAR(e.dram_uj, 1e6 * m.pj_per_dram_byte * 1e-6, 1e-9);
+  EXPECT_NEAR(e.dna_uj, 1e6 * m.pj_per_mac * 1e-6, 1e-9);
+  EXPECT_NEAR(e.agg_uj, 1e5 * m.pj_per_agg_word * 1e-6, 1e-9);
+  EXPECT_GT(e.noc_uj, 0.0);
+  EXPECT_GT(e.leakage_uj, 0.0);
+  EXPECT_NEAR(e.total_uj(), e.dram_uj + e.noc_uj + e.dna_uj + e.agg_uj +
+                                e.dnq_uj + e.gpe_uj + e.leakage_uj,
+              1e-12);
+}
+
+TEST(Energy, DramWasteFraction) {
+  const RunStats rs = synthetic_run();
+  const EnergyBreakdown e =
+      estimate_energy(rs, AcceleratorConfig::cpu_iso_bw());
+  EXPECT_NEAR(e.dram_waste_fraction, 0.4, 1e-9);
+}
+
+TEST(Energy, NoTrafficNoWaste) {
+  RunStats rs;
+  const EnergyBreakdown e =
+      estimate_energy(rs, AcceleratorConfig::cpu_iso_bw());
+  EXPECT_DOUBLE_EQ(e.dram_waste_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(e.dram_uj, 0.0);
+}
+
+TEST(Energy, LeakageScalesWithTilesAndTime) {
+  RunStats rs;
+  rs.seconds = 2e-3;
+  const double one =
+      estimate_energy(rs, AcceleratorConfig::cpu_iso_bw()).leakage_uj;
+  const double sixteen =
+      estimate_energy(rs, AcceleratorConfig::gpu_iso_flops()).leakage_uj;
+  EXPECT_NEAR(sixteen, 16.0 * one, 1e-9);
+}
+
+TEST(Energy, ZeroCoefficientsZeroEnergy) {
+  const RunStats rs = synthetic_run();
+  EnergyModel m;
+  m = EnergyModel{0, 0, 0, 0, 0, 0, 0, 0};
+  const EnergyBreakdown e =
+      estimate_energy(rs, AcceleratorConfig::cpu_iso_bw(), m);
+  EXPECT_DOUBLE_EQ(e.total_uj(), 0.0);
+}
+
+TEST(Energy, EndToEndCountersArePopulated) {
+  // A real simulation must produce non-zero activity in every component.
+  Rng rng(3);
+  graph::Dataset ds;
+  ds.spec = {"e", 1, 30, 80, 8, 0, 3};
+  ds.graphs.push_back(graph::generate_random_graph(rng, 30, 80));
+  ds.undirected.push_back(ds.graphs[0].symmetrized());
+  ds.node_features.emplace_back(240, 0.5F);
+  ds.edge_features.emplace_back();
+  const auto prog =
+      ProgramCompiler{}.compile(gnn::make_gcn(8, 3, 4), ds);
+  AcceleratorSim sim(AcceleratorConfig::cpu_iso_bw());
+  const RunStats rs = sim.run(prog);
+  EXPECT_GT(rs.dna_macs, 0U);
+  EXPECT_GT(rs.agg_words_reduced, 0U);
+  EXPECT_GT(rs.dnq_words, 0U);
+  EXPECT_GT(rs.gpe_actions, 0U);
+  EXPECT_GT(rs.noc_flit_hops, 0U);
+  const EnergyBreakdown e =
+      estimate_energy(rs, AcceleratorConfig::cpu_iso_bw());
+  EXPECT_GT(e.total_uj(), 0.0);
+  // DNA MACs must match the model's static work (macs per entry x entries).
+  const std::uint64_t expected_macs =
+      (8ULL * 4 * 30) + (4ULL * 3 * 30);  // layer1 + layer2 projections
+  EXPECT_EQ(rs.dna_macs, expected_macs);
+}
+
+}  // namespace
+}  // namespace gnna::accel

@@ -1,0 +1,28 @@
+// Golden regression pins: exact cycle counts for one benchmark per model
+// family on the CPU iso-BW configuration. These are the numbers
+// EXPERIMENTS.md quotes; any change to the timing model shows up here
+// first. Update the constants deliberately when the model changes.
+#include <gtest/gtest.h>
+
+#include "accel/runner.hpp"
+
+namespace gnna::accel {
+namespace {
+
+TEST(Golden, GcnCoraCpuIsoBw) {
+  const RunStats rs = simulate_benchmark(gnn::Benchmark::kGcnCora,
+                                         AcceleratorConfig::cpu_iso_bw());
+  EXPECT_EQ(rs.cycles, 2871286U);
+  EXPECT_EQ(rs.tasks_completed, 2U * 2708U);
+}
+
+TEST(Golden, GatCoraCpuIsoBw) {
+  const RunStats rs = simulate_benchmark(gnn::Benchmark::kGatCora,
+                                         AcceleratorConfig::cpu_iso_bw());
+  EXPECT_EQ(rs.cycles, 1775033U);
+  // 18.39x over the paper's 13.60 ms CPU baseline (the headline claim).
+  EXPECT_NEAR(13.60 / rs.millis, 18.39, 0.05);
+}
+
+}  // namespace
+}  // namespace gnna::accel

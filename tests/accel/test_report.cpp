@@ -1,0 +1,53 @@
+#include "accel/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gnna::accel {
+namespace {
+
+RunStats sample() {
+  RunStats rs;
+  rs.program_name = "GCN on Cora";
+  rs.config_name = "CPU iso-BW";
+  rs.core_clock_ghz = 2.4;
+  rs.cycles = 1000;
+  rs.millis = 0.5;
+  rs.tasks_completed = 42;
+  return rs;
+}
+
+TEST(Report, HeaderAndRowFieldCountsMatch) {
+  const std::string header = run_stats_csv_header();
+  const std::string row = run_stats_csv_row(sample());
+  const auto count = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(count(header), count(row));
+  EXPECT_GT(count(header), 10);
+}
+
+TEST(Report, RowContainsKeyValues) {
+  const std::string row = run_stats_csv_row(sample());
+  EXPECT_NE(row.find("GCN on Cora"), std::string::npos);
+  EXPECT_NE(row.find("CPU iso-BW"), std::string::npos);
+  EXPECT_NE(row.find(",1000,"), std::string::npos);
+  EXPECT_NE(row.find(",42,"), std::string::npos);
+}
+
+TEST(Report, WriteCsvBatches) {
+  std::ostringstream ss;
+  write_csv(ss, {sample(), sample()});
+  const std::string out = ss.str();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_EQ(out.find("program,"), 0U);
+}
+
+TEST(Report, NoTrailingNewlineInRow) {
+  EXPECT_EQ(run_stats_csv_row(sample()).back(), '0' + 0);  // last field = 0
+  EXPECT_EQ(run_stats_csv_header().find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gnna::accel

@@ -1,0 +1,207 @@
+#include "accel/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "accel/compiler.hpp"
+#include "common/rng.hpp"
+#include "gnn/model.hpp"
+#include "graph/generator.hpp"
+
+namespace gnna::accel {
+namespace {
+
+graph::Dataset small_dataset(NodeId n = 40, EdgeId e = 100,
+                             std::uint32_t vf = 8, std::uint32_t ef = 0,
+                             std::uint32_t num_graphs = 1) {
+  Rng rng(n + e);
+  graph::Dataset ds;
+  ds.spec = {"test", num_graphs, static_cast<NodeId>(n * num_graphs),
+             static_cast<EdgeId>(e * num_graphs), vf, ef, 3};
+  for (std::uint32_t i = 0; i < num_graphs; ++i) {
+    ds.graphs.push_back(graph::generate_random_graph(rng, n, e));
+    ds.undirected.push_back(ds.graphs.back().symmetrized());
+    ds.node_features.emplace_back(std::size_t{n} * vf, 0.5F);
+    ds.edge_features.emplace_back(std::size_t{e} * ef, 0.5F);
+  }
+  return ds;
+}
+
+/// A 2-tile configuration small enough for unit tests.
+AcceleratorConfig two_tile_config() {
+  AcceleratorConfig c;
+  c.name = "test-2tile";
+  c.mesh_width = 3;
+  c.mesh_height = 1;
+  c.tile_coords = {{0, 0}, {1, 0}};
+  c.mem_coords = {{2, 0}};
+  return c;
+}
+
+RunStats run_model(const gnn::ModelSpec& model, const graph::Dataset& ds,
+                   const AcceleratorConfig& cfg) {
+  const auto prog = ProgramCompiler{}.compile(model, ds);
+  AcceleratorSim sim(cfg);
+  return sim.run(prog);
+}
+
+TEST(Simulator, GcnCompletesAllVertices) {
+  const auto ds = small_dataset();
+  const RunStats rs =
+      run_model(gnn::make_gcn(8, 3, 4), ds, AcceleratorConfig::cpu_iso_bw());
+  // Two phases, every vertex retired in each.
+  EXPECT_EQ(rs.tasks_completed, 80U);
+  EXPECT_GT(rs.cycles, 0U);
+  EXPECT_GT(rs.mem_bytes_served, 0U);
+  ASSERT_EQ(rs.phases.size(), 2U);
+  EXPECT_EQ(rs.phases[0].tasks, 40U);
+}
+
+TEST(Simulator, GatCompletes) {
+  const auto ds = small_dataset();
+  const RunStats rs = run_model(gnn::make_gat(8, 3, 2, 4), ds,
+                                AcceleratorConfig::cpu_iso_bw());
+  EXPECT_EQ(rs.tasks_completed, 4U * 40U);  // 4 phases x 40 vertices
+}
+
+TEST(Simulator, MpnnCompletesAndSwitchesQueues) {
+  const auto ds = small_dataset(12, 14, 5, 3, /*num_graphs=*/4);
+  const RunStats rs = run_model(gnn::make_mpnn(5, 3, 4, 8, 2), ds,
+                                AcceleratorConfig::cpu_iso_bw());
+  // embed(48) + 2 x message(48) + readout(4 graphs).
+  EXPECT_EQ(rs.tasks_completed, 48U + 96U + 4U);
+  // The GRU model lives on virtual queue 1: switches must have happened.
+  EXPECT_GT(rs.dnq_queue_switches, 0U);
+}
+
+TEST(Simulator, PgnnCompletesWalks) {
+  const auto ds = small_dataset(30, 60, 1);
+  const RunStats rs = run_model(gnn::make_pgnn(1, 3, 4, 2, 1), ds,
+                                AcceleratorConfig::cpu_iso_bw());
+  // 2 hop phases + 1 projection, 30 vertices each.
+  EXPECT_EQ(rs.tasks_completed, 90U);
+}
+
+TEST(Simulator, MemoryTrafficCoversFeatureBytes) {
+  const auto ds = small_dataset(40, 100, 8);
+  const RunStats rs =
+      run_model(gnn::make_gcn(8, 3, 4), ds, AcceleratorConfig::cpu_iso_bw());
+  // Layer 1 alone gathers >= (edges+selfloops) * 8 words.
+  const std::uint64_t sym_edges = ds.undirected[0].num_edges();
+  const std::uint64_t min_gather = (sym_edges + 40) * 8 * 4;
+  EXPECT_GE(rs.mem_bytes_requested, min_gather);
+  // Served >= requested (64B granularity padding).
+  EXPECT_GE(rs.mem_bytes_served, rs.mem_bytes_requested);
+}
+
+TEST(Simulator, UtilizationsAreFractions) {
+  const auto ds = small_dataset();
+  const RunStats rs =
+      run_model(gnn::make_gcn(8, 3, 4), ds, AcceleratorConfig::cpu_iso_bw());
+  for (const double u : {rs.dna_utilization, rs.gpe_utilization,
+                         rs.agg_utilization, rs.bandwidth_utilization}) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-9);
+  }
+  EXPECT_GT(rs.gpe_utilization, 0.0);
+  EXPECT_GT(rs.dna_utilization, 0.0);
+}
+
+TEST(Simulator, HalfClockNeverFaster) {
+  const auto ds = small_dataset();
+  const gnn::ModelSpec model = gnn::make_gcn(8, 3, 4);
+  const RunStats fast =
+      run_model(model, ds, AcceleratorConfig::cpu_iso_bw());
+  const RunStats slow = run_model(
+      model, ds, AcceleratorConfig::cpu_iso_bw().with_core_clock(1.2));
+  EXPECT_GE(slow.cycles, fast.cycles);
+  EXPECT_DOUBLE_EQ(slow.core_clock_ghz, 1.2);
+}
+
+TEST(Simulator, ComputeBoundWorkScalesWithClock) {
+  // MPNN is DNA-bound: halving the core clock should stretch runtime
+  // significantly (close to 2x).
+  const auto ds = small_dataset(12, 14, 5, 3, 4);
+  const gnn::ModelSpec model = gnn::make_mpnn(5, 3, 4, 8, 1);
+  const RunStats fast = run_model(model, ds, AcceleratorConfig::cpu_iso_bw());
+  const RunStats slow = run_model(
+      model, ds, AcceleratorConfig::cpu_iso_bw().with_core_clock(1.2));
+  EXPECT_GT(static_cast<double>(slow.cycles),
+            1.5 * static_cast<double>(fast.cycles));
+}
+
+TEST(Simulator, TwoTilesNoSlowerThanOne) {
+  const auto ds = small_dataset(60, 200, 16);
+  const gnn::ModelSpec model = gnn::make_gat(16, 3, 2, 8);
+  const RunStats one =
+      run_model(model, ds, AcceleratorConfig::cpu_iso_bw());
+  const RunStats two = run_model(model, ds, two_tile_config());
+  EXPECT_LE(two.cycles, one.cycles);
+}
+
+TEST(Simulator, RunTwiceThrows) {
+  const auto ds = small_dataset();
+  const auto prog = ProgramCompiler{}.compile(gnn::make_gcn(8, 3, 4), ds);
+  AcceleratorSim sim(AcceleratorConfig::cpu_iso_bw());
+  (void)sim.run(prog);
+  EXPECT_THROW((void)sim.run(prog), std::logic_error);
+}
+
+TEST(Simulator, DeterministicCycleCounts) {
+  const auto ds = small_dataset();
+  const auto prog = ProgramCompiler{}.compile(gnn::make_gcn(8, 3, 4), ds);
+  AcceleratorSim a(AcceleratorConfig::cpu_iso_bw());
+  AcceleratorSim b(AcceleratorConfig::cpu_iso_bw());
+  EXPECT_EQ(a.run(prog).cycles, b.run(prog).cycles);
+}
+
+TEST(Simulator, PhaseCyclesSumToTotal) {
+  const auto ds = small_dataset();
+  const RunStats rs =
+      run_model(gnn::make_gcn(8, 3, 4), ds, AcceleratorConfig::cpu_iso_bw());
+  Cycle sum = 0;
+  for (const auto& ph : rs.phases) sum += ph.cycles;
+  EXPECT_EQ(sum, rs.cycles);
+}
+
+TEST(Simulator, IsolatedVerticesDoNotHang) {
+  // A graph with isolated vertices exercises the zero-degree paths.
+  Rng rng(9);
+  graph::Dataset ds;
+  ds.spec = {"sparse", 1, 50, 10, 4, 0, 2};
+  ds.graphs.push_back(graph::generate_random_graph(rng, 50, 10));
+  ds.undirected.push_back(ds.graphs[0].symmetrized());
+  ds.node_features.emplace_back(200, 0.0F);
+  ds.edge_features.emplace_back();
+  const RunStats rs = run_model(gnn::make_gcn(4, 2, 2), ds,
+                                AcceleratorConfig::cpu_iso_bw());
+  EXPECT_EQ(rs.tasks_completed, 100U);
+}
+
+TEST(Simulator, TableVIConfigurations) {
+  const auto cpu = AcceleratorConfig::cpu_iso_bw();
+  EXPECT_EQ(cpu.num_tiles(), 1U);
+  EXPECT_EQ(cpu.num_mem_nodes(), 1U);
+  EXPECT_EQ(cpu.total_alus(), 198U);
+  EXPECT_DOUBLE_EQ(cpu.total_mem_bandwidth_gbps(), 68.0);
+
+  const auto gpu = AcceleratorConfig::gpu_iso_bw();
+  EXPECT_EQ(gpu.num_tiles(), 8U);
+  EXPECT_EQ(gpu.num_mem_nodes(), 8U);
+  EXPECT_EQ(gpu.total_alus(), 1584U);
+  EXPECT_DOUBLE_EQ(gpu.total_mem_bandwidth_gbps(), 544.0);
+
+  const auto flops = AcceleratorConfig::gpu_iso_flops();
+  EXPECT_EQ(flops.num_tiles(), 16U);
+  EXPECT_EQ(flops.num_mem_nodes(), 8U);
+  EXPECT_EQ(flops.total_alus(), 3168U);
+}
+
+TEST(Simulator, GpuIsoBwRunsMultiTile) {
+  const auto ds = small_dataset(64, 200, 8);
+  const RunStats rs = run_model(gnn::make_gcn(8, 3, 4), ds,
+                                AcceleratorConfig::gpu_iso_bw());
+  EXPECT_EQ(rs.tasks_completed, 128U);
+}
+
+}  // namespace
+}  // namespace gnna::accel

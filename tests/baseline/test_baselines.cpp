@@ -1,0 +1,151 @@
+#include "baseline/baselines.hpp"
+#include "baseline/dnn_accel_study.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gnn/workload.hpp"
+#include "graph/dataset.hpp"
+
+namespace gnna::baseline {
+namespace {
+
+TEST(Table7, VerbatimPaperValues) {
+  const auto rows = table7_reference();
+  ASSERT_EQ(rows.size(), 6U);
+  EXPECT_DOUBLE_EQ(table7_row(gnn::Benchmark::kGcnCora).cpu_ms, 3.50);
+  EXPECT_DOUBLE_EQ(table7_row(gnn::Benchmark::kGcnCora).gpu_ms, 0.366);
+  EXPECT_DOUBLE_EQ(table7_row(gnn::Benchmark::kGcnPubmed).cpu_ms, 30.11);
+  EXPECT_DOUBLE_EQ(table7_row(gnn::Benchmark::kMpnnQm9).cpu_ms, 2716.00);
+  EXPECT_DOUBLE_EQ(table7_row(gnn::Benchmark::kMpnnQm9).gpu_ms, 443.3);
+  EXPECT_DOUBLE_EQ(table7_row(gnn::Benchmark::kPgnnDblp).gpu_ms, 7.50);
+}
+
+TEST(Table7, GpuAlwaysFasterThanCpu) {
+  for (const auto& row : table7_reference()) {
+    EXPECT_LT(row.gpu_ms, row.cpu_ms) << gnn::benchmark_name(row.benchmark);
+  }
+}
+
+TEST(DeviceModels, SaneParameters) {
+  const DeviceModel cpu = cpu_xeon_e5_2680v4();
+  const DeviceModel gpu = gpu_titan_xp();
+  EXPECT_GT(gpu.dense_gflops, cpu.dense_gflops);
+  EXPECT_GT(gpu.mem_gbps, cpu.mem_gbps);
+  EXPECT_LT(gpu.op_dispatch_ms, cpu.op_dispatch_ms);
+}
+
+TEST(DeviceModels, EstimateMonotonicInWork) {
+  const DeviceModel cpu = cpu_xeon_e5_2680v4();
+  gnn::WorkProfile small;
+  small.layers.push_back({"l", 1'000'000, 0, 0, 1, 1000, 1000, 0, 0});
+  gnn::WorkProfile big = small;
+  big.layers[0].dense_macs *= 100;
+  EXPECT_LT(estimate_latency_ms(cpu, small, 1.0),
+            estimate_latency_ms(cpu, big, 1.0));
+}
+
+TEST(DeviceModels, InputDensityDiscountsFirstLayerOnly) {
+  const DeviceModel cpu = cpu_xeon_e5_2680v4();
+  gnn::WorkProfile wp;
+  wp.layers.push_back({"l1", 1'000'000'000, 0, 0, 0, 0, 0, 0, 0});
+  wp.layers.push_back({"l2", 1'000'000'000, 0, 0, 0, 0, 0, 0, 0});
+  const double dense = estimate_latency_ms(cpu, wp, 1.0);
+  const double sparse = estimate_latency_ms(cpu, wp, 0.01);
+  EXPECT_LT(sparse, dense);
+  EXPECT_GT(sparse, dense * 0.4);  // second layer still full price
+}
+
+TEST(DeviceModels, GpuBeatsCpuOnEveryBenchmark) {
+  const DeviceModel cpu = cpu_xeon_e5_2680v4();
+  const DeviceModel gpu = gpu_titan_xp();
+  for (const gnn::Benchmark b : gnn::kAllBenchmarks) {
+    const auto ds = graph::make_dataset(gnn::benchmark_dataset(b));
+    const auto wp = gnn::profile_work(gnn::make_benchmark_model(b), ds);
+    const double density = input_feature_density(gnn::benchmark_dataset(b));
+    EXPECT_LT(estimate_latency_ms(gpu, wp, density),
+              estimate_latency_ms(cpu, wp, density))
+        << gnn::benchmark_name(b);
+  }
+}
+
+TEST(DeviceModels, InputDensityValues) {
+  EXPECT_LT(input_feature_density(graph::DatasetId::kCiteseer),
+            input_feature_density(graph::DatasetId::kCora));
+  EXPECT_DOUBLE_EQ(input_feature_density(graph::DatasetId::kQm9_1000), 1.0);
+}
+
+// ---- Section II study (Table II / Fig 2).
+
+TEST(DnnAccelStudy, PubmedSparsityAsQuoted) {
+  const DnnAccelResult r = run_dnn_accel_study(graph::DatasetId::kPubmed);
+  // "Pubmed, at 99.989% sparse".
+  EXPECT_NEAR(r.adjacency_sparsity, 0.99989, 1e-5);
+}
+
+TEST(DnnAccelStudy, PubmedUsefulFractionsMatchPaperText) {
+  // "only 1% of the memory requests and 2% of the compute are useful".
+  const DnnAccelResult r = run_dnn_accel_study(graph::DatasetId::kPubmed);
+  EXPECT_LT(r.useful_compute_fraction, 0.05);
+  EXPECT_LT(r.useful_memory_fraction, 0.05);
+  EXPECT_GT(r.useful_compute_fraction, 0.001);
+}
+
+TEST(DnnAccelStudy, LatencyOrderingMatchesTableII) {
+  const double cora =
+      run_dnn_accel_study(graph::DatasetId::kCora).latency_bw_ms;
+  const double cite =
+      run_dnn_accel_study(graph::DatasetId::kCiteseer).latency_bw_ms;
+  const double pub =
+      run_dnn_accel_study(graph::DatasetId::kPubmed).latency_bw_ms;
+  EXPECT_LT(cora, cite);
+  EXPECT_LT(cite, pub);
+  // Pubmed is an order of magnitude worse (Table II: 1.6 / 2.7 / 64.6).
+  EXPECT_GT(pub / cora, 10.0);
+}
+
+TEST(DnnAccelStudy, BandwidthLimitSlowsEveryInput) {
+  for (const auto id : {graph::DatasetId::kCora, graph::DatasetId::kCiteseer,
+                        graph::DatasetId::kPubmed}) {
+    const DnnAccelResult r = run_dnn_accel_study(id);
+    EXPECT_GE(r.latency_bw_ms, r.latency_unlimited_ms);
+  }
+}
+
+TEST(DnnAccelStudy, PubmedSlowerThanCpuBaseline) {
+  // The paper's Section VI observation: despite 13x the compute units, the
+  // DNN accelerator loses to the CPU on Pubmed (30.11 ms).
+  const DnnAccelResult r = run_dnn_accel_study(graph::DatasetId::kPubmed);
+  EXPECT_GT(r.latency_bw_ms,
+            table7_row(gnn::Benchmark::kGcnPubmed).cpu_ms);
+}
+
+TEST(DnnAccelStudy, UsefulUtilizationBelowTotal) {
+  const DnnAccelResult r = run_dnn_accel_study(graph::DatasetId::kCora);
+  EXPECT_LT(r.pe_util_useful, r.pe_util_total);
+  EXPECT_LE(r.pe_util_total, 1.0 + 1e-9);
+  EXPECT_LT(r.offchip_bw_useful_gbps, r.offchip_bw_total_gbps);
+}
+
+TEST(DnnAccelStudy, FourGcnLayers) {
+  const DnnAccelResult r = run_dnn_accel_study(graph::DatasetId::kCora);
+  ASSERT_EQ(r.layers.size(), 4U);
+  // Adjacency convolutions carry the sparse density; projections are dense.
+  EXPECT_DOUBLE_EQ(r.layers[0].shape.weight_density, 1.0);
+  EXPECT_LT(r.layers[1].shape.weight_density, 0.001);
+}
+
+TEST(DnnAccelStudy, UnlimitedLatencyInPaperBallpark) {
+  // Table II (unlimited BW): Cora 0.791 ms, Pubmed 22.129 ms. Our mapper
+  // is a NN-Dataflow substitute, so require the same order of magnitude.
+  const double cora =
+      run_dnn_accel_study(graph::DatasetId::kCora).latency_unlimited_ms;
+  const double pub =
+      run_dnn_accel_study(graph::DatasetId::kPubmed).latency_unlimited_ms;
+  EXPECT_GT(cora, 0.791 / 4);
+  EXPECT_LT(cora, 0.791 * 4);
+  EXPECT_GT(pub, 22.129 / 4);
+  EXPECT_LT(pub, 22.129 * 4);
+}
+
+}  // namespace
+}  // namespace gnna::baseline

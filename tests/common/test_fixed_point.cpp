@@ -1,0 +1,115 @@
+#include "common/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gnna {
+namespace {
+
+TEST(Fixed32, IntConversion) {
+  EXPECT_DOUBLE_EQ(Fixed32::from_int(5).to_double(), 5.0);
+  EXPECT_DOUBLE_EQ(Fixed32::from_int(-3).to_double(), -3.0);
+  EXPECT_DOUBLE_EQ(Fixed32{}.to_double(), 0.0);
+}
+
+TEST(Fixed32, DoubleConversionPrecision) {
+  for (double v : {0.5, -0.25, 3.14159, -1000.125, 0.0000153}) {
+    EXPECT_NEAR(Fixed32::from_double(v).to_double(), v, 1.0 / (1 << 16));
+  }
+}
+
+TEST(Fixed32, Addition) {
+  const Fixed32 a = Fixed32::from_double(1.5);
+  const Fixed32 b = Fixed32::from_double(2.25);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 3.75);
+}
+
+TEST(Fixed32, Subtraction) {
+  const Fixed32 a = Fixed32::from_double(1.5);
+  const Fixed32 b = Fixed32::from_double(2.25);
+  EXPECT_DOUBLE_EQ((a - b).to_double(), -0.75);
+}
+
+TEST(Fixed32, Multiplication) {
+  const Fixed32 a = Fixed32::from_double(1.5);
+  const Fixed32 b = Fixed32::from_double(-2.0);
+  EXPECT_NEAR((a * b).to_double(), -3.0, 1e-4);
+}
+
+TEST(Fixed32, AdditionSaturatesHigh) {
+  const Fixed32 big = Fixed32::max_value();
+  EXPECT_EQ(big + big, Fixed32::max_value());
+}
+
+TEST(Fixed32, SubtractionSaturatesLow) {
+  const Fixed32 lo = Fixed32::min_value();
+  EXPECT_EQ(lo - Fixed32::from_int(1), Fixed32::min_value());
+}
+
+TEST(Fixed32, Comparison) {
+  EXPECT_LT(Fixed32::from_double(1.0), Fixed32::from_double(2.0));
+  EXPECT_EQ(Fixed32::from_double(1.0), Fixed32::from_double(1.0));
+  EXPECT_GT(Fixed32::from_int(0), Fixed32::from_int(-1));
+}
+
+TEST(ReduceOp, Identities) {
+  const Fixed32 x = Fixed32::from_double(-7.25);
+  for (ReduceOp op : {ReduceOp::kSum, ReduceOp::kMax, ReduceOp::kMin}) {
+    EXPECT_EQ(apply_reduce(op, reduce_identity(op), x), x)
+        << static_cast<int>(op);
+  }
+}
+
+TEST(ReduceOp, SemanticsMatchScalar) {
+  const Fixed32 a = Fixed32::from_int(3);
+  const Fixed32 b = Fixed32::from_int(-5);
+  EXPECT_EQ(apply_reduce(ReduceOp::kSum, a, b), Fixed32::from_int(-2));
+  EXPECT_EQ(apply_reduce(ReduceOp::kMax, a, b), a);
+  EXPECT_EQ(apply_reduce(ReduceOp::kMin, a, b), b);
+}
+
+/// Property: the AGG's design premise — associative reductions are
+/// order-independent — holds bit-exactly for every supported op (integer
+/// fixed point, unlike float sums).
+class ReduceOrderIndependence : public ::testing::TestWithParam<ReduceOp> {};
+
+TEST_P(ReduceOrderIndependence, AnyPermutationSameResult) {
+  const ReduceOp op = GetParam();
+  Rng rng(static_cast<std::uint64_t>(op) + 99);
+  std::vector<Fixed32> values;
+  for (int i = 0; i < 64; ++i) {
+    values.push_back(Fixed32::from_double(rng.next_float(-100.0F, 100.0F)));
+  }
+  auto reduce_all = [&](const std::vector<Fixed32>& xs) {
+    Fixed32 acc = reduce_identity(op);
+    for (const Fixed32 x : xs) acc = apply_reduce(op, acc, x);
+    return acc;
+  };
+  const Fixed32 expected = reduce_all(values);
+  for (int trial = 0; trial < 20; ++trial) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::swap(values[i - 1], values[rng.next_below(i)]);
+    }
+    EXPECT_EQ(reduce_all(values), expected) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, ReduceOrderIndependence,
+                         ::testing::Values(ReduceOp::kSum, ReduceOp::kMax,
+                                           ReduceOp::kMin));
+
+TEST(ReduceOp, SumSaturationIsSticky) {
+  // Saturating sums are not associative at the extremes; the AGG relies on
+  // values staying in range. Document the boundary behaviour.
+  const Fixed32 top = Fixed32::max_value();
+  const Fixed32 one = Fixed32::from_int(1);
+  EXPECT_EQ(apply_reduce(ReduceOp::kSum, top, one), top);
+}
+
+}  // namespace
+}  // namespace gnna

@@ -1,0 +1,173 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace gnna {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowZeroBoundIsZero) {
+  Rng r(7);
+  EXPECT_EQ(r.next_below(0), 0U);
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng r(9);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = r.next_in(5, 9);
+    EXPECT_GE(v, 5U);
+    EXPECT_LE(v, 9U);
+  }
+}
+
+TEST(Rng, NextInHitsBothEndpoints) {
+  Rng r(11);
+  bool lo = false;
+  bool hi = false;
+  for (int i = 0; i < 2000 && !(lo && hi); ++i) {
+    const auto v = r.next_in(3, 6);
+    lo |= (v == 3);
+    hi |= (v == 6);
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(13);
+  for (int i = 0; i < 2000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanNearHalf) {
+  Rng r(17);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, FloatRangeRespected) {
+  Rng r(19);
+  for (int i = 0; i < 1000; ++i) {
+    const float f = r.next_float(-2.5F, 3.5F);
+    EXPECT_GE(f, -2.5F);
+    EXPECT_LT(f, 3.5F);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(23);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += r.next_bool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng r(29);
+  double sum = 0;
+  double sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.next_gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ZipfStaysInRange) {
+  Rng r(31);
+  for (int i = 0; i < 2000; ++i) EXPECT_LT(r.next_zipf(100, 0.9), 100U);
+}
+
+TEST(Rng, ZipfSingletonSupport) {
+  Rng r(31);
+  EXPECT_EQ(r.next_zipf(1, 0.9), 0U);
+}
+
+TEST(Rng, ZipfIsSkewedTowardLowRanks) {
+  Rng r(37);
+  int low = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) low += (r.next_zipf(1000, 1.0) < 100);
+  // With alpha=1, the first decile should hold far more than 10% of mass.
+  EXPECT_GT(low, n / 4);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng base(41);
+  Rng a = base.fork(1);
+  Rng b = base.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng base1(43);
+  Rng base2(43);
+  Rng a = base1.fork(5);
+  Rng b = base2.fork(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SplitMix64KnownExpansion) {
+  // The same state always expands identically (regression pin).
+  std::uint64_t s1 = 123;
+  std::uint64_t s2 = 123;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+/// Uniformity sweep: chi-square-ish bucket check over several bounds.
+class RngUniformity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngUniformity, BucketsRoughlyEven) {
+  const std::uint64_t buckets = GetParam();
+  Rng r(buckets * 7919 + 1);
+  std::vector<int> counts(buckets, 0);
+  const int n = 4000 * static_cast<int>(buckets);
+  for (int i = 0; i < n; ++i) ++counts[r.next_below(buckets)];
+  const double expect = static_cast<double>(n) / buckets;
+  for (std::uint64_t b = 0; b < buckets; ++b) {
+    EXPECT_NEAR(counts[b], expect, expect * 0.15) << "bucket " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngUniformity,
+                         ::testing::Values(2, 3, 7, 10, 16, 33));
+
+}  // namespace
+}  // namespace gnna

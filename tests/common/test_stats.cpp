@@ -1,0 +1,89 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gnna {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0U);
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5U);
+  c.reset();
+  EXPECT_EQ(c.value(), 0U);
+}
+
+TEST(Accumulator, EmptyIsSafe) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0U);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+  EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, MeanMinMax) {
+  Accumulator a;
+  for (double x : {3.0, 1.0, 2.0}) a.add(x);
+  EXPECT_EQ(a.count(), 3U);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 6.0);
+}
+
+TEST(Accumulator, Stddev) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_NEAR(a.stddev(), 2.138, 0.001);  // sample stddev
+}
+
+TEST(Accumulator, SingleSampleStddevZero) {
+  Accumulator a;
+  a.add(5.0);
+  EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(10.0, 5);
+  h.add(0.0);
+  h.add(9.9);
+  h.add(10.0);
+  h.add(49.9);
+  h.add(1000.0);  // overflow bucket
+  EXPECT_EQ(h.bucket(0), 2U);
+  EXPECT_EQ(h.bucket(1), 1U);
+  EXPECT_EQ(h.bucket(4), 1U);
+  EXPECT_EQ(h.bucket(5), 1U);
+  EXPECT_EQ(h.accumulator().count(), 5U);
+}
+
+TEST(Histogram, QuantileEmptyIsZero) {
+  Histogram h(1.0, 10);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, MedianOfUniformFill) {
+  Histogram h(1.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(BusyTracker, Utilization) {
+  BusyTracker b;
+  for (int i = 0; i < 10; ++i) b.tick(i < 3);
+  EXPECT_EQ(b.busy_cycles(), 3U);
+  EXPECT_EQ(b.total_cycles(), 10U);
+  EXPECT_DOUBLE_EQ(b.utilization(), 0.3);
+}
+
+TEST(BusyTracker, EmptyUtilizationZero) {
+  BusyTracker b;
+  EXPECT_DOUBLE_EQ(b.utilization(), 0.0);
+}
+
+}  // namespace
+}  // namespace gnna

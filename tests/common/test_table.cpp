@@ -1,0 +1,59 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gnna {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"A", "LongHeader"});
+  t.add_row({"xxxxxx", "1"});
+  std::ostringstream ss;
+  t.print(ss);
+  const std::string out = ss.str();
+  // Header and data rows share the same width.
+  const auto first_line_len = out.find('\n');
+  std::size_t pos = 0;
+  std::size_t lines = 0;
+  while (pos < out.size()) {
+    const auto next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, first_line_len) << "ragged line " << lines;
+    pos = next + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 5U);  // rule, header, rule, row, rule
+}
+
+TEST(Table, HandlesShortRows) {
+  Table t({"A", "B", "C"});
+  t.add_row({"1"});
+  std::ostringstream ss;
+  t.print(ss);
+  EXPECT_NE(ss.str().find("| 1 |"), std::string::npos);
+}
+
+TEST(Table, EmptyTableStillPrintsHeader) {
+  Table t({"OnlyHeader"});
+  std::ostringstream ss;
+  t.print(ss);
+  EXPECT_NE(ss.str().find("OnlyHeader"), std::string::npos);
+}
+
+TEST(Format, Double) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+  EXPECT_EQ(format_double(-0.5, 3), "-0.500");
+}
+
+TEST(Format, Speedup) { EXPECT_EQ(format_speedup(2.5), "2.50x"); }
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.5), "50.0%");
+  EXPECT_EQ(format_percent(0.999), "99.9%");
+  EXPECT_EQ(format_percent(0.0), "0.0%");
+}
+
+}  // namespace
+}  // namespace gnna

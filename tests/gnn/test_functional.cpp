@@ -1,0 +1,307 @@
+#include "gnn/functional.hpp"
+
+#include "gnn/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generator.hpp"
+#include "linalg/ops.hpp"
+#include "linalg/sparse.hpp"
+
+namespace gnna::gnn {
+namespace {
+
+using linalg::Matrix;
+
+graph::Graph test_graph(NodeId n = 12, EdgeId e = 30, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  return graph::generate_random_graph(rng, n, e);
+}
+
+Matrix random_features(std::size_t rows, std::size_t cols,
+                       std::uint64_t seed = 2) {
+  Rng rng(seed);
+  return Matrix::random(rng, rows, cols, -1.0F, 1.0F);
+}
+
+TEST(Functional, ProjectLayerMatchesMatmul) {
+  ModelSpec m;
+  m.name = "proj";
+  LayerSpec l;
+  l.name = "p";
+  l.kind = LayerKind::kProject;
+  l.in_features = 6;
+  l.out_features = 4;
+  l.act = Activation::kRelu;
+  m.layers = {l};
+
+  const FunctionalExecutor exec(m);
+  const auto g = test_graph();
+  const Matrix x = random_features(g.num_nodes(), 6);
+  const Matrix out = exec.run(g, x, {});
+
+  const auto& w = exec.weights().layers[0];
+  Matrix expect = linalg::add_row_bias(linalg::matmul(x, w.w), w.bias);
+  linalg::relu_inplace(expect);
+  EXPECT_LT(linalg::max_abs_diff(out, expect), 1e-5);
+}
+
+TEST(Functional, GcnLayerMatchesClosedForm) {
+  // One kConv layer must equal relu(Ahat (X W + b)) with the Kipf
+  // renormalized adjacency.
+  ModelSpec m = make_gcn(6, 4, 4);
+  m.layers.resize(1);
+  const FunctionalExecutor exec(m);
+  const auto g = test_graph(15, 40);
+  const Matrix x = random_features(15, 6);
+  const Matrix out = exec.run(g, x, {});
+
+  const auto& w = exec.weights().layers[0];
+  const auto ahat = linalg::CsrMatrix::gcn_normalized_adjacency(g);
+  Matrix expect = linalg::spmm(
+      ahat, linalg::add_row_bias(linalg::matmul(x, w.w), w.bias));
+  linalg::relu_inplace(expect);
+  EXPECT_LT(linalg::max_abs_diff(out, expect), 1e-4);
+}
+
+TEST(Functional, ConvSumAggregation) {
+  ModelSpec m;
+  LayerSpec l;
+  l.kind = LayerKind::kConv;
+  l.in_features = 3;
+  l.out_features = 2;
+  l.norm = AggNorm::kSum;
+  l.include_self = true;
+  l.act = Activation::kNone;
+  l.name = "c";
+  m.layers = {l};
+  const FunctionalExecutor exec(m);
+  const auto g = test_graph(10, 20);
+  const Matrix x = random_features(10, 3);
+  const Matrix out = exec.run(g, x, {});
+
+  const auto& w = exec.weights().layers[0];
+  const Matrix p = linalg::add_row_bias(linalg::matmul(x, w.w), w.bias);
+  const auto a = linalg::CsrMatrix::adjacency(
+      g.symmetrized().with_self_loops());
+  EXPECT_LT(linalg::max_abs_diff(out, linalg::spmm(a, p)), 1e-4);
+}
+
+TEST(Functional, GcnDeepensAcrossLayers) {
+  const ModelSpec m = make_gcn(6, 3, 5);
+  const FunctionalExecutor exec(m);
+  const auto g = test_graph();
+  const Matrix out = exec.run(g, random_features(g.num_nodes(), 6), {});
+  EXPECT_EQ(out.rows(), g.num_nodes());
+  EXPECT_EQ(out.cols(), 3U);
+}
+
+TEST(Functional, GatMatchesNaiveReference) {
+  ModelSpec m = make_gat(5, 3, 2, 4);
+  m.layers.resize(1);  // single attention layer
+  const FunctionalExecutor exec(m);
+  const auto g = test_graph(10, 24, 7);
+  const Matrix x = random_features(10, 5, 8);
+  const Matrix out = exec.run(g, x, {});
+
+  // Independent naive reference.
+  const auto sym = g.symmetrized().with_self_loops();
+  const auto& lw = exec.weights().layers[0];
+  Matrix expect(10, 8);
+  for (std::uint32_t head = 0; head < 2; ++head) {
+    const Matrix p = linalg::matmul(x, lw.head_w[head]);
+    const auto& a = lw.head_a[head];
+    for (NodeId v = 0; v < 10; ++v) {
+      for (const NodeId u : sym.neighbors(v)) {
+        float coeff = 0.0F;
+        for (std::uint32_t f = 0; f < 4; ++f) {
+          coeff += a[f] * p(v, f) + a[4 + f] * p(u, f);
+        }
+        coeff = linalg::leaky_relu(coeff);
+        for (std::uint32_t f = 0; f < 4; ++f) {
+          expect(v, head * 4 + f) += coeff * p(u, f);
+        }
+      }
+    }
+  }
+  linalg::leaky_relu_inplace(expect);
+  EXPECT_LT(linalg::max_abs_diff(out, expect), 1e-4);
+}
+
+TEST(Functional, MpnnZeroEdgesIsPureGruDecay) {
+  // With no edges, messages are zero and h' = GRU(h, 0) elementwise.
+  ModelSpec m;
+  LayerSpec l;
+  l.kind = LayerKind::kMessagePass;
+  l.name = "mp";
+  l.in_features = 4;
+  l.out_features = 4;
+  l.edge_features = 2;
+  l.edge_hidden = 8;
+  m.layers = {l};
+  const FunctionalExecutor exec(m);
+
+  graph::GraphBuilder b(3);
+  const graph::Graph g = std::move(b).build();
+  const Matrix x = random_features(3, 4, 9);
+  const Matrix out = exec.run(g, x, {});
+
+  const auto& w = exec.weights().layers[0];
+  const Matrix hz = linalg::matmul(x, w.gru_uz);
+  const Matrix hr = linalg::matmul(x, w.gru_ur);
+  Matrix rh(3, 4);
+  for (std::size_t v = 0; v < 3; ++v) {
+    for (std::uint32_t f = 0; f < 4; ++f) {
+      rh(v, f) = linalg::sigmoid(hr(v, f)) * x(v, f);
+    }
+  }
+  const Matrix hh = linalg::matmul(rh, w.gru_uh);
+  for (std::size_t v = 0; v < 3; ++v) {
+    for (std::uint32_t f = 0; f < 4; ++f) {
+      const float z = linalg::sigmoid(hz(v, f));
+      const float cand = std::tanh(hh(v, f));
+      EXPECT_NEAR(out(v, f), (1.0F - z) * x(v, f) + z * cand, 1e-5);
+    }
+  }
+}
+
+TEST(Functional, MpnnMessagesAreSymmetricInEdgeDirection) {
+  // Each stored bond sends messages both ways: an edge (u,v) must affect
+  // both endpoints' states.
+  ModelSpec m;
+  LayerSpec l;
+  l.kind = LayerKind::kMessagePass;
+  l.name = "mp";
+  l.in_features = 3;
+  l.out_features = 3;
+  l.edge_features = 2;
+  l.edge_hidden = 4;
+  m.layers = {l};
+  const FunctionalExecutor exec(m);
+
+  graph::GraphBuilder b(2);
+  b.add_edge(0, 1);  // single stored bond
+  const graph::Graph g = std::move(b).build();
+  const Matrix x = random_features(2, 3, 10);
+  Matrix ef(1, 2);
+  ef(0, 0) = 0.5F;
+  ef(0, 1) = -0.25F;
+
+  // Reference: no-edge output differs from with-edge output at both ends.
+  graph::GraphBuilder b2(2);
+  const graph::Graph g_empty = std::move(b2).build();
+  const Matrix with_edge = exec.run(g, x, ef);
+  const Matrix without = exec.run(g_empty, x, {});
+  for (std::size_t v = 0; v < 2; ++v) {
+    float diff = 0.0F;
+    for (std::uint32_t f = 0; f < 3; ++f) {
+      diff += std::abs(with_edge(v, f) - without(v, f));
+    }
+    EXPECT_GT(diff, 1e-6) << "vertex " << v << " saw no message";
+  }
+}
+
+TEST(Functional, MultiHopMatchesDensePowers) {
+  ModelSpec m = make_pgnn(3, 2, 4, 3, 1);
+  const FunctionalExecutor exec(m);
+  const auto g = test_graph(9, 16, 11);
+  const Matrix x = random_features(9, 3, 12);
+  const Matrix out = exec.run(g, x, {});
+
+  const auto& w = exec.weights().layers[0];
+  const Matrix a = linalg::CsrMatrix::adjacency(g.symmetrized()).to_dense();
+  const Matrix a2 = linalg::matmul(a, a);
+  const Matrix a4 = linalg::matmul(a2, a2);
+  Matrix expect = linalg::matmul(x, w.hop_w[0]);
+  expect = linalg::add(expect,
+                       linalg::matmul(linalg::matmul(a, x), w.hop_w[1]));
+  expect = linalg::add(expect,
+                       linalg::matmul(linalg::matmul(a2, x), w.hop_w[2]));
+  expect = linalg::add(expect,
+                       linalg::matmul(linalg::matmul(a4, x), w.hop_w[3]));
+  // Single-layer PGNN is the output layer: no activation.
+  EXPECT_LT(linalg::max_abs_diff(out, expect), 1e-3);
+}
+
+TEST(Functional, ReadoutPoolsWholeGraph) {
+  ModelSpec m;
+  LayerSpec l;
+  l.kind = LayerKind::kReadout;
+  l.name = "ro";
+  l.in_features = 4;
+  l.out_features = 3;
+  m.layers = {l};
+  const FunctionalExecutor exec(m);
+  const auto g = test_graph(7, 10);
+  const Matrix x = random_features(7, 4, 13);
+  const Matrix out = exec.run(g, x, {});
+  ASSERT_EQ(out.rows(), 1U);
+  ASSERT_EQ(out.cols(), 3U);
+
+  const auto& w = exec.weights().layers[0];
+  Matrix pooled(1, 4);
+  for (std::size_t v = 0; v < 7; ++v) {
+    for (std::uint32_t f = 0; f < 4; ++f) pooled(0, f) += x(v, f);
+  }
+  const Matrix expect =
+      linalg::add_row_bias(linalg::matmul(pooled, w.w), w.bias);
+  EXPECT_LT(linalg::max_abs_diff(out, expect), 1e-4);
+}
+
+TEST(Functional, RunDatasetStacksPerGraphOutputs) {
+  Rng rng(14);
+  graph::Dataset ds;
+  ds.spec = {"multi", 3, 15, 18, 4, 0, 2};
+  for (int i = 0; i < 3; ++i) {
+    ds.graphs.push_back(graph::generate_random_graph(rng, 5, 6));
+    ds.undirected.push_back(ds.graphs.back().symmetrized());
+    std::vector<float> f(20);
+    for (auto& v : f) v = rng.next_float(-1, 1);
+    ds.node_features.push_back(std::move(f));
+    ds.edge_features.emplace_back();
+  }
+  const FunctionalExecutor exec(make_gcn(4, 2, 3));
+  const Matrix out = exec.run_dataset(ds);
+  EXPECT_EQ(out.rows(), 15U);  // per-vertex outputs stacked
+  EXPECT_EQ(out.cols(), 2U);
+}
+
+TEST(Functional, ReadoutModelYieldsOneRowPerGraph) {
+  Rng rng(15);
+  graph::Dataset ds;
+  ds.spec = {"mols", 2, 8, 8, 3, 2, 5};
+  for (int i = 0; i < 2; ++i) {
+    ds.graphs.push_back(graph::generate_molecule_graph(rng, 4, 4));
+    ds.undirected.push_back(ds.graphs.back().symmetrized());
+    std::vector<float> f(12);
+    for (auto& v : f) v = rng.next_float(-1, 1);
+    ds.node_features.push_back(std::move(f));
+    std::vector<float> e(8);
+    for (auto& v : e) v = rng.next_float(-1, 1);
+    ds.edge_features.push_back(std::move(e));
+  }
+  const FunctionalExecutor exec(make_mpnn(3, 2, 5, 4, 1));
+  const Matrix out = exec.run_dataset(ds);
+  EXPECT_EQ(out.rows(), 2U);
+  EXPECT_EQ(out.cols(), 5U);
+}
+
+TEST(Functional, WidthMismatchThrows) {
+  const FunctionalExecutor exec(make_gcn(6, 3));
+  const auto g = test_graph();
+  EXPECT_THROW(exec.run(g, random_features(g.num_nodes(), 5), {}),
+               std::invalid_argument);
+}
+
+TEST(Functional, ActivationsApplied) {
+  // ReLU output must be non-negative.
+  const FunctionalExecutor exec(make_gcn(6, 3, 4));
+  const auto g = test_graph();
+  const Matrix h1 =
+      exec.run_layer(0, g, random_features(g.num_nodes(), 6), {});
+  for (const float v : h1.data()) EXPECT_GE(v, 0.0F);
+}
+
+}  // namespace
+}  // namespace gnna::gnn

@@ -1,0 +1,181 @@
+#include "graph/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <tuple>
+
+#include "common/rng.hpp"
+
+namespace gnna::graph {
+namespace {
+
+/// No self loops and no duplicate directed edges.
+void expect_simple(const Graph& g) {
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const NodeId u : g.neighbors(v)) {
+      EXPECT_NE(u, v) << "self loop at " << v;
+      EXPECT_TRUE(seen.emplace(v, u).second) << "dup edge " << v << "->" << u;
+    }
+  }
+}
+
+using GenParams = std::tuple<NodeId, EdgeId>;
+
+class CitationGen : public ::testing::TestWithParam<GenParams> {};
+
+TEST_P(CitationGen, ExactCountsAndSimple) {
+  const auto [n, e] = GetParam();
+  Rng rng(n * 31 + e);
+  const Graph g = generate_citation_graph(rng, n, e);
+  EXPECT_EQ(g.num_nodes(), n);
+  EXPECT_EQ(g.num_edges(), e);
+  expect_simple(g);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CitationGen,
+                         ::testing::Values(GenParams{10, 0},
+                                           GenParams{10, 20},
+                                           GenParams{100, 300},
+                                           GenParams{2708, 5429},
+                                           GenParams{50, 50 * 49}));
+
+class RandomGen : public ::testing::TestWithParam<GenParams> {};
+
+TEST_P(RandomGen, ExactCountsAndSimple) {
+  const auto [n, e] = GetParam();
+  Rng rng(n * 17 + e);
+  const Graph g = generate_random_graph(rng, n, e);
+  EXPECT_EQ(g.num_nodes(), n);
+  EXPECT_EQ(g.num_edges(), e);
+  expect_simple(g);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomGen,
+                         ::testing::Values(GenParams{5, 0}, GenParams{5, 20},
+                                           GenParams{64, 512},
+                                           GenParams{547, 2654}));
+
+TEST(CitationGen, Deterministic) {
+  Rng a(5);
+  Rng b(5);
+  const Graph ga = generate_citation_graph(a, 200, 600);
+  const Graph gb = generate_citation_graph(b, 200, 600);
+  for (NodeId v = 0; v < 200; ++v) {
+    ASSERT_EQ(ga.out_degree(v), gb.out_degree(v));
+  }
+}
+
+TEST(CitationGen, InDegreeIsSkewed) {
+  Rng rng(77);
+  const Graph g = generate_citation_graph(rng, 1000, 5000, /*alpha=*/1.0);
+  std::vector<std::uint32_t> in_deg(1000, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const NodeId u : g.neighbors(v)) ++in_deg[u];
+  }
+  const auto max_in = *std::max_element(in_deg.begin(), in_deg.end());
+  // Zipf hubs: the biggest in-degree should far exceed the mean (5).
+  EXPECT_GT(max_in, 25U);
+}
+
+TEST(CitationGen, ThrowsWhenOverCapacity) {
+  Rng rng(1);
+  EXPECT_THROW(generate_citation_graph(rng, 3, 7), std::invalid_argument);
+}
+
+TEST(MoleculeGen, ExactUndirectedBondCount) {
+  Rng rng(3);
+  const Graph g = generate_molecule_graph(rng, 12, 13);
+  EXPECT_EQ(g.num_nodes(), 12U);
+  EXPECT_EQ(g.num_edges(), 13U);
+  expect_simple(g);
+}
+
+TEST(MoleculeGen, BondsStoredLowToHigh) {
+  Rng rng(4);
+  const Graph g = generate_molecule_graph(rng, 15, 16);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const NodeId u : g.neighbors(v)) EXPECT_GT(u, v);
+  }
+}
+
+TEST(MoleculeGen, TreeBackboneConnectsBudgetedPrefix) {
+  // With e >= n-1 the first n vertices form one connected component
+  // (tree + rings) in the symmetrized view.
+  Rng rng(5);
+  const Graph g = generate_molecule_graph(rng, 10, 12).symmetrized();
+  std::vector<bool> seen(10, false);
+  std::vector<NodeId> stack = {0};
+  seen[0] = true;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (const NodeId u : g.neighbors(v)) {
+      if (!seen[u]) {
+        seen[u] = true;
+        stack.push_back(u);
+      }
+    }
+  }
+  for (NodeId v = 0; v < 10; ++v) EXPECT_TRUE(seen[v]) << v;
+}
+
+TEST(MoleculeGen, FewerEdgesThanTreeAllowed) {
+  Rng rng(6);
+  const Graph g = generate_molecule_graph(rng, 14, 11);
+  EXPECT_EQ(g.num_edges(), 11U);
+}
+
+TEST(MoleculeGen, ThrowsWhenOverCapacity) {
+  Rng rng(7);
+  EXPECT_THROW(generate_molecule_graph(rng, 4, 7), std::invalid_argument);
+}
+
+TEST(CommunityGen, ExactCountsAndSimple) {
+  Rng rng(8);
+  const Graph g = generate_community_graph(rng, 547, 2654, 3);
+  EXPECT_EQ(g.num_nodes(), 547U);
+  EXPECT_EQ(g.num_edges(), 2654U);
+  expect_simple(g);
+}
+
+TEST(CommunityGen, IntraCommunityBias) {
+  Rng rng(9);
+  const std::uint32_t n = 300;
+  const Graph g = generate_community_graph(rng, n, 3000, 3, 0.8);
+  const NodeId comm_size = (n + 2) / 3;
+  std::uint64_t intra = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const NodeId u : g.neighbors(v)) {
+      intra += (v / comm_size == u / comm_size);
+    }
+  }
+  // 80% targeted intra, minus collisions; uniform would give ~33%.
+  EXPECT_GT(static_cast<double>(intra) / g.num_edges(), 0.55);
+}
+
+TEST(CommunityGen, SingleCommunityDegeneratesToUniform) {
+  Rng rng(10);
+  const Graph g = generate_community_graph(rng, 50, 200, 1);
+  EXPECT_EQ(g.num_edges(), 200U);
+}
+
+TEST(CommunityGen, ZeroCommunitiesThrows) {
+  Rng rng(11);
+  EXPECT_THROW(generate_community_graph(rng, 10, 5, 0),
+               std::invalid_argument);
+}
+
+TEST(CommunityGen, SaturatedBlocksStillReachExactCount) {
+  // Dense request relative to community capacity exercises the uniform
+  // fallback path.
+  Rng rng(12);
+  const Graph g = generate_community_graph(rng, 30, 600, 3, 0.99);
+  EXPECT_EQ(g.num_edges(), 600U);
+  expect_simple(g);
+}
+
+}  // namespace
+}  // namespace gnna::graph

@@ -1,0 +1,108 @@
+#include "graph/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "graph/generator.hpp"
+
+namespace gnna::graph {
+namespace {
+
+Graph test_graph() {
+  Rng rng(21);
+  return generate_citation_graph(rng, 200, 800);
+}
+
+using Param = std::tuple<PartitionPolicy, TileId>;
+
+class PartitionAll : public ::testing::TestWithParam<Param> {};
+
+TEST_P(PartitionAll, EveryVertexAssignedInRange) {
+  const auto [policy, tiles] = GetParam();
+  const Graph g = test_graph();
+  const Partition p = make_partition(g, tiles, policy);
+  EXPECT_EQ(p.num_nodes(), g.num_nodes());
+  EXPECT_EQ(p.num_tiles(), tiles);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_LT(p.owner(v), tiles);
+}
+
+TEST_P(PartitionAll, ByTileCoversExactlyOnce) {
+  const auto [policy, tiles] = GetParam();
+  const Graph g = test_graph();
+  const Partition p = make_partition(g, tiles, policy);
+  const auto buckets = p.by_tile();
+  ASSERT_EQ(buckets.size(), tiles);
+  NodeId total = 0;
+  for (const auto& b : buckets) total += static_cast<NodeId>(b.size());
+  EXPECT_EQ(total, g.num_nodes());
+}
+
+TEST_P(PartitionAll, RoughlyBalancedVertexCounts) {
+  const auto [policy, tiles] = GetParam();
+  const Graph g = test_graph();
+  const auto buckets = make_partition(g, tiles, policy).by_tile();
+  const std::size_t per = (g.num_nodes() + tiles - 1) / tiles;
+  if (policy == PartitionPolicy::kRoundRobin ||
+      policy == PartitionPolicy::kBlock) {
+    // Block partitions round the chunk size up, so the last tile may run
+    // short; both policies are bounded above by the chunk size.
+    for (const auto& b : buckets) EXPECT_LE(b.size(), per);
+  }
+  if (policy == PartitionPolicy::kRoundRobin) {
+    for (const auto& b : buckets) EXPECT_GE(b.size() + 1, per);
+  }
+  if (policy == PartitionPolicy::kDegreeGreedy) {
+    // Greedy balances degree load, not counts; just require non-degenerate
+    // spread when there is enough work to go around.
+    std::size_t nonempty = 0;
+    for (const auto& b : buckets) nonempty += !b.empty();
+    EXPECT_EQ(nonempty, buckets.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndTiles, PartitionAll,
+    ::testing::Combine(::testing::Values(PartitionPolicy::kRoundRobin,
+                                         PartitionPolicy::kBlock,
+                                         PartitionPolicy::kDegreeGreedy),
+                       ::testing::Values<TileId>(1, 2, 8, 16)));
+
+TEST(Partition, RoundRobinPattern) {
+  const Graph g = test_graph();
+  const Partition p = make_partition(g, 4, PartitionPolicy::kRoundRobin);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(p.owner(v), v % 4);
+  }
+}
+
+TEST(Partition, BlockIsContiguous) {
+  const Graph g = test_graph();
+  const Partition p = make_partition(g, 4, PartitionPolicy::kBlock);
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    EXPECT_GE(p.owner(v), p.owner(v - 1));
+  }
+}
+
+TEST(Partition, DegreeGreedyBalancesLoad) {
+  const Graph g = test_graph();
+  const Partition p = make_partition(g, 4, PartitionPolicy::kDegreeGreedy);
+  std::vector<std::uint64_t> load(4, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    load[p.owner(v)] += g.out_degree(v) + 1;
+  }
+  const auto [mn, mx] = std::minmax_element(load.begin(), load.end());
+  // Greedy packing keeps the spread tight relative to the heaviest vertex.
+  EXPECT_LE(*mx - *mn, static_cast<std::uint64_t>(g.max_out_degree()) + 1);
+}
+
+TEST(Partition, ZeroTilesThrows) {
+  const Graph g = test_graph();
+  EXPECT_THROW(make_partition(g, 0, PartitionPolicy::kRoundRobin),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gnna::graph

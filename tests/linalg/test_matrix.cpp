@@ -1,0 +1,138 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace gnna::linalg {
+namespace {
+
+TEST(Matrix, ConstructionAndFill) {
+  const Matrix m(2, 3, 1.5F);
+  EXPECT_EQ(m.rows(), 2U);
+  EXPECT_EQ(m.cols(), 3U);
+  EXPECT_EQ(m.size(), 6U);
+  EXPECT_FLOAT_EQ(m(1, 2), 1.5F);
+}
+
+TEST(Matrix, FromRowsValidatesSize) {
+  EXPECT_NO_THROW(Matrix::from_rows(2, 2, {1, 2, 3, 4}));
+  EXPECT_THROW(Matrix::from_rows(2, 2, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_FLOAT_EQ(i(r, c), r == c ? 1.0F : 0.0F);
+    }
+  }
+}
+
+TEST(Matrix, RowSpanWritesThrough) {
+  Matrix m(2, 2);
+  m.row(1)[0] = 7.0F;
+  EXPECT_FLOAT_EQ(m(1, 0), 7.0F);
+}
+
+TEST(Matmul, HandComputed) {
+  const Matrix a = Matrix::from_rows(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix b = Matrix::from_rows(3, 2, {7, 8, 9, 10, 11, 12});
+  const Matrix c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 58.0F);
+  EXPECT_FLOAT_EQ(c(0, 1), 64.0F);
+  EXPECT_FLOAT_EQ(c(1, 0), 139.0F);
+  EXPECT_FLOAT_EQ(c(1, 1), 154.0F);
+}
+
+TEST(Matmul, IdentityIsNeutral) {
+  Rng rng(1);
+  const Matrix a = Matrix::random(rng, 4, 4);
+  EXPECT_EQ(matmul(a, Matrix::identity(4)), a);
+  EXPECT_EQ(matmul(Matrix::identity(4), a), a);
+}
+
+TEST(Matmul, ShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(Matmul, Associativity) {
+  Rng rng(2);
+  const Matrix a = Matrix::random(rng, 3, 4);
+  const Matrix b = Matrix::random(rng, 4, 5);
+  const Matrix c = Matrix::random(rng, 5, 2);
+  EXPECT_LT(max_abs_diff(matmul(matmul(a, b), c), matmul(a, matmul(b, c))),
+            1e-4);
+}
+
+TEST(Add, Elementwise) {
+  const Matrix a = Matrix::from_rows(1, 2, {1, 2});
+  const Matrix b = Matrix::from_rows(1, 2, {10, 20});
+  const Matrix c = add(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 11.0F);
+  EXPECT_FLOAT_EQ(c(0, 1), 22.0F);
+}
+
+TEST(Add, ShapeMismatchThrows) {
+  EXPECT_THROW(add(Matrix(1, 2), Matrix(2, 1)), std::invalid_argument);
+}
+
+TEST(AddRowBias, AddsToEveryRow) {
+  Matrix a(2, 2, 1.0F);
+  const std::vector<float> bias = {10.0F, 20.0F};
+  const Matrix c = add_row_bias(a, bias);
+  EXPECT_FLOAT_EQ(c(0, 0), 11.0F);
+  EXPECT_FLOAT_EQ(c(1, 1), 21.0F);
+}
+
+TEST(AddRowBias, LengthMismatchThrows) {
+  const std::vector<float> bias = {1.0F};
+  EXPECT_THROW(add_row_bias(Matrix(1, 2), bias), std::invalid_argument);
+}
+
+TEST(Transpose, RoundTrip) {
+  Rng rng(3);
+  const Matrix a = Matrix::random(rng, 3, 5);
+  const Matrix t = transpose(a);
+  EXPECT_EQ(t.rows(), 5U);
+  EXPECT_EQ(t.cols(), 3U);
+  EXPECT_EQ(transpose(t), a);
+}
+
+TEST(Hconcat, Layout) {
+  const Matrix a = Matrix::from_rows(2, 1, {1, 2});
+  const Matrix b = Matrix::from_rows(2, 2, {3, 4, 5, 6});
+  const Matrix c = hconcat(a, b);
+  EXPECT_EQ(c.cols(), 3U);
+  EXPECT_FLOAT_EQ(c(0, 0), 1.0F);
+  EXPECT_FLOAT_EQ(c(0, 2), 4.0F);
+  EXPECT_FLOAT_EQ(c(1, 1), 5.0F);
+}
+
+TEST(Hconcat, RowMismatchThrows) {
+  EXPECT_THROW(hconcat(Matrix(1, 1), Matrix(2, 1)), std::invalid_argument);
+}
+
+TEST(MaxAbsDiff, DetectsDifference) {
+  const Matrix a = Matrix::from_rows(1, 2, {1, 2});
+  const Matrix b = Matrix::from_rows(1, 2, {1, 2.5});
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.5);
+}
+
+TEST(MaxAbsDiff, ShapeMismatchIsInfinite) {
+  EXPECT_TRUE(std::isinf(max_abs_diff(Matrix(1, 2), Matrix(2, 1))));
+}
+
+TEST(Matrix, RandomRespectsBounds) {
+  Rng rng(4);
+  const Matrix m = Matrix::random(rng, 10, 10, -0.5F, 0.5F);
+  for (const float x : m.data()) {
+    EXPECT_GE(x, -0.5F);
+    EXPECT_LT(x, 0.5F);
+  }
+}
+
+}  // namespace
+}  // namespace gnna::linalg

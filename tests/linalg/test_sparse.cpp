@@ -1,0 +1,139 @@
+#include "linalg/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generator.hpp"
+#include "linalg/ops.hpp"
+
+namespace gnna::linalg {
+namespace {
+
+graph::Graph small_graph() {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(3, 1);
+  return std::move(b).build();
+}
+
+TEST(CsrMatrix, AdjacencyMatchesGraph) {
+  const auto g = small_graph();
+  const CsrMatrix a = CsrMatrix::adjacency(g);
+  EXPECT_EQ(a.rows(), 4U);
+  EXPECT_EQ(a.nnz(), 4U);
+  const Matrix d = a.to_dense();
+  EXPECT_FLOAT_EQ(d(0, 1), 1.0F);
+  EXPECT_FLOAT_EQ(d(3, 1), 1.0F);
+  EXPECT_FLOAT_EQ(d(1, 0), 0.0F);
+}
+
+TEST(CsrMatrix, InvalidCsrThrows) {
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 1}, {0}, {1.0F}), std::invalid_argument);
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 1, 2}, {0}, {1.0F}),
+               std::invalid_argument);
+}
+
+TEST(CsrMatrix, Sparsity) {
+  const CsrMatrix a = CsrMatrix::adjacency(small_graph());
+  EXPECT_DOUBLE_EQ(a.sparsity(), 1.0 - 4.0 / 16.0);
+}
+
+TEST(Spmm, MatchesDenseMatmul) {
+  Rng rng(5);
+  const auto g = graph::generate_random_graph(rng, 30, 120);
+  const CsrMatrix a = CsrMatrix::adjacency(g);
+  const Matrix x = Matrix::random(rng, 30, 7);
+  EXPECT_LT(max_abs_diff(spmm(a, x), matmul(a.to_dense(), x)), 1e-4);
+}
+
+TEST(Spmm, ShapeMismatchThrows) {
+  const CsrMatrix a = CsrMatrix::adjacency(small_graph());
+  EXPECT_THROW(spmm(a, Matrix(3, 2)), std::invalid_argument);
+}
+
+TEST(GcnAdjacency, RowsIncludeSelf) {
+  const CsrMatrix a = CsrMatrix::gcn_normalized_adjacency(small_graph());
+  const Matrix d = a.to_dense();
+  for (std::size_t v = 0; v < 4; ++v) EXPECT_GT(d(v, v), 0.0F);
+}
+
+TEST(GcnAdjacency, IsSymmetric) {
+  Rng rng(6);
+  const auto g = graph::generate_random_graph(rng, 20, 60);
+  const Matrix d = CsrMatrix::gcn_normalized_adjacency(g).to_dense();
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = 0; j < 20; ++j) {
+      EXPECT_NEAR(d(i, j), d(j, i), 1e-6);
+    }
+  }
+}
+
+TEST(GcnAdjacency, ValuesMatchClosedForm) {
+  // D^-1/2 (A+I) D^-1/2 over the symmetrized graph.
+  const auto g = small_graph();
+  const auto sym = g.symmetrized().with_self_loops();
+  const Matrix d = CsrMatrix::gcn_normalized_adjacency(g).to_dense();
+  for (NodeId v = 0; v < 4; ++v) {
+    for (const NodeId u : sym.neighbors(v)) {
+      const float expect =
+          1.0F / std::sqrt(static_cast<float>(sym.out_degree(v)) *
+                           static_cast<float>(sym.out_degree(u)));
+      EXPECT_NEAR(d(v, u), expect, 1e-6);
+    }
+  }
+}
+
+TEST(MeanAdjacency, RowsSumToOne) {
+  Rng rng(7);
+  const auto g = graph::generate_random_graph(rng, 25, 80);
+  const Matrix d = CsrMatrix::mean_adjacency(g).to_dense();
+  for (std::size_t v = 0; v < 25; ++v) {
+    float sum = 0.0F;
+    for (std::size_t u = 0; u < 25; ++u) sum += d(v, u);
+    EXPECT_NEAR(sum, 1.0F, 1e-5);
+  }
+}
+
+TEST(Ops, ReluClampsNegatives) {
+  Matrix m = Matrix::from_rows(1, 3, {-1.0F, 0.0F, 2.0F});
+  relu_inplace(m);
+  EXPECT_FLOAT_EQ(m(0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(m(0, 2), 2.0F);
+}
+
+TEST(Ops, LeakyRelu) {
+  EXPECT_FLOAT_EQ(leaky_relu(-1.0F), -0.2F);
+  EXPECT_FLOAT_EQ(leaky_relu(3.0F), 3.0F);
+}
+
+TEST(Ops, SigmoidRange) {
+  EXPECT_NEAR(sigmoid(0.0F), 0.5F, 1e-6);
+  EXPECT_GT(sigmoid(10.0F), 0.99F);
+  EXPECT_LT(sigmoid(-10.0F), 0.01F);
+}
+
+TEST(Ops, RowSoftmaxSumsToOne) {
+  Rng rng(8);
+  Matrix m = Matrix::random(rng, 5, 9, -10.0F, 10.0F);
+  row_softmax_inplace(m);
+  for (std::size_t r = 0; r < 5; ++r) {
+    float sum = 0.0F;
+    for (const float x : m.row(r)) {
+      EXPECT_GE(x, 0.0F);
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0F, 1e-5);
+  }
+}
+
+TEST(Ops, SoftmaxSpanHandlesExtremes) {
+  std::vector<float> xs = {1000.0F, 1000.0F};
+  softmax_inplace(xs);
+  EXPECT_NEAR(xs[0], 0.5F, 1e-6);
+  EXPECT_NEAR(xs[1], 0.5F, 1e-6);
+}
+
+}  // namespace
+}  // namespace gnna::linalg

@@ -1,0 +1,215 @@
+// gnnasim — command-line driver for the GNN accelerator simulator.
+//
+//   gnnasim --list
+//   gnnasim --benchmark GCN/Cora --config cpu-iso-bw --clock 2.4
+//   gnnasim --benchmark MPNN/QM9_1000 --config gpu-iso-flops --energy
+//   gnnasim --benchmark PGNN/DBLP_1 --threads 32 --partition block
+//
+// Prints a full run report: latency, utilizations, per-phase breakdown,
+// and (with --energy) the estimated energy split.
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "accel/compiler.hpp"
+#include "accel/energy.hpp"
+#include "accel/runner.hpp"
+#include "baseline/baselines.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace gnna;
+
+void usage(std::ostream& os) {
+  os << "usage: gnnasim [options]\n"
+        "  --list                     list benchmarks and configurations\n"
+        "  --benchmark <name>         e.g. GCN/Cora (required unless --list)\n"
+        "  --config <name>            cpu-iso-bw | gpu-iso-bw | gpu-iso-flops"
+        " (default cpu-iso-bw)\n"
+        "  --clock <ghz>              core clock in GHz (default 2.4)\n"
+        "  --threads <n>              GPE software threads (default 16)\n"
+        "  --partition <policy>       round-robin | block (default"
+        " round-robin)\n"
+        "  --seed <n>                 dataset seed (default 2020)\n"
+        "  --energy                   print the energy breakdown\n"
+        "  --help                     this text\n";
+}
+
+std::optional<gnn::Benchmark> parse_benchmark(const std::string& name) {
+  for (const gnn::Benchmark b : gnn::kAllBenchmarks) {
+    if (gnn::benchmark_name(b) == name) return b;
+  }
+  return std::nullopt;
+}
+
+std::optional<accel::AcceleratorConfig> parse_config(const std::string& name) {
+  if (name == "cpu-iso-bw") return accel::AcceleratorConfig::cpu_iso_bw();
+  if (name == "gpu-iso-bw") return accel::AcceleratorConfig::gpu_iso_bw();
+  if (name == "gpu-iso-flops") {
+    return accel::AcceleratorConfig::gpu_iso_flops();
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<gnn::Benchmark> benchmark;
+  accel::AcceleratorConfig cfg = accel::AcceleratorConfig::cpu_iso_bw();
+  graph::PartitionPolicy partition = graph::PartitionPolicy::kRoundRobin;
+  double clock_ghz = 2.4;
+  std::uint32_t threads = 16;
+  std::uint64_t seed = 2020;
+  bool want_energy = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    }
+    if (arg == "--list") {
+      std::cout << "benchmarks:\n";
+      for (const gnn::Benchmark b : gnn::kAllBenchmarks) {
+        std::cout << "  " << gnn::benchmark_name(b) << '\n';
+      }
+      std::cout << "configurations:\n  cpu-iso-bw\n  gpu-iso-bw\n"
+                   "  gpu-iso-flops\n";
+      return 0;
+    }
+    if (arg == "--benchmark") {
+      const auto v = next();
+      if (!v || !(benchmark = parse_benchmark(*v))) {
+        std::cerr << "error: unknown benchmark; try --list\n";
+        return 2;
+      }
+    } else if (arg == "--config") {
+      const auto v = next();
+      const auto c = v ? parse_config(*v) : std::nullopt;
+      if (!c) {
+        std::cerr << "error: unknown config; try --list\n";
+        return 2;
+      }
+      cfg = *c;
+    } else if (arg == "--clock") {
+      const auto v = next();
+      if (!v) {
+        std::cerr << "error: --clock needs a value\n";
+        return 2;
+      }
+      clock_ghz = std::stod(*v);
+      if (clock_ghz <= 0.0 || clock_ghz > 2.4 + 1e-9) {
+        std::cerr << "error: clock must be in (0, 2.4] GHz (the NoC runs "
+                     "at 2.4)\n";
+        return 2;
+      }
+    } else if (arg == "--threads") {
+      const auto v = next();
+      if (!v) {
+        std::cerr << "error: --threads needs a value\n";
+        return 2;
+      }
+      threads = static_cast<std::uint32_t>(std::stoul(*v));
+    } else if (arg == "--partition") {
+      const auto v = next();
+      if (v == std::optional<std::string>("round-robin")) {
+        partition = graph::PartitionPolicy::kRoundRobin;
+      } else if (v == std::optional<std::string>("block")) {
+        partition = graph::PartitionPolicy::kBlock;
+      } else {
+        std::cerr << "error: unknown partition policy\n";
+        return 2;
+      }
+    } else if (arg == "--seed") {
+      const auto v = next();
+      if (!v) {
+        std::cerr << "error: --seed needs a value\n";
+        return 2;
+      }
+      seed = std::stoull(*v);
+    } else if (arg == "--energy") {
+      want_energy = true;
+    } else {
+      std::cerr << "error: unknown option " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+
+  if (!benchmark) {
+    usage(std::cerr);
+    return 2;
+  }
+
+  cfg = cfg.with_core_clock(clock_ghz);
+  cfg.tile_params.gpe_threads = threads;
+
+  // Build and run (mirrors accel::simulate_benchmark but honours the
+  // partition policy).
+  const graph::Dataset ds =
+      graph::make_dataset(gnn::benchmark_dataset(*benchmark), seed);
+  const gnn::ModelSpec model = gnn::make_benchmark_model(*benchmark);
+  const accel::CompiledProgram prog =
+      accel::ProgramCompiler{}.compile(model, ds);
+  accel::AcceleratorSim sim(cfg, partition);
+  const accel::RunStats rs = sim.run(prog);
+
+  std::cout << "benchmark : " << gnn::benchmark_name(*benchmark) << '\n';
+  std::cout << "config    : " << cfg.name << " @ " << clock_ghz << " GHz, "
+            << threads << " GPE threads\n\n";
+
+  Table t({"Metric", "Value"});
+  t.add_row({"latency", format_double(rs.millis, 3) + " ms (" +
+                            std::to_string(rs.cycles) + " NoC cycles)"});
+  t.add_row({"mean memory bandwidth",
+             format_double(rs.mean_bandwidth_gbps, 1) + " GB/s (" +
+                 format_percent(rs.bandwidth_utilization) + " of peak)"});
+  t.add_row({"DNA utilization", format_percent(rs.dna_utilization)});
+  t.add_row({"GPE utilization", format_percent(rs.gpe_utilization)});
+  t.add_row({"AGG utilization", format_percent(rs.agg_utilization)});
+  t.add_row({"work items retired", std::to_string(rs.tasks_completed)});
+  t.add_row({"NoC packets", std::to_string(rs.packets_delivered)});
+  t.add_row({"avg packet latency",
+             format_double(rs.avg_packet_latency, 1) + " cycles"});
+  const auto t7 = baseline::table7_row(*benchmark);
+  t.add_row({"speedup vs CPU baseline", format_speedup(t7.cpu_ms / rs.millis)});
+  t.add_row({"speedup vs GPU baseline", format_speedup(t7.gpu_ms / rs.millis)});
+  t.print(std::cout);
+
+  std::cout << "\nper-phase breakdown:\n";
+  Table pt({"Phase", "Cycles", "Share", "Mem bytes"});
+  for (const auto& ph : rs.phases) {
+    pt.add_row({ph.name, std::to_string(ph.cycles),
+                format_percent(static_cast<double>(ph.cycles) /
+                               static_cast<double>(rs.cycles)),
+                std::to_string(ph.mem_bytes_served)});
+  }
+  pt.print(std::cout);
+
+  if (want_energy) {
+    const accel::EnergyBreakdown e = accel::estimate_energy(rs, cfg);
+    std::cout << "\nenergy breakdown (activity-counter model):\n";
+    Table et({"Component", "uJ", "Share"});
+    const auto add = [&](const std::string& n, double uj) {
+      et.add_row({n, format_double(uj, 2), format_percent(uj / e.total_uj())});
+    };
+    add("DRAM", e.dram_uj);
+    add("NoC", e.noc_uj);
+    add("DNA", e.dna_uj);
+    add("AGG", e.agg_uj);
+    add("DNQ", e.dnq_uj);
+    add("GPE", e.gpe_uj);
+    add("leakage", e.leakage_uj);
+    et.add_row({"total", format_double(e.total_uj(), 2), "100%"});
+    et.print(std::cout);
+    std::cout << "DRAM bytes wasted on 64B-line padding: "
+              << format_percent(e.dram_waste_fraction) << '\n';
+  }
+  return 0;
+}
