@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dnq.dir/bench_ablation_dnq.cpp.o"
+  "CMakeFiles/bench_ablation_dnq.dir/bench_ablation_dnq.cpp.o.d"
+  "bench_ablation_dnq"
+  "bench_ablation_dnq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dnq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

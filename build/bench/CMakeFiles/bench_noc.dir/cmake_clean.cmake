@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_noc.dir/bench_noc.cpp.o"
+  "CMakeFiles/bench_noc.dir/bench_noc.cpp.o.d"
+  "bench_noc"
+  "bench_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

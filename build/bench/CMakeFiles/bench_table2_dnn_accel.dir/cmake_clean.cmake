@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_dnn_accel.dir/bench_table2_dnn_accel.cpp.o"
+  "CMakeFiles/bench_table2_dnn_accel.dir/bench_table2_dnn_accel.cpp.o.d"
+  "bench_table2_dnn_accel"
+  "bench_table2_dnn_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_dnn_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

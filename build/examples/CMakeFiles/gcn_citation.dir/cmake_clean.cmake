@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcn_citation.dir/gcn_citation.cpp.o"
+  "CMakeFiles/gcn_citation.dir/gcn_citation.cpp.o.d"
+  "gcn_citation"
+  "gcn_citation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcn_citation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

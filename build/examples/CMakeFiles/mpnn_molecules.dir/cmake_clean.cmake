@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpnn_molecules.dir/mpnn_molecules.cpp.o"
+  "CMakeFiles/mpnn_molecules.dir/mpnn_molecules.cpp.o.d"
+  "mpnn_molecules"
+  "mpnn_molecules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpnn_molecules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

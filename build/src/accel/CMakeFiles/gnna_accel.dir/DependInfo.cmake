@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/agg.cpp" "src/accel/CMakeFiles/gnna_accel.dir/agg.cpp.o" "gcc" "src/accel/CMakeFiles/gnna_accel.dir/agg.cpp.o.d"
+  "/root/repo/src/accel/compiler.cpp" "src/accel/CMakeFiles/gnna_accel.dir/compiler.cpp.o" "gcc" "src/accel/CMakeFiles/gnna_accel.dir/compiler.cpp.o.d"
+  "/root/repo/src/accel/config.cpp" "src/accel/CMakeFiles/gnna_accel.dir/config.cpp.o" "gcc" "src/accel/CMakeFiles/gnna_accel.dir/config.cpp.o.d"
+  "/root/repo/src/accel/dna.cpp" "src/accel/CMakeFiles/gnna_accel.dir/dna.cpp.o" "gcc" "src/accel/CMakeFiles/gnna_accel.dir/dna.cpp.o.d"
+  "/root/repo/src/accel/dnq.cpp" "src/accel/CMakeFiles/gnna_accel.dir/dnq.cpp.o" "gcc" "src/accel/CMakeFiles/gnna_accel.dir/dnq.cpp.o.d"
+  "/root/repo/src/accel/energy.cpp" "src/accel/CMakeFiles/gnna_accel.dir/energy.cpp.o" "gcc" "src/accel/CMakeFiles/gnna_accel.dir/energy.cpp.o.d"
+  "/root/repo/src/accel/gpe.cpp" "src/accel/CMakeFiles/gnna_accel.dir/gpe.cpp.o" "gcc" "src/accel/CMakeFiles/gnna_accel.dir/gpe.cpp.o.d"
+  "/root/repo/src/accel/program.cpp" "src/accel/CMakeFiles/gnna_accel.dir/program.cpp.o" "gcc" "src/accel/CMakeFiles/gnna_accel.dir/program.cpp.o.d"
+  "/root/repo/src/accel/report.cpp" "src/accel/CMakeFiles/gnna_accel.dir/report.cpp.o" "gcc" "src/accel/CMakeFiles/gnna_accel.dir/report.cpp.o.d"
+  "/root/repo/src/accel/runner.cpp" "src/accel/CMakeFiles/gnna_accel.dir/runner.cpp.o" "gcc" "src/accel/CMakeFiles/gnna_accel.dir/runner.cpp.o.d"
+  "/root/repo/src/accel/simulator.cpp" "src/accel/CMakeFiles/gnna_accel.dir/simulator.cpp.o" "gcc" "src/accel/CMakeFiles/gnna_accel.dir/simulator.cpp.o.d"
+  "/root/repo/src/accel/tile.cpp" "src/accel/CMakeFiles/gnna_accel.dir/tile.cpp.o" "gcc" "src/accel/CMakeFiles/gnna_accel.dir/tile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gnna_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/gnna_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/gnna_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gnna_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/gnna_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gnna_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnna_accel.dir/agg.cpp.o"
+  "CMakeFiles/gnna_accel.dir/agg.cpp.o.d"
+  "CMakeFiles/gnna_accel.dir/compiler.cpp.o"
+  "CMakeFiles/gnna_accel.dir/compiler.cpp.o.d"
+  "CMakeFiles/gnna_accel.dir/config.cpp.o"
+  "CMakeFiles/gnna_accel.dir/config.cpp.o.d"
+  "CMakeFiles/gnna_accel.dir/dna.cpp.o"
+  "CMakeFiles/gnna_accel.dir/dna.cpp.o.d"
+  "CMakeFiles/gnna_accel.dir/dnq.cpp.o"
+  "CMakeFiles/gnna_accel.dir/dnq.cpp.o.d"
+  "CMakeFiles/gnna_accel.dir/energy.cpp.o"
+  "CMakeFiles/gnna_accel.dir/energy.cpp.o.d"
+  "CMakeFiles/gnna_accel.dir/gpe.cpp.o"
+  "CMakeFiles/gnna_accel.dir/gpe.cpp.o.d"
+  "CMakeFiles/gnna_accel.dir/program.cpp.o"
+  "CMakeFiles/gnna_accel.dir/program.cpp.o.d"
+  "CMakeFiles/gnna_accel.dir/report.cpp.o"
+  "CMakeFiles/gnna_accel.dir/report.cpp.o.d"
+  "CMakeFiles/gnna_accel.dir/runner.cpp.o"
+  "CMakeFiles/gnna_accel.dir/runner.cpp.o.d"
+  "CMakeFiles/gnna_accel.dir/simulator.cpp.o"
+  "CMakeFiles/gnna_accel.dir/simulator.cpp.o.d"
+  "CMakeFiles/gnna_accel.dir/tile.cpp.o"
+  "CMakeFiles/gnna_accel.dir/tile.cpp.o.d"
+  "libgnna_accel.a"
+  "libgnna_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnna_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/baselines.cpp" "src/baseline/CMakeFiles/gnna_baseline.dir/baselines.cpp.o" "gcc" "src/baseline/CMakeFiles/gnna_baseline.dir/baselines.cpp.o.d"
+  "/root/repo/src/baseline/dnn_accel_study.cpp" "src/baseline/CMakeFiles/gnna_baseline.dir/dnn_accel_study.cpp.o" "gcc" "src/baseline/CMakeFiles/gnna_baseline.dir/dnn_accel_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gnn/CMakeFiles/gnna_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/gnna_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gnna_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gnna_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

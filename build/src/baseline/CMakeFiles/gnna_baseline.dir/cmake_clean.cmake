@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnna_baseline.dir/baselines.cpp.o"
+  "CMakeFiles/gnna_baseline.dir/baselines.cpp.o.d"
+  "CMakeFiles/gnna_baseline.dir/dnn_accel_study.cpp.o"
+  "CMakeFiles/gnna_baseline.dir/dnn_accel_study.cpp.o.d"
+  "libgnna_baseline.a"
+  "libgnna_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnna_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnna_dataflow.dir/spatial.cpp.o"
+  "CMakeFiles/gnna_dataflow.dir/spatial.cpp.o.d"
+  "libgnna_dataflow.a"
+  "libgnna_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnna_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnn/functional.cpp" "src/gnn/CMakeFiles/gnna_gnn.dir/functional.cpp.o" "gcc" "src/gnn/CMakeFiles/gnna_gnn.dir/functional.cpp.o.d"
+  "/root/repo/src/gnn/model.cpp" "src/gnn/CMakeFiles/gnna_gnn.dir/model.cpp.o" "gcc" "src/gnn/CMakeFiles/gnna_gnn.dir/model.cpp.o.d"
+  "/root/repo/src/gnn/weights.cpp" "src/gnn/CMakeFiles/gnna_gnn.dir/weights.cpp.o" "gcc" "src/gnn/CMakeFiles/gnna_gnn.dir/weights.cpp.o.d"
+  "/root/repo/src/gnn/workload.cpp" "src/gnn/CMakeFiles/gnna_gnn.dir/workload.cpp.o" "gcc" "src/gnn/CMakeFiles/gnna_gnn.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gnna_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gnna_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnna_gnn.dir/functional.cpp.o"
+  "CMakeFiles/gnna_gnn.dir/functional.cpp.o.d"
+  "CMakeFiles/gnna_gnn.dir/model.cpp.o"
+  "CMakeFiles/gnna_gnn.dir/model.cpp.o.d"
+  "CMakeFiles/gnna_gnn.dir/weights.cpp.o"
+  "CMakeFiles/gnna_gnn.dir/weights.cpp.o.d"
+  "CMakeFiles/gnna_gnn.dir/workload.cpp.o"
+  "CMakeFiles/gnna_gnn.dir/workload.cpp.o.d"
+  "libgnna_gnn.a"
+  "libgnna_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnna_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnna_graph.dir/dataset.cpp.o"
+  "CMakeFiles/gnna_graph.dir/dataset.cpp.o.d"
+  "CMakeFiles/gnna_graph.dir/generator.cpp.o"
+  "CMakeFiles/gnna_graph.dir/generator.cpp.o.d"
+  "CMakeFiles/gnna_graph.dir/graph.cpp.o"
+  "CMakeFiles/gnna_graph.dir/graph.cpp.o.d"
+  "libgnna_graph.a"
+  "libgnna_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnna_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

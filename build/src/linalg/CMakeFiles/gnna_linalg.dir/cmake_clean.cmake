@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnna_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/gnna_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/gnna_linalg.dir/sparse.cpp.o"
+  "CMakeFiles/gnna_linalg.dir/sparse.cpp.o.d"
+  "libgnna_linalg.a"
+  "libgnna_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnna_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

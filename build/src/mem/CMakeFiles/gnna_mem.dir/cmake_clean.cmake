@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnna_mem.dir/memory.cpp.o"
+  "CMakeFiles/gnna_mem.dir/memory.cpp.o.d"
+  "libgnna_mem.a"
+  "libgnna_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnna_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnna_noc.dir/network.cpp.o"
+  "CMakeFiles/gnna_noc.dir/network.cpp.o.d"
+  "libgnna_noc.a"
+  "libgnna_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnna_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgnna_noc.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_addrmap.dir/accel/test_addrmap.cpp.o"
+  "CMakeFiles/test_addrmap.dir/accel/test_addrmap.cpp.o.d"
+  "test_addrmap"
+  "test_addrmap.pdb"
+  "test_addrmap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_addrmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dna.dir/accel/test_dna.cpp.o"
+  "CMakeFiles/test_dna.dir/accel/test_dna.cpp.o.d"
+  "test_dna"
+  "test_dna.pdb"
+  "test_dna[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dnq.dir/accel/test_dnq.cpp.o"
+  "CMakeFiles/test_dnq.dir/accel/test_dnq.cpp.o.d"
+  "test_dnq"
+  "test_dnq.pdb"
+  "test_dnq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dnq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

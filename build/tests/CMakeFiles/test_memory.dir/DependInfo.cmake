@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/test_memory.cpp" "tests/CMakeFiles/test_memory.dir/mem/test_memory.cpp.o" "gcc" "tests/CMakeFiles/test_memory.dir/mem/test_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/accel/CMakeFiles/gnna_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/gnna_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gnna_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/gnna_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/gnna_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gnna_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gnna_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/gnna_dataflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

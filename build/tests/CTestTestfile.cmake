@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_units[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_fixed_point[1]_include.cmake")
+include("/root/repo/build/tests/test_table[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_generator[1]_include.cmake")
+include("/root/repo/build/tests/test_dataset[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse[1]_include.cmake")
+include("/root/repo/build/tests/test_spatial[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_addrmap[1]_include.cmake")
+include("/root/repo/build/tests/test_agg[1]_include.cmake")
+include("/root/repo/build/tests/test_dnq[1]_include.cmake")
+include("/root/repo/build/tests/test_dna[1]_include.cmake")
+include("/root/repo/build/tests/test_energy[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_golden[1]_include.cmake")
+include("/root/repo/build/tests/test_compiler[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_models[1]_include.cmake")
+include("/root/repo/build/tests/test_functional[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")

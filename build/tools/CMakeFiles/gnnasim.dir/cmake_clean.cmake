@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnasim.dir/gnnasim.cpp.o"
+  "CMakeFiles/gnnasim.dir/gnnasim.cpp.o.d"
+  "gnnasim"
+  "gnnasim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnasim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
