@@ -16,6 +16,7 @@
 
 #include "accel/runner.hpp"
 #include "baseline/baselines.hpp"
+#include "bench_util.hpp"
 #include "common/table.hpp"
 
 int main() {
@@ -23,6 +24,7 @@ int main() {
   using accel::AcceleratorConfig;
 
   const bool quick = std::getenv("GNNA_QUICK") != nullptr;
+  const benchutil::EnvTrace env_trace;  // GNNA_TRACE / GNNA_SAMPLE_EVERY
   const std::vector<double> clocks =
       quick ? std::vector<double>{2.4} : std::vector<double>{0.6, 1.2, 2.4};
 
@@ -52,7 +54,7 @@ int main() {
         std::cerr << "[fig8] " << panels[p].title << " | "
                   << gnn::benchmark_name(b) << " @ " << ghz << " GHz...\n";
         const accel::RunStats rs = accel::simulate_benchmark(
-            b, panels[p].cfg.with_core_clock(ghz));
+            b, panels[p].cfg.with_core_clock(ghz), 2020, env_trace.options());
         const auto t7 = baseline::table7_row(b);
         const double base_ms = panels[p].vs_gpu ? t7.gpu_ms : t7.cpu_ms;
         speedups[p][b][ghz] = base_ms / rs.millis;

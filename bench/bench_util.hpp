@@ -2,11 +2,57 @@
 // sweeps finish quickly while exercising the same code paths.
 #pragma once
 
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+
+#include "accel/simulator.hpp"
 #include "common/rng.hpp"
 #include "graph/dataset.hpp"
 #include "graph/generator.hpp"
+#include "trace/trace.hpp"
 
 namespace gnna::benchutil {
+
+/// Observability via the environment, for benches that have no CLI flags:
+///   GNNA_TRACE=<file>        Chrome-trace JSON event log
+///   GNNA_SAMPLE_EVERY=<n>    periodic sample cadence in NoC cycles
+///   GNNA_SAMPLE_FILE=<file>  CSV sidecar for the samples (default stderr)
+/// Owns the output streams and sink; options() stays valid while this
+/// object is alive. When a bench runs several simulations against one
+/// EnvTrace, their events share the file with per-run cycle timestamps.
+class EnvTrace {
+ public:
+  EnvTrace() {
+    if (const char* p = std::getenv("GNNA_TRACE")) {
+      trace_file_.open(p);
+      if (trace_file_) {
+        sink_.emplace(trace_file_);
+        opts_.sink = &*sink_;
+      } else {
+        std::cerr << "warning: cannot open GNNA_TRACE file " << p << '\n';
+      }
+    }
+    if (const char* p = std::getenv("GNNA_SAMPLE_EVERY")) {
+      opts_.sample_every = std::strtoull(p, nullptr, 10);
+      if (opts_.sample_every > 0) {
+        if (const char* f = std::getenv("GNNA_SAMPLE_FILE")) {
+          sample_file_.open(f);
+        }
+        opts_.sample_out = sample_file_.is_open() ? &sample_file_ : &std::cerr;
+      }
+    }
+  }
+
+  [[nodiscard]] const accel::TraceOptions& options() const { return opts_; }
+
+ private:
+  std::ofstream trace_file_;
+  std::ofstream sample_file_;
+  std::optional<trace::ChromeTraceSink> sink_;
+  accel::TraceOptions opts_;
+};
 
 /// QM9-like subset: `num_graphs` molecules of 12-13 atoms (the paper used
 /// the first 1000 QM9 graphs; ablations use fewer for speed).

@@ -119,11 +119,31 @@ void Agg::complete(AggHandle h) {
     }
   }
   stats_.completions.add();
+  tracer_.instant("complete", h, e.expected_words);
   e.active = false;
   e.values.clear();
   data_bytes_used_ -= std::uint64_t{e.width_words} * kWordBytes;
   --live_entries_;
   free_list_.push_back(h);
+}
+
+void Agg::dump_state(std::ostream& os) const {
+  os << "    agg: live_entries=" << live_entries_ << " inbox="
+     << inbox_.size() << " data_used=" << data_bytes_used_
+     << "B alu_free_at=" << alu_free_at_ << '\n';
+  std::size_t shown = 0;
+  for (AggHandle h = 0; h < entries_.size(); ++h) {
+    const Entry& e = entries_[h];
+    if (!e.active) continue;
+    if (shown == 8) {
+      os << "      ... " << live_entries_ - shown << " more live entries\n";
+      break;
+    }
+    ++shown;
+    os << "      entry " << h << ": received=" << e.received_words << '/'
+       << e.expected_words << " words (width=" << e.width_words
+       << ", remaining=" << e.expected_words - e.received_words << ")\n";
+  }
 }
 
 void Agg::tick() {
@@ -158,6 +178,9 @@ void Agg::tick() {
     stats_.busy_cycles += cycles * scale_;
     stats_.contributions.add();
     stats_.words_reduced.add(words);
+    if (tracer_.enabled()) {
+      tracer_.complete("reduce", start, cycles * scale_, h, words);
+    }
     e.received_words += words;
     if (e.received_words >= e.expected_words) complete(h);
   }

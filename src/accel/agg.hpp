@@ -28,6 +28,7 @@
 #include "common/fixed_point.hpp"
 #include "common/stats.hpp"
 #include "noc/network.hpp"
+#include "trace/trace.hpp"
 
 namespace gnna::accel {
 
@@ -79,6 +80,12 @@ class Agg {
   [[nodiscard]] std::uint32_t live_entries() const { return live_entries_; }
   [[nodiscard]] const AggStats& stats() const { return stats_; }
 
+  /// Attach an event tracer (reductions, completions). Disabled by default.
+  void set_tracer(trace::Tracer t) { tracer_ = t; }
+
+  /// Deadlock diagnostics: live entries with remaining-element counters.
+  void dump_state(std::ostream& os) const;
+
  private:
   struct Entry {
     bool active = false;
@@ -106,6 +113,7 @@ class Agg {
   std::deque<noc::Message> inbox_;  // internal flit-buffer stand-in
   double alu_free_at_ = 0.0;
   AggStats stats_;
+  trace::Tracer tracer_;
 };
 
 }  // namespace gnna::accel

@@ -69,6 +69,17 @@ void Dna::emit(const PendingResult& r) {
   stats_.results_sent.add();
 }
 
+void Dna::dump_state(std::ostream& os) const {
+  os << "    dna: " << (busy_ ? "BUSY" : "idle")
+     << " array_free_at=" << array_free_at_
+     << " weights_pending=" << weights_pending_
+     << "B pending_results=" << results_.size();
+  if (!results_.empty()) {
+    os << " next_result_at=" << results_.front().ready_at;
+  }
+  os << '\n';
+}
+
 void Dna::tick(Dnq& dnq) {
   const auto now = static_cast<double>(net_.now());
 
@@ -105,6 +116,10 @@ void Dna::tick(Dnq& dnq) {
   stats_.busy_cycles += ii_core * scale_;
   stats_.entries_processed.add();
   stats_.macs.add(model.macs_per_entry);
+  if (tracer_.enabled()) {
+    tracer_.complete("entry", start, ii_core * scale_, entry->queue,
+                     entry->width_words);
+  }
 
   PendingResult r;
   r.ready_at = array_free_at_ + params_.dna_pipeline_latency * scale_;

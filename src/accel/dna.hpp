@@ -18,6 +18,7 @@
 #include "common/stats.hpp"
 #include "dataflow/spatial.hpp"
 #include "noc/network.hpp"
+#include "trace/trace.hpp"
 
 namespace gnna::accel {
 
@@ -57,6 +58,13 @@ class Dna {
   [[nodiscard]] bool weights_loaded() const { return weights_pending_ == 0; }
   [[nodiscard]] const DnaStats& stats() const { return stats_; }
 
+  /// Attach an event tracer (per-entry array occupancy). Disabled by
+  /// default.
+  void set_tracer(trace::Tracer t) { tracer_ = t; }
+
+  /// Deadlock diagnostics: array/pipeline/weight-stream state.
+  void dump_state(std::ostream& os) const;
+
  private:
   struct PendingResult {
     double ready_at = 0.0;
@@ -79,6 +87,7 @@ class Dna {
   bool busy_ = false;
   std::deque<PendingResult> results_;  // ordered by ready_at
   DnaStats stats_;
+  trace::Tracer tracer_;
 };
 
 }  // namespace gnna::accel

@@ -4,10 +4,20 @@
 
 namespace gnna::accel {
 
+std::uint32_t Dnq::queue0_split_bytes(const TileParams& params) {
+  // Scale before dividing: `data / 16 * sixteenths` truncates the
+  // per-sixteenth size first, so a sixteenths=16 split of a non-divisible
+  // scratchpad would strand up to 15 bytes in queue 1.
+  return static_cast<std::uint32_t>(std::uint64_t{params.dnq_data_bytes} *
+                                    params.dnq_queue0_sixteenths / 16);
+}
+
 Dnq::Dnq(const TileParams& params) : params_(params) {
-  const std::uint32_t q0 =
-      params.dnq_data_bytes / 16 * params.dnq_queue0_sixteenths;
-  configure(q0, params.dnq_data_bytes - q0);
+  const std::uint32_t q0 = queue0_split_bytes(params);
+  const std::uint32_t q1 = params.dnq_data_bytes - q0;
+  assert(q0 + q1 == params.dnq_data_bytes &&
+         "DNQ split must account for every scratchpad byte");
+  configure(q0, q1);
 }
 
 void Dnq::configure(std::uint32_t queue0_bytes, std::uint32_t queue1_bytes) {
@@ -46,6 +56,7 @@ std::optional<DnqHandle> Dnq::allocate(std::uint8_t queue,
   fifo_[queue].push_back(h);
   ++live_entries_;
   stats_.allocations.add();
+  tracer_.instant("alloc", h, queue);
   return h;
 }
 
@@ -81,7 +92,25 @@ DnqEntry Dnq::pop_head(std::uint8_t q) {
   --live_entries_;
   free_list_.push_back(h);
   stats_.dequeues.add();
+  tracer_.instant("dequeue", h, q);
   return out;
+}
+
+void Dnq::dump_state(std::ostream& os) const {
+  os << "    dnq: live_entries=" << live_entries_ << " active_queue="
+     << static_cast<int>(active_queue_) << '\n';
+  for (std::uint8_t q = 0; q < 2; ++q) {
+    os << "      queue " << static_cast<int>(q) << ": used="
+       << bytes_used_[q] << '/' << capacity_bytes_[q] << "B depth="
+       << fifo_[q].size();
+    if (!fifo_[q].empty()) {
+      const Entry& e = entries_[fifo_[q].front()];
+      os << " head{handle=" << fifo_[q].front() << " received="
+         << e.received_bytes << '/' << std::uint64_t{e.width_words} * 4
+         << "B" << (e.ready() ? " ready" : " WAITING") << '}';
+    }
+    os << '\n';
+  }
 }
 
 std::optional<DnqEntry> Dnq::try_dequeue(double idle_core_cycles) {
@@ -93,6 +122,7 @@ std::optional<DnqEntry> Dnq::try_dequeue(double idle_core_cycles) {
       head_ready(other)) {
     active_queue_ = other;
     stats_.queue_switches.add();
+    tracer_.instant("queue_switch", other);
     return pop_head(active_queue_);
   }
   return std::nullopt;

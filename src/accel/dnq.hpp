@@ -26,6 +26,7 @@
 #include "accel/config.hpp"
 #include "common/stats.hpp"
 #include "noc/message.hpp"
+#include "trace/trace.hpp"
 
 namespace gnna::accel {
 
@@ -50,6 +51,12 @@ class Dnq {
  public:
   explicit Dnq(const TileParams& params);
 
+  /// Bytes of the data scratchpad given to virtual queue 0 by the default
+  /// `dnq_queue0_sixteenths` split; the remainder goes to queue 1 so every
+  /// byte of `dnq_data_bytes` is accounted for.
+  [[nodiscard]] static std::uint32_t queue0_split_bytes(
+      const TileParams& params);
+
   /// Reconfigure the virtual-queue split (allocation bus, per phase).
   /// Frees nothing: must only be called when the queue is empty.
   void configure(std::uint32_t queue0_bytes, std::uint32_t queue1_bytes);
@@ -72,7 +79,19 @@ class Dnq {
   [[nodiscard]] bool empty() const { return live_entries_ == 0; }
   [[nodiscard]] std::uint32_t live_entries() const { return live_entries_; }
   [[nodiscard]] std::uint8_t active_queue() const { return active_queue_; }
+  [[nodiscard]] std::uint32_t queue_capacity_bytes(std::uint8_t q) const {
+    return capacity_bytes_[q];
+  }
+  [[nodiscard]] std::uint64_t queue_used_bytes(std::uint8_t q) const {
+    return bytes_used_[q];
+  }
   [[nodiscard]] const DnqStats& stats() const { return stats_; }
+
+  /// Attach an event tracer (allocations, dequeues, queue switches).
+  void set_tracer(trace::Tracer t) { tracer_ = t; }
+
+  /// Deadlock diagnostics: per-queue occupancy and head-entry fill state.
+  void dump_state(std::ostream& os) const;
 
  private:
   struct Entry {
@@ -99,6 +118,7 @@ class Dnq {
   std::uint32_t live_entries_ = 0;
   std::uint8_t active_queue_ = 0;
   DnqStats stats_;
+  trace::Tracer tracer_;
 };
 
 }  // namespace gnna::accel

@@ -71,12 +71,21 @@ void Gpe::send_to_dnq(DnqHandle h, std::uint32_t words) {
 void Gpe::finish_task(Thread& t) {
   t.state = Thread::State::kFree;
   stats_.tasks_completed.add();
+  if (tracer_.enabled()) {
+    tracer_.complete("task", t.task_started, gpe_time_ - t.task_started,
+                     t.work, static_cast<std::uint64_t>(&t - threads_.data()));
+  }
 }
 
 void Gpe::stall(Thread& t) {
   t.state = Thread::State::kStalled;
   t.stalled_until = static_cast<double>(net_.now()) + 16.0;
   stats_.alloc_stalls.add();
+  if (tracer_.enabled()) {
+    tracer_.instant_at("alloc_stall", gpe_time_,
+                       static_cast<std::uint64_t>(&t - threads_.data()),
+                       t.work);
+  }
 }
 
 int Gpe::pick_runnable(double now) {
@@ -93,10 +102,36 @@ int Gpe::pick_runnable(double now) {
       t = Thread{};
       t.state = Thread::State::kRunnable;
       t.work = work_[next_work_++];
+      t.task_started = now;
       return static_cast<int>(i);
     }
   }
   return -1;
+}
+
+void Gpe::dump_state(std::ostream& os) const {
+  const auto thread_state_name = [](Thread::State s) {
+    switch (s) {
+      case Thread::State::kFree: return "free";
+      case Thread::State::kRunnable: return "runnable";
+      case Thread::State::kWaitMem: return "wait_mem";
+      case Thread::State::kStalled: return "stalled";
+    }
+    return "?";
+  };
+  os << "    gpe: work=" << next_work_ << '/' << work_.size()
+     << " dispatched, gpe_time=" << gpe_time_ << '\n';
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    const Thread& t = threads_[i];
+    if (t.state == Thread::State::kFree) continue;
+    os << "      thread " << i << ": " << thread_state_name(t.state)
+       << " work=" << t.work << " stage=" << t.stage << " loop_i="
+       << t.loop_i << " pending_responses=" << t.pending_responses;
+    if (t.state == Thread::State::kStalled) {
+      os << " stalled_until=" << t.stalled_until;
+    }
+    os << '\n';
+  }
 }
 
 void Gpe::tick(Agg& agg, Dnq& dnq) {
@@ -125,6 +160,11 @@ void Gpe::tick(Agg& agg, Dnq& dnq) {
     if (static_cast<std::size_t>(ti) != last_thread_) {
       cost += params_.cost_context_switch;
       stats_.context_switches.add();
+      if (tracer_.enabled()) {
+        tracer_.instant_at("switch", gpe_time_,
+                           static_cast<std::uint64_t>(ti),
+                           threads_[static_cast<std::size_t>(ti)].work);
+      }
     }
     last_thread_ = static_cast<std::size_t>(ti);
     cost += step(threads_[last_thread_], agg, dnq);

@@ -29,6 +29,7 @@
 #include "accel/program.hpp"
 #include "common/stats.hpp"
 #include "noc/network.hpp"
+#include "trace/trace.hpp"
 
 namespace gnna::accel {
 
@@ -58,6 +59,13 @@ class Gpe {
   [[nodiscard]] bool idle() const;
   [[nodiscard]] const GpeStats& stats() const { return stats_; }
 
+  /// Attach an event tracer (thread switches, task lifetimes, alloc
+  /// stalls). Disabled by default.
+  void set_tracer(trace::Tracer t) { tracer_ = t; }
+
+  /// Deadlock diagnostics: work-queue progress and non-free thread states.
+  void dump_state(std::ostream& os) const;
+
  private:
   /// One level of a multi-hop walk (PGNN): the vertex being expanded, the
   /// next child to visit, and how much of its adjacency row has been
@@ -77,6 +85,7 @@ class Gpe {
     std::uint32_t loop_sub = 0;
     std::uint32_t pending_responses = 0;
     double stalled_until = 0.0;
+    double task_started = 0.0;  // gpe_time_ when the work item was claimed
     // Cached task context:
     std::size_t graph_idx = 0;
     NodeId local_v = 0;
@@ -135,6 +144,7 @@ class Gpe {
   std::size_t last_thread_ = 0;
   double gpe_time_ = 0.0;
   GpeStats stats_;
+  trace::Tracer tracer_;
 };
 
 }  // namespace gnna::accel

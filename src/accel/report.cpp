@@ -32,4 +32,15 @@ void write_csv(std::ostream& os, const std::vector<RunStats>& runs) {
   for (const auto& rs : runs) os << run_stats_csv_row(rs) << '\n';
 }
 
+std::string sample_csv_header(std::size_t num_mem_controllers) {
+  std::ostringstream ss;
+  ss << "cycle,phase,gpe_busy,dna_busy,agg_busy,dnq_live_entries,"
+        "agg_live_entries,mem_queue_depth,noc_inflight_packets,"
+        "mem_total_gbps";
+  for (std::size_t i = 0; i < num_mem_controllers; ++i) {
+    ss << ",mem" << i << "_gbps";
+  }
+  return ss.str();
+}
+
 }  // namespace gnna::accel

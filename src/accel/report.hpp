@@ -19,4 +19,10 @@ namespace gnna::accel {
 /// Convenience: header + rows for a batch.
 void write_csv(std::ostream& os, const std::vector<RunStats>& runs);
 
+/// Header for the periodic time-series sampler (--sample-every): one row
+/// per sample window with busy fractions, queue occupancies, and
+/// per-controller bandwidth (mem0_gbps..mem<N-1>_gbps). Ends without a
+/// newline.
+[[nodiscard]] std::string sample_csv_header(std::size_t num_mem_controllers);
+
 }  // namespace gnna::accel

@@ -6,13 +6,15 @@
 namespace gnna::accel {
 
 RunStats simulate_benchmark(gnn::Benchmark benchmark,
-                            const AcceleratorConfig& cfg, std::uint64_t seed) {
+                            const AcceleratorConfig& cfg, std::uint64_t seed,
+                            const TraceOptions& trace) {
   const graph::Dataset ds =
       graph::make_dataset(gnn::benchmark_dataset(benchmark), seed);
   const gnn::ModelSpec model = gnn::make_benchmark_model(benchmark);
   const ProgramCompiler compiler;
   const CompiledProgram prog = compiler.compile(model, ds);
   AcceleratorSim sim(cfg);
+  sim.set_trace(trace);
   RunStats rs = sim.run(prog);
   rs.program_name = gnn::benchmark_name(benchmark);
   return rs;

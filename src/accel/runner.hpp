@@ -9,8 +9,11 @@ namespace gnna::accel {
 
 /// Simulate one Table VII benchmark on `cfg` and return the run stats.
 /// Builds the dataset and model internally (deterministic by `seed`).
+/// `trace` attaches observability outputs (event sink / periodic sampler)
+/// to the run; the default traces nothing.
 [[nodiscard]] RunStats simulate_benchmark(gnn::Benchmark benchmark,
                                           const AcceleratorConfig& cfg,
-                                          std::uint64_t seed = 2020);
+                                          std::uint64_t seed = 2020,
+                                          const TraceOptions& trace = {});
 
 }  // namespace gnna::accel

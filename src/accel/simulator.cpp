@@ -1,6 +1,10 @@
 #include "accel/simulator.hpp"
 
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
+
+#include "accel/report.hpp"
 
 namespace gnna::accel {
 
@@ -44,6 +48,114 @@ void AcceleratorSim::build() {
   }
 }
 
+void AcceleratorSim::attach_tracers() {
+  if (trace_.sink == nullptr) return;
+  const Cycle* clock = net_->now_ptr();
+  net_->set_tracer({trace_.sink, clock, trace::Category::kNoc, 0});
+  for (std::size_t i = 0; i < mems_.size(); ++i) {
+    mems_[i]->set_tracer({trace_.sink, clock, trace::Category::kMem,
+                          static_cast<std::uint32_t>(i)});
+  }
+  for (std::size_t i = 0; i < tiles_.size(); ++i) {
+    tiles_[i]->set_tracing(trace_.sink, static_cast<std::uint32_t>(i));
+  }
+}
+
+void AcceleratorSim::begin_sampling() {
+  if (trace_.sample_every == 0) return;
+  next_sample_ = trace_.sample_every;
+  last_sample_cycle_ = 0;
+  prev_gpe_busy_ = prev_dna_busy_ = prev_agg_busy_ = 0.0;
+  prev_mem_bytes_.assign(mems_.size(), 0);
+  if (trace_.sample_out != nullptr) {
+    *trace_.sample_out << sample_csv_header(mems_.size()) << '\n';
+  }
+}
+
+void AcceleratorSim::maybe_sample(const std::string& phase_name) {
+  if (trace_.sample_every == 0 || net_->now() < next_sample_) return;
+  const Cycle now = net_->now();
+  const Cycle window = now - last_sample_cycle_;
+  last_sample_cycle_ = now;
+  next_sample_ = now + trace_.sample_every;
+
+  double gpe_busy = 0.0;
+  double dna_busy = 0.0;
+  double agg_busy = 0.0;
+  std::uint32_t dnq_live = 0;
+  std::uint32_t agg_live = 0;
+  for (const auto& t : tiles_) {
+    gpe_busy += t->gpe().stats().busy_cycles;
+    dna_busy += t->dna().stats().busy_cycles;
+    agg_busy += t->agg().stats().busy_cycles;
+    dnq_live += t->dnq().live_entries();
+    agg_live += t->agg().live_entries();
+  }
+  const double denom =
+      static_cast<double>(window) * static_cast<double>(tiles_.size());
+  const double gpe_frac = denom > 0.0 ? (gpe_busy - prev_gpe_busy_) / denom : 0.0;
+  const double dna_frac = denom > 0.0 ? (dna_busy - prev_dna_busy_) / denom : 0.0;
+  const double agg_frac = denom > 0.0 ? (agg_busy - prev_agg_busy_) / denom : 0.0;
+  prev_gpe_busy_ = gpe_busy;
+  prev_dna_busy_ = dna_busy;
+  prev_agg_busy_ = agg_busy;
+
+  std::size_t mem_depth = 0;
+  for (const auto& m : mems_) mem_depth += m->queue_depth();
+  const std::size_t inflight = net_->inflight_packets();
+
+  const double window_s =
+      cfg_.noc_clock.cycles_to_seconds(static_cast<double>(window));
+  std::vector<double> mem_gbps(mems_.size(), 0.0);
+  double total_gbps = 0.0;
+  for (std::size_t i = 0; i < mems_.size(); ++i) {
+    const std::uint64_t served = mems_[i]->stats().bytes_served.value();
+    const std::uint64_t delta = served - prev_mem_bytes_[i];
+    prev_mem_bytes_[i] = served;
+    mem_gbps[i] =
+        window_s > 0.0 ? static_cast<double>(delta) / window_s / 1e9 : 0.0;
+    total_gbps += mem_gbps[i];
+  }
+
+  if (trace_.sample_out != nullptr) {
+    std::ostream& os = *trace_.sample_out;
+    os << now << ',' << phase_name << ',' << gpe_frac << ',' << dna_frac
+       << ',' << agg_frac << ',' << dnq_live << ',' << agg_live << ','
+       << mem_depth << ',' << inflight << ',' << total_gbps;
+    for (const double g : mem_gbps) os << ',' << g;
+    os << '\n';
+  }
+  if (trace_.sink != nullptr) {
+    trace_.sink->counter(trace::Category::kGpe, 0, "busy_frac", now, gpe_frac);
+    trace_.sink->counter(trace::Category::kDna, 0, "busy_frac", now, dna_frac);
+    trace_.sink->counter(trace::Category::kAgg, 0, "busy_frac", now, agg_frac);
+    trace_.sink->counter(trace::Category::kDnq, 0, "live_entries", now,
+                         static_cast<double>(dnq_live));
+    trace_.sink->counter(trace::Category::kNoc, 0, "inflight_packets", now,
+                         static_cast<double>(inflight));
+    trace_.sink->counter(trace::Category::kMem, 0, "queue_depth", now,
+                         static_cast<double>(mem_depth));
+    trace_.sink->counter(trace::Category::kMem, 0, "total_gbps", now,
+                         total_gbps);
+  }
+}
+
+std::string AcceleratorSim::deadlock_report(const std::string& phase) const {
+  std::ostringstream os;
+  os << "=== deadlock diagnostics (phase '" << phase << "', cycle "
+     << net_->now() << ") ===\n";
+  for (std::size_t i = 0; i < tiles_.size(); ++i) {
+    os << "tile " << i << (tiles_[i]->idle() ? " [idle]" : " [BUSY]") << '\n';
+    tiles_[i]->dump_state(os);
+  }
+  for (std::size_t i = 0; i < mems_.size(); ++i) {
+    os << "mem " << i << (mems_[i]->idle() ? " [idle]" : " [BUSY]") << '\n';
+    mems_[i]->dump_state(os);
+  }
+  net_->dump_state(os);
+  return os.str();
+}
+
 bool AcceleratorSim::everything_idle() const {
   for (const auto& t : tiles_) {
     if (!t->idle()) return false;
@@ -69,6 +181,8 @@ RunStats AcceleratorSim::run(const CompiledProgram& prog) {
   if (used_) throw std::logic_error("AcceleratorSim::run: already used");
   used_ = true;
   build();
+  attach_tracers();
+  begin_sampling();
 
   const auto num_tiles = static_cast<std::uint32_t>(tiles_.size());
 
@@ -109,16 +223,22 @@ RunStats AcceleratorSim::run(const CompiledProgram& prog) {
       for (auto& t : tiles_) t->tick();
       for (auto& m : mems_) m->tick();
       net_->tick();
+      if (trace_.sample_every != 0) maybe_sample(phase.name);
 
       const std::uint64_t sig = progress_signature();
       if (sig != last_sig) {
         last_sig = sig;
         last_progress = net_->now();
       } else if (net_->now() - last_progress > watchdog_cycles_) {
-        throw std::runtime_error("AcceleratorSim: no progress in phase " +
-                                 phase.name + " for " +
-                                 std::to_string(watchdog_cycles_) +
-                                 " cycles (deadlock?)");
+        const std::string report = deadlock_report(phase.name);
+        if (!trace_.deadlock_report_path.empty()) {
+          std::ofstream f(trace_.deadlock_report_path);
+          f << report;
+        }
+        throw std::runtime_error(
+            "AcceleratorSim: no progress in phase " + phase.name + " for " +
+            std::to_string(watchdog_cycles_) + " cycles (deadlock?)\n" +
+            report);
       }
     }
 

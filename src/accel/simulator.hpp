@@ -13,8 +13,24 @@
 #include "graph/partition.hpp"
 #include "mem/memory.hpp"
 #include "noc/network.hpp"
+#include "trace/trace.hpp"
 
 namespace gnna::accel {
+
+/// Observability knobs for one run. All default to "off"; with the
+/// defaults the simulator behaves (and performs) exactly as before.
+struct TraceOptions {
+  /// Event sink (e.g. a ChromeTraceSink). Not owned; must outlive run().
+  trace::TraceSink* sink = nullptr;
+  /// Periodic time-series sampling: every `sample_every` NoC cycles emit
+  /// one CSV row to `sample_out` (if set) and counter events to `sink`
+  /// (if set). 0 disables sampling.
+  Cycle sample_every = 0;
+  std::ostream* sample_out = nullptr;  // not owned; must outlive run()
+  /// When the progress watchdog fires, also write the diagnostics report
+  /// to this path (the exception message carries it regardless).
+  std::string deadlock_report_path;
+};
 
 /// Per-phase slice of a run.
 struct PhaseStats {
@@ -73,8 +89,19 @@ class AcceleratorSim {
   /// Progress watchdog threshold (cycles without any progress).
   void set_watchdog_cycles(Cycle c) { watchdog_cycles_ = c; }
 
+  /// Attach observability outputs; must be called before run().
+  void set_trace(TraceOptions opts) { trace_ = std::move(opts); }
+
+  /// Full simulator state snapshot (every tile's unit state, memory queue
+  /// contents, in-flight NoC packets). Used by the watchdog; callable any
+  /// time after run() has started building.
+  [[nodiscard]] std::string deadlock_report(const std::string& phase) const;
+
  private:
   void build();
+  void attach_tracers();
+  void begin_sampling();
+  void maybe_sample(const std::string& phase_name);
   [[nodiscard]] bool everything_idle() const;
   [[nodiscard]] std::uint64_t progress_signature() const;
 
@@ -82,6 +109,15 @@ class AcceleratorSim {
   graph::PartitionPolicy partition_;
   bool used_ = false;
   Cycle watchdog_cycles_ = 2'000'000;
+  TraceOptions trace_;
+
+  // Periodic-sampler state (valid during run()).
+  Cycle next_sample_ = 0;
+  Cycle last_sample_cycle_ = 0;
+  double prev_gpe_busy_ = 0.0;
+  double prev_dna_busy_ = 0.0;
+  double prev_agg_busy_ = 0.0;
+  std::vector<std::uint64_t> prev_mem_bytes_;
 
   std::unique_ptr<noc::MeshNetwork> net_;
   std::unique_ptr<AddressMap> addr_map_;

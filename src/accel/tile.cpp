@@ -25,8 +25,7 @@ void Tile::begin_phase(const CompiledProgram& prog, const PhaseSpec& phase,
   // runs a second DNN model (Algorithm 1's per-layer CONFIG step).
   const TileParams& tp = cfg_.tile_params;
   if (phase.has_dna2()) {
-    const std::uint32_t q0 =
-        tp.dnq_data_bytes / 16 * tp.dnq_queue0_sixteenths;
+    const std::uint32_t q0 = Dnq::queue0_split_bytes(tp);
     dnq_.configure(q0, tp.dnq_data_bytes - q0);
   } else {
     dnq_.configure(tp.dnq_data_bytes, 0);
@@ -77,6 +76,25 @@ void Tile::begin_phase(const CompiledProgram& prog, const PhaseSpec& phase,
   }
 
   gpe_.begin_phase(prog, phase, std::move(work));
+}
+
+void Tile::set_tracing(trace::TraceSink* sink, std::uint32_t index) {
+  const std::uint64_t* clock = net_.now_ptr();
+  gpe_.set_tracer({sink, clock, trace::Category::kGpe, index});
+  dnq_.set_tracer({sink, clock, trace::Category::kDnq, index});
+  dna_.set_tracer({sink, clock, trace::Category::kDna, index});
+  agg_.set_tracer({sink, clock, trace::Category::kAgg, index});
+}
+
+void Tile::dump_state(std::ostream& os) const {
+  os << "  tile units: gpe " << (gpe_.idle() ? "idle" : "BUSY") << ", agg "
+     << (agg_.idle() ? "idle" : "BUSY") << ", dnq "
+     << (dnq_.empty() ? "empty" : "OCCUPIED") << ", dna "
+     << (dna_.idle() ? "idle" : "BUSY") << '\n';
+  gpe_.dump_state(os);
+  dnq_.dump_state(os);
+  dna_.dump_state(os);
+  agg_.dump_state(os);
 }
 
 void Tile::tick() {

@@ -13,6 +13,7 @@
 #include "accel/gpe.hpp"
 #include "accel/program.hpp"
 #include "noc/network.hpp"
+#include "trace/trace.hpp"
 
 namespace gnna::accel {
 
@@ -38,6 +39,12 @@ class Tile {
   [[nodiscard]] const Agg& agg() const { return agg_; }
   [[nodiscard]] const Dnq& dnq() const { return dnq_; }
   [[nodiscard]] const Dna& dna() const { return dna_; }
+
+  /// Attach `sink` to all four units, identified as tile `index`.
+  void set_tracing(trace::TraceSink* sink, std::uint32_t index);
+
+  /// Deadlock diagnostics: all four units' internal state.
+  void dump_state(std::ostream& os) const;
 
  private:
   const AcceleratorConfig& cfg_;

@@ -26,12 +26,18 @@ class Counter {
 };
 
 /// Running mean / min / max / sum of a real-valued sample stream.
+/// Variance uses Welford's online algorithm: the naive sum-of-squares
+/// formula catastrophically cancels for large-magnitude samples (e.g.
+/// cycle timestamps), where (sum_sq - sum^2/n) subtracts two nearly equal
+/// huge numbers and loses every significant digit of the variance.
 class Accumulator {
  public:
   constexpr void add(double x) {
     sum_ += x;
-    sum_sq_ += x * x;
     count_ += 1;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
   }
@@ -39,12 +45,11 @@ class Accumulator {
   [[nodiscard]] constexpr std::uint64_t count() const { return count_; }
   [[nodiscard]] constexpr double sum() const { return sum_; }
   [[nodiscard]] constexpr double mean() const {
-    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    return count_ == 0 ? 0.0 : mean_;
   }
   [[nodiscard]] double stddev() const {
     if (count_ < 2) return 0.0;
-    const double n = static_cast<double>(count_);
-    const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
+    const double var = m2_ / (static_cast<double>(count_) - 1.0);
     return var > 0.0 ? std::sqrt(var) : 0.0;
   }
   [[nodiscard]] constexpr double min() const {
@@ -58,7 +63,8 @@ class Accumulator {
 
  private:
   double sum_ = 0.0;
-  double sum_sq_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations from the running mean
   std::uint64_t count_ = 0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();

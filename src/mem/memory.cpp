@@ -47,44 +47,81 @@ void MemoryController::tick() {
     stats_.bytes_requested.add(requested);
     stats_.bytes_served.add(served_bytes);
 
+    InFlight inf;
+    inf.request = *msg;
     switch (msg->kind) {
-      case noc::MsgKind::kMemReadReq: {
+      case noc::MsgKind::kMemReadReq:
         stats_.read_requests.add();
-        InFlight inf;
-        inf.request = *msg;
         inf.respond_at = dram_free_at_ + latency_cycles_;
-        queue_.push_back(inf);
+        if (tracer_.enabled()) {
+          tracer_.complete("read", start, transfer, addr, served_bytes);
+        }
         break;
-      }
       case noc::MsgKind::kMemWriteReq:
+        // Writes hold their in-order queue slot until the data bus has
+        // moved their bytes; they retire silently (no response message)
+        // but exert the same backpressure as reads.
         stats_.write_requests.add();
-        // Writes complete silently once bandwidth is accounted.
+        inf.is_write = true;
+        inf.respond_at = dram_free_at_;
+        if (tracer_.enabled()) {
+          tracer_.complete("write", start, transfer, addr, served_bytes);
+        }
         break;
       default:
         // Unknown traffic to a memory endpoint is a wiring bug.
         assert(false && "MemoryController: unexpected message kind");
         break;
     }
+    queue_.push_back(inf);
   }
 
-  // Issue responses for reads whose data has arrived. In-order: only the
-  // head may respond.
+  // Retire completed requests in order; only reads produce a response.
   while (!queue_.empty() &&
          queue_.front().respond_at <= now) {
-    const noc::Message& req = queue_.front().request;
-    noc::Message resp;
-    resp.src = endpoint_;
-    resp.dst = req.reply_to != kInvalidEndpoint ? req.reply_to : req.src;
-    resp.kind = noc::MsgKind::kMemReadResp;
-    resp.payload_bytes = static_cast<std::uint32_t>(req.b);
-    resp.a = req.a;
-    resp.b = req.b;
-    resp.c = req.c;
-    net_.send(resp);
+    const InFlight& head = queue_.front();
+    if (!head.is_write) {
+      const noc::Message& req = head.request;
+      noc::Message resp;
+      resp.src = endpoint_;
+      resp.dst = req.reply_to != kInvalidEndpoint ? req.reply_to : req.src;
+      resp.kind = noc::MsgKind::kMemReadResp;
+      resp.payload_bytes = static_cast<std::uint32_t>(req.b);
+      resp.a = req.a;
+      resp.b = req.b;
+      resp.c = req.c;
+      net_.send(resp);
+      if (tracer_.enabled()) tracer_.instant("resp", req.a, req.b);
+    }
     queue_.pop_front();
   }
 
-  stats_.queue_depth.add(static_cast<double>(queue_.size()));
+  // Sample the queue depth only when it changes: max (what the capacity
+  // invariant checks) is exact, and an every-cycle add would serialize a
+  // Welford division on the hot path for a series nobody reads per cycle.
+  if (queue_.size() != last_sampled_depth_) {
+    last_sampled_depth_ = queue_.size();
+    stats_.queue_depth.add(static_cast<double>(last_sampled_depth_));
+  }
+}
+
+void MemoryController::dump_state(std::ostream& os) const {
+  os << "  mem endpoint " << endpoint_ << ": queue=" << queue_.size() << '/'
+     << params_.queue_entries
+     << " inbox=" << net_.delivery_queue_depth(endpoint_)
+     << " dram_free_at=" << dram_free_at_
+     << " bytes_served=" << stats_.bytes_served.value() << '\n';
+  std::size_t shown = 0;
+  for (const InFlight& f : queue_) {
+    if (shown == 8) {
+      os << "    ... " << queue_.size() - shown << " more queued\n";
+      break;
+    }
+    ++shown;
+    os << "    " << (f.is_write ? "write" : "read ") << " addr=0x" << std::hex
+       << f.request.a << std::dec << " bytes=" << f.request.b
+       << " done_at=" << f.respond_at << '\n';
+  }
 }
 
 double MemoryController::mean_bandwidth_bytes_per_s(Cycle elapsed) const {

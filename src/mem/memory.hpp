@@ -11,9 +11,11 @@
 // The controller is attached to one NoC endpoint. Read requests
 // (MsgKind::kMemReadReq, a=address, b=bytes, c=opaque tag) produce
 // responses (kMemReadResp, same a/b/c) addressed back to the requester;
-// write requests consume bandwidth and complete silently. Requests are
+// write requests occupy a queue slot until the data bus finishes their
+// transfer, then complete silently (no response message). Requests are
 // admitted from the NoC inbox only while fewer than `queue_entries` are in
-// service, so a full queue backpressures naturally.
+// service, so a full queue backpressures naturally — reads behind queued
+// writes stall exactly as the paper's in-order queue implies.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +25,7 @@
 #include "common/types.hpp"
 #include "common/units.hpp"
 #include "noc/network.hpp"
+#include "trace/trace.hpp"
 
 namespace gnna::mem {
 
@@ -38,7 +41,7 @@ struct MemStats {
   Counter write_requests;
   Counter bytes_requested;  // payload bytes the components asked for
   Counter bytes_served;     // bytes the DRAM actually moved (64B granules)
-  Accumulator queue_depth;  // sampled every cycle
+  Accumulator queue_depth;  // sampled at every depth change (max is exact)
 };
 
 class MemoryController {
@@ -60,10 +63,21 @@ class MemoryController {
   /// Mean bandwidth actually delivered so far, in bytes/second.
   [[nodiscard]] double mean_bandwidth_bytes_per_s(Cycle elapsed) const;
 
+  /// Requests currently occupying in-order queue slots.
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
+  /// Attach an event tracer (request admissions, DRAM bus occupancy,
+  /// responses). Disabled by default.
+  void set_tracer(trace::Tracer t) { tracer_ = t; }
+
+  /// Deadlock diagnostics: queue contents and inbox depth.
+  void dump_state(std::ostream& os) const;
+
  private:
   struct InFlight {
     noc::Message request;
-    double respond_at = 0.0;  // cycle (fractional) the response is ready
+    double respond_at = 0.0;  // cycle (fractional) the slot frees up
+    bool is_write = false;    // writes retire silently, no response
   };
 
   noc::MeshNetwork& net_;
@@ -74,7 +88,9 @@ class MemoryController {
   double latency_cycles_;
   double dram_free_at_ = 0.0;  // when the data bus frees up
   std::deque<InFlight> queue_;  // in-order service, <= queue_entries
+  std::size_t last_sampled_depth_ = static_cast<std::size_t>(-1);
   MemStats stats_;
+  trace::Tracer tracer_;
 };
 
 }  // namespace gnna::mem

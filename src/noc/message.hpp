@@ -32,6 +32,22 @@ enum class MsgKind : std::uint8_t {
   kControl,       // runtime configuration / barrier tokens
 };
 
+/// Stable short name, used by trace events and deadlock dumps.
+[[nodiscard]] constexpr const char* msg_kind_name(MsgKind k) {
+  switch (k) {
+    case MsgKind::kGeneric: return "generic";
+    case MsgKind::kMemReadReq: return "mem_read_req";
+    case MsgKind::kMemReadResp: return "mem_read_resp";
+    case MsgKind::kMemWriteReq: return "mem_write_req";
+    case MsgKind::kDnqWrite: return "dnq_write";
+    case MsgKind::kDnaResult: return "dna_result";
+    case MsgKind::kAggWrite: return "agg_write";
+    case MsgKind::kAggResult: return "agg_result";
+    case MsgKind::kControl: return "control";
+  }
+  return "?";
+}
+
 /// A component-to-component message.
 struct Message {
   EndpointId src = kInvalidEndpoint;

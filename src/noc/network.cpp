@@ -23,6 +23,22 @@ namespace {
   }
 }
 
+/// Static names for send-side instant events (tracer names are not copied).
+[[nodiscard]] constexpr const char* send_event_name(MsgKind k) {
+  switch (k) {
+    case MsgKind::kGeneric: return "send:generic";
+    case MsgKind::kMemReadReq: return "send:mem_read_req";
+    case MsgKind::kMemReadResp: return "send:mem_read_resp";
+    case MsgKind::kMemWriteReq: return "send:mem_write_req";
+    case MsgKind::kDnqWrite: return "send:dnq_write";
+    case MsgKind::kDnaResult: return "send:dna_result";
+    case MsgKind::kAggWrite: return "send:agg_write";
+    case MsgKind::kAggResult: return "send:agg_result";
+    case MsgKind::kControl: return "send:control";
+  }
+  return "send:?";
+}
+
 }  // namespace
 
 Router::Router(std::uint32_t x, std::uint32_t y, std::uint32_t num_local_ports,
@@ -79,6 +95,18 @@ void MeshNetwork::finalize() {
   for (auto& ep : endpoints_) {
     ep.injection_credits = params_.input_buffer_flits;
   }
+  // Credit-return map: local input port -> owning endpoint, so the hot
+  // path needs no O(endpoints) scan.
+  local_port_owner_.resize(routers_.size());
+  for (std::uint32_t ri = 0; ri < routers_.size(); ++ri) {
+    local_port_owner_[ri].assign(local_ports_per_router_[ri],
+                                 kInvalidEndpoint);
+  }
+  for (EndpointId e = 0; e < endpoints_.size(); ++e) {
+    const EndpointState& ep = endpoints_[e];
+    local_port_owner_[router_index(ep.x, ep.y)]
+                     [ep.local_port - kFirstLocalPort] = e;
+  }
 }
 
 void MeshNetwork::send(Message msg) {
@@ -101,6 +129,11 @@ void MeshNetwork::send(Message msg) {
   }
   inflight_.emplace(msg.seq, msg);
   stats_.packets_sent.add();
+  if (tracer_.enabled()) {
+    tracer_.instant(send_event_name(msg.kind),
+                    (std::uint64_t{msg.src} << 32) | msg.dst,
+                    msg.payload_bytes);
+  }
 }
 
 std::optional<Message> MeshNetwork::poll(EndpointId ep) {
@@ -158,17 +191,13 @@ void MeshNetwork::return_credit_for_input(std::uint32_t router,
   cr.ready_at = now_ + 1;
   const Router& r = routers_[router];
   if (port >= kFirstLocalPort) {
-    // Local input: credit goes back to the endpoint occupying that port.
-    for (EndpointId e = 0; e < endpoints_.size(); ++e) {
-      const EndpointState& ep = endpoints_[e];
-      if (ep.x == r.x() && ep.y == r.y() && ep.local_port == port) {
-        cr.to_endpoint = true;
-        cr.endpoint = e;
-        credits_.push_back(cr);
-        return;
-      }
-    }
-    assert(false && "local input port without endpoint");
+    // Local input: credit goes back to the endpoint occupying that port
+    // (precomputed in finalize()).
+    const EndpointId e = local_port_owner_[router][port - kFirstLocalPort];
+    assert(e != kInvalidEndpoint && "local input port without endpoint");
+    cr.to_endpoint = true;
+    cr.endpoint = e;
+    credits_.push_back(cr);
     return;
   }
   // Mesh input: upstream router's matching output regains a credit.
@@ -308,6 +337,14 @@ void MeshNetwork::phase_arrive() {
         stats_.packets_delivered.add();
         stats_.packet_latency.add(
             static_cast<double>(m.delivered_at - m.injected_at));
+        if (tracer_.enabled()) {
+          // One duration event spanning the packet's time in the network.
+          tracer_.complete(msg_kind_name(m.kind),
+                           static_cast<double>(m.injected_at),
+                           static_cast<double>(m.delivered_at - m.injected_at),
+                           (std::uint64_t{m.src} << 32) | m.dst,
+                           m.payload_bytes);
+        }
         ep.delivery.push_back(m);
       }
     } else {
@@ -352,6 +389,45 @@ bool MeshNetwork::idle() const {
     if (!ep.delivery.empty()) return false;
   }
   return true;
+}
+
+void MeshNetwork::dump_state(std::ostream& os) const {
+  os << "  noc: cycle=" << now_ << " inflight_packets=" << inflight_.size()
+     << " links_in_flight=" << links_.size()
+     << " pending_credits=" << credits_.size() << '\n';
+  std::size_t shown = 0;
+  for (const auto& [seq, m] : inflight_) {
+    if (shown == 16) {
+      os << "    ... " << inflight_.size() - shown << " more in-flight\n";
+      break;
+    }
+    ++shown;
+    os << "    packet seq=" << seq << ' ' << msg_kind_name(m.kind)
+       << " src=" << m.src << " dst=" << m.dst << " flits=" << m.flit_count()
+       << " injected_at=" << m.injected_at
+       << " age=" << now_ - m.injected_at << '\n';
+  }
+  for (EndpointId e = 0; e < endpoints_.size(); ++e) {
+    const EndpointState& ep = endpoints_[e];
+    if (ep.injection.empty() && ep.delivery.empty() &&
+        ep.assembling_flits == 0) {
+      continue;
+    }
+    os << "    endpoint " << e << " @(" << ep.x << ',' << ep.y
+       << "): injection_flits=" << ep.injection.size()
+       << " injection_credits=" << ep.injection_credits
+       << " undelivered_msgs=" << ep.delivery.size()
+       << " assembling_flits=" << ep.assembling_flits << '\n';
+  }
+  for (const Router& r : routers_) {
+    if (r.buffered_flits() == 0) continue;
+    os << "    router (" << r.x() << ',' << r.y() << "): buffered_flits="
+       << r.buffered_flits() << " per-port=[";
+    for (std::uint32_t p = 0; p < r.num_ports(); ++p) {
+      os << (p == 0 ? "" : " ") << r.buffer_occupancy(p);
+    }
+    os << "]\n";
+  }
 }
 
 std::uint32_t MeshNetwork::hops_between(EndpointId a, EndpointId b) const {

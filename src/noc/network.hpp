@@ -21,6 +21,7 @@
 #include "common/types.hpp"
 #include "noc/message.hpp"
 #include "noc/router.hpp"
+#include "trace/trace.hpp"
 
 namespace gnna::noc {
 
@@ -71,6 +72,21 @@ class MeshNetwork {
   [[nodiscard]] bool idle() const;
 
   [[nodiscard]] const NocStats& stats() const { return stats_; }
+
+  /// Attach an event tracer (packet send/deliver). Disabled by default.
+  void set_tracer(trace::Tracer t) { tracer_ = t; }
+
+  /// Stable pointer to the cycle counter, for stamping component tracers.
+  [[nodiscard]] const Cycle* now_ptr() const { return &now_; }
+
+  /// Packets injected but not yet fully ejected.
+  [[nodiscard]] std::size_t inflight_packets() const {
+    return inflight_.size();
+  }
+
+  /// Deadlock diagnostics: in-flight packets, endpoint queue depths, and
+  /// router buffer occupancy (only non-empty state is printed).
+  void dump_state(std::ostream& os) const;
 
   /// Manhattan router distance between two endpoints.
   [[nodiscard]] std::uint32_t hops_between(EndpointId a, EndpointId b) const;
@@ -134,11 +150,15 @@ class MeshNetwork {
 
   std::vector<Router> routers_;
   std::vector<std::uint32_t> local_ports_per_router_;
+  // (router, local port - kFirstLocalPort) -> owning endpoint, built by
+  // finalize() so credit returns need no endpoint scan.
+  std::vector<std::vector<EndpointId>> local_port_owner_;
   std::vector<EndpointState> endpoints_;
   std::deque<LinkEntry> links_;          // in-flight flits (small, scanned)
   std::deque<CreditReturn> credits_;     // in-flight credit returns
   std::unordered_map<std::uint64_t, Message> inflight_;
   NocStats stats_;
+  trace::Tracer tracer_;
 };
 
 }  // namespace gnna::noc

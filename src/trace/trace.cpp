@@ -1,0 +1,78 @@
+#include "trace/trace.hpp"
+
+namespace gnna::trace {
+namespace {
+
+/// Chrome's JSON readers reject NaN/Inf literals; clamp to 0.
+[[nodiscard]] double sanitize(double x) { return x == x ? x : 0.0; }
+
+}  // namespace
+
+ChromeTraceSink::ChromeTraceSink(std::ostream& os) : os_(os) {
+  os_ << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+}
+
+ChromeTraceSink::~ChromeTraceSink() { close(); }
+
+void ChromeTraceSink::close() {
+  if (closed_) return;
+  closed_ = true;
+  os_ << "\n]}\n";
+  os_.flush();
+}
+
+void ChromeTraceSink::announce(Category cat, std::uint32_t unit) {
+  auto& seen = announced_[static_cast<std::size_t>(cat)];
+  if (unit < seen.size() && seen[unit]) return;
+  const int pid = static_cast<int>(cat) + 1;
+  if (seen.empty()) {
+    // First event of the category: name its "process".
+    if (!first_) os_ << ',';
+    first_ = false;
+    os_ << "\n{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+        << ",\"args\":{\"name\":\"" << category_name(cat) << "\"}}";
+  }
+  if (unit >= seen.size()) seen.resize(unit + 1, false);
+  seen[unit] = true;
+  os_ << ",\n{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pid
+      << ",\"tid\":" << unit + 1 << ",\"args\":{\"name\":\""
+      << category_name(cat) << '.' << unit << "\"}}";
+}
+
+void ChromeTraceSink::begin_event(Category cat, std::uint32_t unit,
+                                  const char* name, char phase, double ts) {
+  announce(cat, unit);
+  if (!first_) os_ << ',';
+  first_ = false;
+  ++events_;
+  os_ << "\n{\"ph\":\"" << phase << "\",\"name\":\"" << name
+      << "\",\"cat\":\"" << category_name(cat)
+      << "\",\"pid\":" << static_cast<int>(cat) + 1 << ",\"tid\":" << unit + 1
+      << ",\"ts\":" << sanitize(ts);
+}
+
+void ChromeTraceSink::complete(Category cat, std::uint32_t unit,
+                               const char* name, double start, double dur,
+                               std::uint64_t a, std::uint64_t b) {
+  if (closed_) return;
+  begin_event(cat, unit, name, 'X', start);
+  os_ << ",\"dur\":" << sanitize(dur) << ",\"args\":{\"a\":" << a
+      << ",\"b\":" << b << "}}";
+}
+
+void ChromeTraceSink::instant(Category cat, std::uint32_t unit,
+                              const char* name, double at, std::uint64_t a,
+                              std::uint64_t b) {
+  if (closed_) return;
+  begin_event(cat, unit, name, 'i', at);
+  os_ << ",\"s\":\"t\",\"args\":{\"a\":" << a << ",\"b\":" << b << "}}";
+}
+
+void ChromeTraceSink::counter(Category cat, std::uint32_t unit,
+                              const char* name, double at, double value) {
+  if (closed_) return;
+  begin_event(cat, unit, name, 'C', at);
+  os_ << ",\"args\":{\"value\":" << sanitize(value) << "}}";
+}
+
+}  // namespace gnna::trace

@@ -1,0 +1,148 @@
+// Event tracing for the simulator — the observability layer.
+//
+// Every simulated component carries a `Tracer` handle. By default the
+// handle is disabled (null sink): each trace call is a single predictable
+// branch, so an untraced run pays essentially nothing. When a sink is
+// attached, components emit
+//
+//   * duration ("complete") events — a unit occupied for [start, start+dur)
+//     cycles (DNA entry occupancy, AGG reductions, DRAM bus transfers,
+//     GPE task lifetimes);
+//   * instant events — a point occurrence (DNQ allocations/dequeues/queue
+//     switches, GPE thread switches and alloc stalls, NoC packet
+//     send/deliver, memory responses);
+//   * counter events — sampled time series (queue depths, live entries).
+//
+// `ChromeTraceSink` serializes them in the Chrome trace-event JSON format,
+// loadable in chrome://tracing and https://ui.perfetto.dev. Timestamps are
+// NoC cycles written in the "ts" microsecond field, so 1 us in the viewer
+// equals 1 NoC cycle. Events are grouped per category ("process") and per
+// unit ("thread": tile index, or memory-controller index).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+namespace gnna::trace {
+
+/// Event source categories — one trace "process" each.
+enum class Category : std::uint8_t { kGpe, kDnq, kDna, kAgg, kNoc, kMem };
+inline constexpr std::size_t kNumCategories = 6;
+
+[[nodiscard]] constexpr const char* category_name(Category c) {
+  switch (c) {
+    case Category::kGpe: return "gpe";
+    case Category::kDnq: return "dnq";
+    case Category::kDna: return "dna";
+    case Category::kAgg: return "agg";
+    case Category::kNoc: return "noc";
+    case Category::kMem: return "mem";
+  }
+  return "?";
+}
+
+/// Receives decoded trace events. Implementations must tolerate
+/// out-of-order timestamps (components emit as they simulate and their
+/// local clocks skew within a tick).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// A duration event: `unit` was occupied by `name` for
+  /// [start, start + dur) NoC cycles. `a` / `b` are event-defined details
+  /// (handles, byte counts...) surfaced in the viewer's args pane.
+  virtual void complete(Category cat, std::uint32_t unit, const char* name,
+                        double start, double dur, std::uint64_t a,
+                        std::uint64_t b) = 0;
+
+  /// A point event at cycle `at`.
+  virtual void instant(Category cat, std::uint32_t unit, const char* name,
+                       double at, std::uint64_t a, std::uint64_t b) = 0;
+
+  /// A sampled counter value at cycle `at`.
+  virtual void counter(Category cat, std::uint32_t unit, const char* name,
+                       double at, double value) = 0;
+};
+
+/// The per-component handle: a (sink, clock, category, unit) tuple.
+/// Default-constructed tracers are disabled and free; all methods reduce to
+/// one branch. The clock pointer (the owning network's cycle counter) lets
+/// components without a network reference (e.g. the DNQ) stamp events.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(TraceSink* sink, const std::uint64_t* clock, Category cat,
+         std::uint32_t unit)
+      : sink_(sink), clock_(clock), cat_(cat), unit_(unit) {}
+
+  [[nodiscard]] bool enabled() const { return sink_ != nullptr; }
+
+  void complete(const char* name, double start, double dur,
+                std::uint64_t a = 0, std::uint64_t b = 0) const {
+    if (sink_ != nullptr) sink_->complete(cat_, unit_, name, start, dur, a, b);
+  }
+  /// Instant event stamped with the current cycle.
+  void instant(const char* name, std::uint64_t a = 0,
+               std::uint64_t b = 0) const {
+    if (sink_ != nullptr) {
+      sink_->instant(cat_, unit_, name, static_cast<double>(*clock_), a, b);
+    }
+  }
+  void instant_at(const char* name, double at, std::uint64_t a = 0,
+                  std::uint64_t b = 0) const {
+    if (sink_ != nullptr) sink_->instant(cat_, unit_, name, at, a, b);
+  }
+  void counter(const char* name, double value) const {
+    if (sink_ != nullptr) {
+      sink_->counter(cat_, unit_, name, static_cast<double>(*clock_), value);
+    }
+  }
+
+ private:
+  TraceSink* sink_ = nullptr;
+  const std::uint64_t* clock_ = nullptr;
+  Category cat_ = Category::kGpe;
+  std::uint32_t unit_ = 0;
+};
+
+/// Streams Chrome trace-event JSON ({"traceEvents": [...]}) to an ostream.
+/// The JSON document is closed by close() or the destructor; the target
+/// stream must outlive the sink. Not thread-safe (the simulator is
+/// single-threaded).
+class ChromeTraceSink final : public TraceSink {
+ public:
+  explicit ChromeTraceSink(std::ostream& os);
+  ~ChromeTraceSink() override;
+
+  ChromeTraceSink(const ChromeTraceSink&) = delete;
+  ChromeTraceSink& operator=(const ChromeTraceSink&) = delete;
+
+  void complete(Category cat, std::uint32_t unit, const char* name,
+                double start, double dur, std::uint64_t a,
+                std::uint64_t b) override;
+  void instant(Category cat, std::uint32_t unit, const char* name, double at,
+               std::uint64_t a, std::uint64_t b) override;
+  void counter(Category cat, std::uint32_t unit, const char* name, double at,
+               double value) override;
+
+  /// Write the closing bracket and flush. Idempotent.
+  void close();
+
+  [[nodiscard]] std::uint64_t events_written() const { return events_; }
+
+ private:
+  /// Emit process/thread naming metadata the first time (cat, unit) is seen.
+  void announce(Category cat, std::uint32_t unit);
+  void begin_event(Category cat, std::uint32_t unit, const char* name,
+                   char phase, double ts);
+
+  std::ostream& os_;
+  bool closed_ = false;
+  bool first_ = true;
+  std::uint64_t events_ = 0;
+  std::array<std::vector<bool>, kNumCategories> announced_{};
+};
+
+}  // namespace gnna::trace

@@ -54,6 +54,30 @@ TEST(Dnq, FifoOrderWithinQueue) {
   EXPECT_EQ(q.try_dequeue(0)->dest.addr, 2U);
 }
 
+TEST(Dnq, SplitConservesEveryScratchpadByte) {
+  // Regression: the default split computed dnq_data_bytes/16*sixteenths,
+  // truncating the per-sixteenth size first — with a non-divisible
+  // scratchpad and sixteenths=16 queue 0 got only 992 of 1000 bytes.
+  TileParams p;
+  p.dnq_data_bytes = 1000;
+  p.dnq_queue0_sixteenths = 16;  // all of it
+  EXPECT_EQ(Dnq::queue0_split_bytes(p), 1000U);
+  Dnq q{p};
+  EXPECT_EQ(q.queue_capacity_bytes(0), 1000U);
+  EXPECT_EQ(q.queue_capacity_bytes(1), 0U);
+
+  // Uneven split: queue 1 receives the remainder, nothing is lost.
+  p.dnq_queue0_sixteenths = 11;
+  EXPECT_EQ(Dnq::queue0_split_bytes(p), 687U);  // floor(1000*11/16)
+  Dnq q2{p};
+  EXPECT_EQ(q2.queue_capacity_bytes(0) + q2.queue_capacity_bytes(1), 1000U);
+
+  // A 250-word (1000B) entry must fit when queue 0 owns the whole pad.
+  p.dnq_queue0_sixteenths = 16;
+  Dnq q3{p};
+  EXPECT_TRUE(q3.allocate(0, 250, mem_dest(0)).has_value());
+}
+
 TEST(Dnq, DataCapacityPerQueue) {
   TileParams p;
   p.dnq_data_bytes = 1024;

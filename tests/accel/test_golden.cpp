@@ -12,14 +12,18 @@ namespace {
 TEST(Golden, GcnCoraCpuIsoBw) {
   const RunStats rs = simulate_benchmark(gnn::Benchmark::kGcnCora,
                                          AcceleratorConfig::cpu_iso_bw());
-  EXPECT_EQ(rs.cycles, 2871286U);
+  // Re-pinned when memory writes started occupying in-order queue slots
+  // (previously 2871286: write completion was not part of idle()).
+  EXPECT_EQ(rs.cycles, 2871294U);
   EXPECT_EQ(rs.tasks_completed, 2U * 2708U);
 }
 
 TEST(Golden, GatCoraCpuIsoBw) {
   const RunStats rs = simulate_benchmark(gnn::Benchmark::kGatCora,
                                          AcceleratorConfig::cpu_iso_bw());
-  EXPECT_EQ(rs.cycles, 1775033U);
+  // Re-pinned for the write-queue fix (previously 1775033); the headline
+  // speedup below is unchanged to four significant digits.
+  EXPECT_EQ(rs.cycles, 1775055U);
   // 18.39x over the paper's 13.60 ms CPU baseline (the headline claim).
   EXPECT_NEAR(13.60 / rs.millis, 18.39, 0.05);
 }

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+
 #include "accel/compiler.hpp"
 #include "common/rng.hpp"
 #include "gnn/model.hpp"
@@ -175,6 +178,77 @@ TEST(Simulator, IsolatedVerticesDoNotHang) {
   const RunStats rs = run_model(gnn::make_gcn(4, 2, 2), ds,
                                 AcceleratorConfig::cpu_iso_bw());
   EXPECT_EQ(rs.tasks_completed, 100U);
+}
+
+TEST(Simulator, WatchdogReportsDiagnostics) {
+  // A watchdog tight enough to fire mid-phase must produce a diagnostics
+  // dump naming the stalled units and their queue/counter state, both in
+  // the exception message and in the requested report file.
+  const auto ds = small_dataset();
+  const auto prog = ProgramCompiler{}.compile(gnn::make_gcn(8, 3, 4), ds);
+  AcceleratorSim sim(AcceleratorConfig::cpu_iso_bw());
+  sim.set_watchdog_cycles(3);
+  TraceOptions topts;
+  topts.deadlock_report_path = ::testing::TempDir() + "watchdog_report.txt";
+  sim.set_trace(topts);
+  try {
+    (void)sim.run(prog);
+    FAIL() << "expected the watchdog to fire";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("deadlock diagnostics"), std::string::npos);
+    EXPECT_NE(msg.find("tile 0"), std::string::npos);
+    EXPECT_NE(msg.find("gpe:"), std::string::npos);
+    EXPECT_NE(msg.find("dnq:"), std::string::npos);
+    EXPECT_NE(msg.find("mem "), std::string::npos);
+    EXPECT_NE(msg.find("noc:"), std::string::npos);
+    std::ifstream report(topts.deadlock_report_path);
+    ASSERT_TRUE(report.good());
+    std::stringstream contents;
+    contents << report.rdbuf();
+    EXPECT_NE(contents.str().find("deadlock diagnostics"), std::string::npos);
+  }
+}
+
+TEST(Simulator, SamplerEmitsCsvRows) {
+  const auto ds = small_dataset();
+  const auto prog = ProgramCompiler{}.compile(gnn::make_gcn(8, 3, 4), ds);
+  AcceleratorSim sim(AcceleratorConfig::cpu_iso_bw());
+  std::ostringstream csv;
+  TraceOptions topts;
+  topts.sample_every = 500;
+  topts.sample_out = &csv;
+  sim.set_trace(topts);
+  const RunStats rs = sim.run(prog);
+  ASSERT_GT(rs.cycles, 1000U);  // enough for at least two samples
+  std::istringstream in(csv.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line.rfind("cycle,phase,gpe_busy", 0), 0U);
+  std::size_t rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_GE(rows, 2U);
+}
+
+TEST(Simulator, TracingDoesNotChangeTiming) {
+  // The observability layer must be timing-neutral: the same program with
+  // a live event sink and sampler attached reports identical cycle counts.
+  const auto ds = small_dataset();
+  const auto prog = ProgramCompiler{}.compile(gnn::make_gcn(8, 3, 4), ds);
+  AcceleratorSim plain(AcceleratorConfig::cpu_iso_bw());
+  const Cycle baseline = plain.run(prog).cycles;
+
+  std::ostringstream json;
+  std::ostringstream csv;
+  trace::ChromeTraceSink sink(json);
+  AcceleratorSim traced(AcceleratorConfig::cpu_iso_bw());
+  TraceOptions topts;
+  topts.sink = &sink;
+  topts.sample_every = 1000;
+  topts.sample_out = &csv;
+  traced.set_trace(topts);
+  EXPECT_EQ(traced.run(prog).cycles, baseline);
+  EXPECT_GT(sink.events_written(), 0U);
 }
 
 TEST(Simulator, TableVIConfigurations) {

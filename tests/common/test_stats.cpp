@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 namespace gnna {
 namespace {
 
@@ -44,6 +47,39 @@ TEST(Accumulator, SingleSampleStddevZero) {
   Accumulator a;
   a.add(5.0);
   EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, StddevStableUnderLargeOffset) {
+  // Regression: the old sum-of-squares formula cancels catastrophically
+  // when mean >> stddev (e.g. cycle timestamps around 1e9). Welford's
+  // update must recover stddev = 1 to several digits; the naive formula
+  // gets 0 or worse (sqrt of a negative difference clamped).
+  Accumulator a;
+  const double offset = 1e9;
+  // 1000 samples alternating offset ± 1: mean = offset, sample var ≈ 1.
+  for (int i = 0; i < 1000; ++i) a.add(offset + (i % 2 == 0 ? 1.0 : -1.0));
+  EXPECT_NEAR(a.mean(), offset, 1e-6);
+  EXPECT_NEAR(a.stddev(), 1.0, 1e-3);
+}
+
+TEST(Accumulator, StddevMatchesBruteForce) {
+  // Cross-check Welford against the two-pass definition on a spread-out
+  // sample set with a large common offset.
+  std::vector<double> xs;
+  double sum = 0.0;
+  for (int i = 0; i < 257; ++i) {
+    xs.push_back(5e8 + 1000.0 * std::sin(0.7 * i) + i);
+    sum += xs.back();
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  double m2 = 0.0;
+  for (const double x : xs) m2 += (x - mean) * (x - mean);
+  const double expected =
+      std::sqrt(m2 / (static_cast<double>(xs.size()) - 1.0));
+
+  Accumulator a;
+  for (const double x : xs) a.add(x);
+  EXPECT_NEAR(a.stddev(), expected, expected * 1e-9);
 }
 
 TEST(Histogram, BucketsAndOverflow) {

@@ -184,6 +184,35 @@ TEST(Memory, QueueAdmitsAtMost32) {
   EXPECT_EQ(out.size(), 64U);
 }
 
+TEST(Memory, WritesOccupyQueueSlotsAndBackpressure) {
+  // Regression: writes used to bypass the 32-entry in-order queue entirely
+  // (admitted in unbounded numbers, invisible to idle()). With a slow bus
+  // (0.64 B/cycle: one 64B line takes 100 cycles) and 40 pending writes,
+  // only 32 may hold queue slots; the rest must wait in the NoC delivery
+  // queue, and the controller must not report idle.
+  MemParams p = Rig::default_params();
+  p.bandwidth = Bandwidth::gb_per_s(0.64);
+  Rig rig(p);
+  const int kWrites = 40;
+  for (int i = 0; i < kWrites; ++i) rig.send_write(i * 64, 64);
+  for (Cycle c = 0; c < 300; ++c) {
+    rig.mem->tick();
+    rig.net.tick();
+  }
+  EXPECT_EQ(rig.mem->queue_depth(), 32U);
+  EXPECT_GT(rig.net.delivery_queue_depth(rig.mem_ep), 0U);
+  EXPECT_FALSE(rig.mem->idle());
+
+  // A read sent behind the writes is serviced in order: its response can
+  // only arrive after all 40 line transfers (~4000 cycles of bus time).
+  rig.send_read(1 << 20, 64, 7);
+  const auto out = rig.collect(1, 100000);
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_GE(out[0].delivered_at, 4000U);
+  EXPECT_EQ(rig.mem->stats().bytes_served.value(), 64U * kWrites + 64U);
+  EXPECT_TRUE(rig.mem->idle());
+}
+
 TEST(Memory, IdleSemantics) {
   Rig rig;
   EXPECT_TRUE(rig.mem->idle());

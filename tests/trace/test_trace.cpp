@@ -1,0 +1,98 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace gnna::trace {
+namespace {
+
+TEST(Tracer, DisabledByDefaultAndFree) {
+  const Tracer t;
+  EXPECT_FALSE(t.enabled());
+  // All calls are no-ops; the null clock must never be dereferenced.
+  t.complete("x", 0.0, 1.0);
+  t.instant("x");
+  t.instant_at("x", 5.0);
+  t.counter("x", 1.0);
+}
+
+TEST(Tracer, StampsInstantsWithTheClock) {
+  struct Capture final : TraceSink {
+    double last_at = -1.0;
+    void complete(Category, std::uint32_t, const char*, double, double,
+                  std::uint64_t, std::uint64_t) override {}
+    void instant(Category, std::uint32_t, const char*, double at,
+                 std::uint64_t, std::uint64_t) override {
+      last_at = at;
+    }
+    void counter(Category, std::uint32_t, const char*, double,
+                 double) override {}
+  };
+  Capture sink;
+  std::uint64_t clock = 41;
+  const Tracer t(&sink, &clock, Category::kDnq, 3);
+  EXPECT_TRUE(t.enabled());
+  clock = 42;
+  t.instant("ev");
+  EXPECT_DOUBLE_EQ(sink.last_at, 42.0);
+}
+
+TEST(CategoryName, CoversAllCategories) {
+  EXPECT_STREQ(category_name(Category::kGpe), "gpe");
+  EXPECT_STREQ(category_name(Category::kDnq), "dnq");
+  EXPECT_STREQ(category_name(Category::kDna), "dna");
+  EXPECT_STREQ(category_name(Category::kAgg), "agg");
+  EXPECT_STREQ(category_name(Category::kNoc), "noc");
+  EXPECT_STREQ(category_name(Category::kMem), "mem");
+}
+
+TEST(ChromeTraceSink, EmitsWellFormedDocument) {
+  std::ostringstream os;
+  {
+    ChromeTraceSink sink(os);
+    sink.complete(Category::kGpe, 0, "task", 10.0, 5.0, 7, 8);
+    sink.instant(Category::kDnq, 1, "alloc", 12.0, 3, 0);
+    sink.counter(Category::kMem, 0, "queue_depth", 20.0, 17.0);
+    EXPECT_EQ(sink.events_written(), 3U);
+    sink.close();
+    sink.close();  // idempotent
+  }
+  const std::string doc = os.str();
+  EXPECT_EQ(doc.rfind("{\"displayTimeUnit\"", 0), 0U);
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  // The three events, with their phases and payloads.
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"task\""), std::string::npos);
+  EXPECT_NE(doc.find("\"dur\":5"), std::string::npos);
+  // Naming metadata for each (category, unit) seen.
+  EXPECT_NE(doc.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(doc.find("\"gpe.0\""), std::string::npos);
+  EXPECT_NE(doc.find("\"dnq.1\""), std::string::npos);
+  // Document closes properly.
+  EXPECT_EQ(doc.substr(doc.size() - 3), "]}\n");
+}
+
+TEST(ChromeTraceSink, DestructorClosesTheDocument) {
+  std::ostringstream os;
+  {
+    ChromeTraceSink sink(os);
+    sink.instant(Category::kNoc, 0, "send", 1.0, 0, 0);
+  }
+  const std::string doc = os.str();
+  EXPECT_EQ(doc.substr(doc.size() - 3), "]}\n");
+}
+
+TEST(ChromeTraceSink, EmptyTraceIsStillValidJson) {
+  std::ostringstream os;
+  { ChromeTraceSink sink(os); }
+  EXPECT_NE(os.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(os.str().find("]}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gnna::trace

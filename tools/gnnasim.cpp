@@ -7,7 +7,9 @@
 //
 // Prints a full run report: latency, utilizations, per-phase breakdown,
 // and (with --energy) the estimated energy split.
+#include <cstdint>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -17,6 +19,7 @@
 #include "accel/runner.hpp"
 #include "baseline/baselines.hpp"
 #include "common/table.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -34,7 +37,38 @@ void usage(std::ostream& os) {
         " round-robin)\n"
         "  --seed <n>                 dataset seed (default 2020)\n"
         "  --energy                   print the energy breakdown\n"
+        "  --trace <file>             write a Chrome-trace JSON event log\n"
+        "                             (open in chrome://tracing or Perfetto)\n"
+        "  --sample-every <cycles>    periodic utilization/occupancy samples\n"
+        "  --sample-file <file>       CSV sidecar for the samples (default\n"
+        "                             stderr)\n"
+        "  --watchdog <cycles>        progress watchdog threshold\n"
+        "  --deadlock-report <file>   also write watchdog diagnostics here\n"
         "  --help                     this text\n";
+}
+
+// Strict numeric parsers: reject garbage and trailing junk instead of
+// letting std::stoull throw out of main().
+std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(s, &pos);
+    if (pos != s.size() || s.front() == '-') return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<double> parse_f64(const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
 }
 
 std::optional<gnn::Benchmark> parse_benchmark(const std::string& name) {
@@ -63,6 +97,11 @@ int main(int argc, char** argv) {
   std::uint32_t threads = 16;
   std::uint64_t seed = 2020;
   bool want_energy = false;
+  std::string trace_path;
+  std::string sample_path;
+  std::string deadlock_path;
+  Cycle sample_every = 0;
+  std::optional<Cycle> watchdog;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -99,11 +138,12 @@ int main(int argc, char** argv) {
       cfg = *c;
     } else if (arg == "--clock") {
       const auto v = next();
-      if (!v) {
-        std::cerr << "error: --clock needs a value\n";
+      const auto parsed = v ? parse_f64(*v) : std::nullopt;
+      if (!parsed) {
+        std::cerr << "error: --clock needs a number (GHz)\n";
         return 2;
       }
-      clock_ghz = std::stod(*v);
+      clock_ghz = *parsed;
       if (clock_ghz <= 0.0 || clock_ghz > 2.4 + 1e-9) {
         std::cerr << "error: clock must be in (0, 2.4] GHz (the NoC runs "
                      "at 2.4)\n";
@@ -111,11 +151,12 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--threads") {
       const auto v = next();
-      if (!v) {
-        std::cerr << "error: --threads needs a value\n";
+      const auto parsed = v ? parse_u64(*v) : std::nullopt;
+      if (!parsed) {
+        std::cerr << "error: --threads needs a count\n";
         return 2;
       }
-      threads = static_cast<std::uint32_t>(std::stoul(*v));
+      threads = static_cast<std::uint32_t>(*parsed);
     } else if (arg == "--partition") {
       const auto v = next();
       if (v == std::optional<std::string>("round-robin")) {
@@ -128,13 +169,51 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--seed") {
       const auto v = next();
-      if (!v) {
-        std::cerr << "error: --seed needs a value\n";
+      const auto parsed = v ? parse_u64(*v) : std::nullopt;
+      if (!parsed) {
+        std::cerr << "error: --seed needs a number\n";
         return 2;
       }
-      seed = std::stoull(*v);
+      seed = *parsed;
     } else if (arg == "--energy") {
       want_energy = true;
+    } else if (arg == "--trace") {
+      const auto v = next();
+      if (!v) {
+        std::cerr << "error: --trace needs a file name\n";
+        return 2;
+      }
+      trace_path = *v;
+    } else if (arg == "--sample-every") {
+      const auto v = next();
+      const auto parsed = v ? parse_u64(*v) : std::nullopt;
+      if (!parsed) {
+        std::cerr << "error: --sample-every needs a cycle count\n";
+        return 2;
+      }
+      sample_every = *parsed;
+    } else if (arg == "--sample-file") {
+      const auto v = next();
+      if (!v) {
+        std::cerr << "error: --sample-file needs a file name\n";
+        return 2;
+      }
+      sample_path = *v;
+    } else if (arg == "--watchdog") {
+      const auto v = next();
+      const auto parsed = v ? parse_u64(*v) : std::nullopt;
+      if (!parsed) {
+        std::cerr << "error: --watchdog needs a cycle count\n";
+        return 2;
+      }
+      watchdog = *parsed;
+    } else if (arg == "--deadlock-report") {
+      const auto v = next();
+      if (!v) {
+        std::cerr << "error: --deadlock-report needs a file name\n";
+        return 2;
+      }
+      deadlock_path = *v;
     } else {
       std::cerr << "error: unknown option " << arg << "\n";
       usage(std::cerr);
@@ -158,7 +237,53 @@ int main(int argc, char** argv) {
   const accel::CompiledProgram prog =
       accel::ProgramCompiler{}.compile(model, ds);
   accel::AcceleratorSim sim(cfg, partition);
-  const accel::RunStats rs = sim.run(prog);
+  if (watchdog) sim.set_watchdog_cycles(*watchdog);
+
+  // Observability outputs. The streams must outlive run(); the trace sink's
+  // destructor closes the JSON document.
+  std::ofstream trace_file;
+  std::ofstream sample_file;
+  std::optional<trace::ChromeTraceSink> sink;
+  accel::TraceOptions topts;
+  if (!trace_path.empty()) {
+    trace_file.open(trace_path);
+    if (!trace_file) {
+      std::cerr << "error: cannot open " << trace_path << " for writing\n";
+      return 2;
+    }
+    sink.emplace(trace_file);
+    topts.sink = &*sink;
+  }
+  if (sample_every > 0) {
+    topts.sample_every = sample_every;
+    if (!sample_path.empty()) {
+      sample_file.open(sample_path);
+      if (!sample_file) {
+        std::cerr << "error: cannot open " << sample_path << " for writing\n";
+        return 2;
+      }
+      topts.sample_out = &sample_file;
+    } else {
+      topts.sample_out = &std::cerr;
+    }
+  }
+  topts.deadlock_report_path = deadlock_path;
+  sim.set_trace(topts);
+
+  accel::RunStats rs;
+  try {
+    rs = sim.run(prog);
+  } catch (const std::runtime_error& e) {
+    // Watchdog diagnostics land here; the report is in the message (and in
+    // --deadlock-report's file if given).
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  if (sink) {
+    sink->close();
+    std::cout << "trace: wrote " << sink->events_written() << " events to "
+              << trace_path << '\n';
+  }
 
   std::cout << "benchmark : " << gnn::benchmark_name(*benchmark) << '\n';
   std::cout << "config    : " << cfg.name << " @ " << clock_ghz << " GHz, "
