@@ -4,14 +4,16 @@
 // reduce the number of queue switches that need to occur". This sweep shows
 // the latency / switch-count trade-off on MPNN, the only benchmark that
 // exercises both virtual queues (message network on queue 0, GRU on
-// queue 1).
+// queue 1). The five configurations share one compiled program and fan
+// out across a BatchRunner (GNNA_JOBS caps the pool).
 #include <iostream>
+#include <memory>
+#include <vector>
 
-#include "accel/compiler.hpp"
-#include "accel/simulator.hpp"
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "gnn/model.hpp"
+#include "sim/batch_runner.hpp"
 
 int main() {
   using namespace gnna;
@@ -19,22 +21,39 @@ int main() {
   std::cout << "=== Ablation: DNQ lazy-switch idle threshold (MPNN, 100 "
                "QM9-like molecules, CPU iso-BW) ===\n\n";
 
-  const graph::Dataset ds = benchutil::make_qm9_subset(100);
-  const gnn::ModelSpec model = gnn::make_mpnn(13, 5, 73);
-  const accel::CompiledProgram prog =
-      accel::ProgramCompiler{}.compile(model, ds);
+  const benchutil::EnvTrace env_trace;
+  sim::Session session;
+  const sim::Session::Resolved mpnn = session.compile(
+      gnn::make_mpnn(13, 5, 73),
+      std::make_shared<const graph::Dataset>(benchutil::make_qm9_subset(100)));
+
+  const std::vector<std::uint32_t> thresholds = {0U, 4U, 16U, 64U, 256U};
+  std::vector<sim::RunRequest> requests;
+  for (const std::uint32_t threshold : thresholds) {
+    sim::RunRequest req;
+    req.program = mpnn.program;
+    req.dataset = mpnn.dataset;
+    req.config = accel::AcceleratorConfig::cpu_iso_bw();
+    req.config.tile_params.dnq_idle_switch_cycles = threshold;
+    req.trace = env_trace.options();
+    requests.push_back(std::move(req));
+  }
+
+  sim::BatchRunner runner(session, benchutil::default_jobs(env_trace));
+  runner.set_progress([&](std::size_t i, const sim::RunResult& r) {
+    std::cerr << "[ablation-dnq] threshold " << thresholds[i]
+              << (r.ok() ? " done" : " FAILED: " + r.error) << '\n';
+  });
+  const std::vector<sim::RunResult> results = runner.run(requests);
 
   Table t({"Switch threshold (cycles)", "Latency (ms)", "Queue switches",
            "DNA utilization"});
-  for (const std::uint32_t threshold : {0U, 4U, 16U, 64U, 256U}) {
-    accel::AcceleratorConfig cfg = accel::AcceleratorConfig::cpu_iso_bw();
-    cfg.tile_params.dnq_idle_switch_cycles = threshold;
-    accel::AcceleratorSim sim(cfg);
-    const accel::RunStats rs = sim.run(prog);
-    t.add_row({std::to_string(threshold), format_double(rs.millis, 3),
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) return 1;
+    const accel::RunStats& rs = results[i].stats;
+    t.add_row({std::to_string(thresholds[i]), format_double(rs.millis, 3),
                std::to_string(rs.dnq_queue_switches),
                format_percent(rs.dna_utilization)});
-    std::cerr << "[ablation-dnq] threshold " << threshold << " done\n";
   }
   t.print(std::cout);
   std::cout

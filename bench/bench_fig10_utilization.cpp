@@ -1,9 +1,13 @@
 // Reproduces Fig 10: observed mean memory bandwidth and DNA utilization of
-// all benchmarks in the CPU iso-bandwidth configuration (2.4 GHz).
+// all benchmarks in the CPU iso-bandwidth configuration (2.4 GHz). The six
+// runs go through one BatchRunner (GNNA_JOBS caps the pool); results print
+// in benchmark order regardless of completion order.
 #include <iostream>
+#include <vector>
 
-#include "accel/runner.hpp"
+#include "bench_util.hpp"
 #include "common/table.hpp"
+#include "sim/batch_runner.hpp"
 
 int main() {
   using namespace gnna;
@@ -11,13 +15,29 @@ int main() {
   std::cout << "=== Fig 10: mean memory bandwidth and DNA utilization, CPU "
                "iso-BW configuration ===\n\n";
 
+  const benchutil::EnvTrace env_trace;
+  std::vector<sim::RunRequest> requests;
+  for (const gnn::Benchmark b : gnn::kAllBenchmarks) {
+    sim::RunRequest req;
+    req.benchmark = b;
+    req.config = accel::AcceleratorConfig::cpu_iso_bw();
+    req.trace = env_trace.options();
+    requests.push_back(std::move(req));
+  }
+
+  sim::BatchRunner runner(sim::Session::global(),
+                          benchutil::default_jobs(env_trace));
+  runner.set_progress([&](std::size_t i, const sim::RunResult& r) {
+    benchutil::progress_to_stderr("fig10", i, r);
+  });
+  const std::vector<sim::RunResult> results = runner.run(requests);
+
   Table t({"Benchmark", "Mean mem BW (GB/s)", "BW utilization",
            "DNA utilization", "GPE utilization", "AGG utilization"});
-  for (const gnn::Benchmark b : gnn::kAllBenchmarks) {
-    std::cerr << "[fig10] " << gnn::benchmark_name(b) << "...\n";
-    const accel::RunStats rs = accel::simulate_benchmark(
-        b, accel::AcceleratorConfig::cpu_iso_bw());
-    t.add_row({gnn::benchmark_name(b),
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) return 1;
+    const accel::RunStats& rs = results[i].stats;
+    t.add_row({gnn::benchmark_name(*requests[i].benchmark),
                format_double(rs.mean_bandwidth_gbps, 1),
                format_percent(rs.bandwidth_utilization),
                format_percent(rs.dna_utilization),

@@ -7,17 +7,19 @@
 //
 // This is the flagship experiment and runs the full cycle-level simulator
 // for every (benchmark, configuration, clock) point — expect several
-// minutes. Set GNNA_QUICK=1 to sweep only the 2.4 GHz points.
+// minutes. Set GNNA_QUICK=1 to sweep only the 2.4 GHz points; GNNA_JOBS
+// caps the worker pool. All points go through one BatchRunner, so the six
+// datasets and programs are built once and shared across the whole sweep.
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <map>
 #include <vector>
 
-#include "accel/runner.hpp"
 #include "baseline/baselines.hpp"
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "sim/batch_runner.hpp"
 
 int main() {
   using namespace gnna;
@@ -44,22 +46,49 @@ int main() {
   std::cout << "(baseline latencies: paper Table VII; simulated latencies: "
                "this repository's cycle-level model)\n";
 
-  // speedups[panel][benchmark][clock]
-  std::map<int, std::map<gnn::Benchmark, std::map<double, double>>> speedups;
-  std::map<int, std::map<gnn::Benchmark, double>> sim_ms_at_max_clock;
-
+  // One request per (panel, benchmark, clock) point, in sweep order.
+  struct Point {
+    int panel;
+    gnn::Benchmark benchmark;
+    double ghz;
+  };
+  std::vector<Point> points;
+  std::vector<sim::RunRequest> requests;
   for (int p = 0; p < 3; ++p) {
     for (const gnn::Benchmark b : gnn::kAllBenchmarks) {
       for (const double ghz : clocks) {
-        std::cerr << "[fig8] " << panels[p].title << " | "
-                  << gnn::benchmark_name(b) << " @ " << ghz << " GHz...\n";
-        const accel::RunStats rs = accel::simulate_benchmark(
-            b, panels[p].cfg.with_core_clock(ghz), 2020, env_trace.options());
-        const auto t7 = baseline::table7_row(b);
-        const double base_ms = panels[p].vs_gpu ? t7.gpu_ms : t7.cpu_ms;
-        speedups[p][b][ghz] = base_ms / rs.millis;
-        if (ghz == clocks.back()) sim_ms_at_max_clock[p][b] = rs.millis;
+        points.push_back({p, b, ghz});
+        sim::RunRequest req;
+        req.benchmark = b;
+        req.config = panels[p].cfg;
+        req.clock_ghz = ghz;
+        req.trace = env_trace.options();
+        requests.push_back(std::move(req));
       }
+    }
+  }
+
+  sim::BatchRunner runner(sim::Session::global(),
+                          benchutil::default_jobs(env_trace));
+  runner.set_progress([&](std::size_t i, const sim::RunResult& r) {
+    std::cerr << "[fig8] " << panels[points[i].panel].title << " | "
+              << gnn::benchmark_name(points[i].benchmark) << " @ "
+              << points[i].ghz << " GHz"
+              << (r.ok() ? " done" : " FAILED: " + r.error) << '\n';
+  });
+  const std::vector<sim::RunResult> results = runner.run(requests);
+
+  // speedups[panel][benchmark][clock]
+  std::map<int, std::map<gnn::Benchmark, std::map<double, double>>> speedups;
+  std::map<int, std::map<gnn::Benchmark, double>> sim_ms_at_max_clock;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) return 1;
+    const Point& pt = points[i];
+    const auto t7 = baseline::table7_row(pt.benchmark);
+    const double base_ms = panels[pt.panel].vs_gpu ? t7.gpu_ms : t7.cpu_ms;
+    speedups[pt.panel][pt.benchmark][pt.ghz] = base_ms / results[i].stats.millis;
+    if (pt.ghz == clocks.back()) {
+      sim_ms_at_max_clock[pt.panel][pt.benchmark] = results[i].stats.millis;
     }
   }
 

@@ -9,17 +9,20 @@
 // streamers and the speedup converges toward the modest ratio of effective
 // memory bandwidths. Note the accelerator's own bandwidth utilization also
 // drifts down with scale as wide hub-vertex gathers monopolize the single
-// memory controller's in-order queue.
+// memory controller's in-order queue. All five sizes run through one
+// BatchRunner (GNNA_JOBS caps the pool).
 #include <iostream>
+#include <memory>
+#include <vector>
 
-#include "accel/compiler.hpp"
-#include "accel/simulator.hpp"
 #include "baseline/baselines.hpp"
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "gnn/model.hpp"
 #include "gnn/workload.hpp"
 #include "graph/generator.hpp"
+#include "sim/batch_runner.hpp"
 
 int main() {
   using namespace gnna;
@@ -27,12 +30,14 @@ int main() {
   std::cout << "=== Scale sweep: GCN on synthetic citation graphs (mean "
                "degree 4, 64 features, CPU iso-BW @ 2.4 GHz) ===\n\n";
 
+  const benchutil::EnvTrace env_trace;
   const baseline::DeviceModel cpu = baseline::cpu_xeon_e5_2680v4();
   const gnn::ModelSpec gcn = gnn::make_gcn(64, 8);
 
-  Table t({"Nodes", "Edges", "Accel (ms)", "CPU model (ms)",
-           "Speedup", "BW util", "DNA util"});
-  for (const NodeId n : {256U, 1024U, 4096U, 16384U, 32768U}) {
+  const std::vector<NodeId> sizes = {256U, 1024U, 4096U, 16384U, 32768U};
+  sim::Session session;
+  std::vector<sim::RunRequest> requests;
+  for (const NodeId n : sizes) {
     Rng rng(n);
     graph::Dataset ds;
     ds.spec = {"synth", 1, n, n * 4, 64, 0, 8};
@@ -41,20 +46,37 @@ int main() {
     ds.node_features.emplace_back(std::size_t{n} * 64, 0.5F);
     ds.edge_features.emplace_back();
 
-    const accel::CompiledProgram prog =
-        accel::ProgramCompiler{}.compile(gcn, ds);
-    accel::AcceleratorSim sim(accel::AcceleratorConfig::cpu_iso_bw());
-    const accel::RunStats rs = sim.run(prog);
+    const sim::Session::Resolved prog = session.compile(
+        gcn, std::make_shared<const graph::Dataset>(std::move(ds)));
+    sim::RunRequest req;
+    req.program = prog.program;
+    req.dataset = prog.dataset;
+    req.config = accel::AcceleratorConfig::cpu_iso_bw();
+    req.trace = env_trace.options();
+    requests.push_back(std::move(req));
+  }
 
+  sim::BatchRunner runner(session, benchutil::default_jobs(env_trace));
+  runner.set_progress([&](std::size_t i, const sim::RunResult& r) {
+    std::cerr << "[scale] n=" << sizes[i]
+              << (r.ok() ? " done" : " FAILED: " + r.error) << '\n';
+  });
+  const std::vector<sim::RunResult> results = runner.run(requests);
+
+  Table t({"Nodes", "Edges", "Accel (ms)", "CPU model (ms)",
+           "Speedup", "BW util", "DNA util"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) return 1;
+    const accel::RunStats& rs = results[i].stats;
+    const NodeId n = sizes[i];
     const double cpu_ms = baseline::estimate_latency_ms(
-        cpu, gnn::profile_work(gcn, ds), /*input_density=*/1.0);
-
+        cpu, gnn::profile_work(gcn, *requests[i].dataset),
+        /*input_density=*/1.0);
     t.add_row({std::to_string(n), std::to_string(n * 4),
                format_double(rs.millis, 3), format_double(cpu_ms, 3),
                format_speedup(cpu_ms / rs.millis),
                format_percent(rs.bandwidth_utilization),
                format_percent(rs.dna_utilization)});
-    std::cerr << "[scale] n=" << n << " done\n";
   }
   t.print(std::cout);
   return 0;

@@ -6,11 +6,15 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <string>
+#include <thread>
 
 #include "accel/simulator.hpp"
 #include "common/rng.hpp"
 #include "graph/dataset.hpp"
 #include "graph/generator.hpp"
+#include "sim/batch_runner.hpp"
+#include "sim/manifest.hpp"
 #include "trace/trace.hpp"
 
 namespace gnna::benchutil {
@@ -21,7 +25,9 @@ namespace gnna::benchutil {
 ///   GNNA_SAMPLE_FILE=<file>  CSV sidecar for the samples (default stderr)
 /// Owns the output streams and sink; options() stays valid while this
 /// object is alive. When a bench runs several simulations against one
-/// EnvTrace, their events share the file with per-run cycle timestamps.
+/// EnvTrace, their events share the file with per-run cycle timestamps
+/// (the sink is internally mutex-guarded, so this also holds for parallel
+/// BatchRunner sweeps; the CSV sampler writes whole rows).
 class EnvTrace {
  public:
   EnvTrace() {
@@ -35,10 +41,22 @@ class EnvTrace {
       }
     }
     if (const char* p = std::getenv("GNNA_SAMPLE_EVERY")) {
-      opts_.sample_every = std::strtoull(p, nullptr, 10);
+      // Strict parse: a malformed cadence must not silently disable
+      // sampling (bare strtoull would return 0 for garbage).
+      const auto every = sim::parse_u64(p);
+      if (!every) {
+        std::cerr << "warning: ignoring malformed GNNA_SAMPLE_EVERY '" << p
+                  << "' (want a cycle count)\n";
+      } else {
+        opts_.sample_every = *every;
+      }
       if (opts_.sample_every > 0) {
         if (const char* f = std::getenv("GNNA_SAMPLE_FILE")) {
           sample_file_.open(f);
+          if (!sample_file_.is_open()) {
+            std::cerr << "warning: cannot open GNNA_SAMPLE_FILE " << f
+                      << "; samples go to stderr\n";
+          }
         }
         opts_.sample_out = sample_file_.is_open() ? &sample_file_ : &std::cerr;
       }
@@ -47,12 +65,43 @@ class EnvTrace {
 
   [[nodiscard]] const accel::TraceOptions& options() const { return opts_; }
 
+  /// True when any observability output is attached.
+  [[nodiscard]] bool active() const {
+    return opts_.sink != nullptr || opts_.sample_every > 0;
+  }
+
  private:
   std::ofstream trace_file_;
   std::ofstream sample_file_;
   std::optional<trace::ChromeTraceSink> sink_;
   accel::TraceOptions opts_;
 };
+
+/// Worker count for BatchRunner-based sweeps: GNNA_JOBS if set (malformed
+/// values warn and fall back), otherwise one per hardware thread. Forced
+/// to 1 while env-tracing is active so a shared CSV sample stream stays
+/// ordered per run.
+inline unsigned default_jobs(const EnvTrace& env) {
+  if (env.active()) return 1;
+  if (const char* p = std::getenv("GNNA_JOBS")) {
+    const auto jobs = sim::parse_u64(p);
+    if (!jobs || *jobs > 1024) {
+      std::cerr << "warning: ignoring malformed GNNA_JOBS '" << p << "'\n";
+    } else if (*jobs > 0) {
+      return static_cast<unsigned>(*jobs);
+    }
+    // GNNA_JOBS=0 falls through to "all cores", like gnnasim --jobs 0.
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Progress line printed as each batch run retires (completion order).
+inline void progress_to_stderr(const std::string& tag, std::size_t index,
+                               const gnna::sim::RunResult& r) {
+  std::cerr << '[' << tag << "] run " << index
+            << (r.ok() ? " done" : " FAILED: " + r.error) << '\n';
+}
 
 /// QM9-like subset: `num_graphs` molecules of 12-13 atoms (the paper used
 /// the first 1000 QM9 graphs; ablations use fewer for speed).

@@ -1,4 +1,9 @@
 // Convenience wrapper: benchmark -> dataset + model + compile + simulate.
+//
+// Implemented by the session layer (src/sim): runs resolve against the
+// process-wide Session caches, so repeated calls with the same
+// (benchmark, seed) reuse one dataset and one compiled program. Linking
+// this function requires gnna_sim (which pulls in gnna_accel).
 #pragma once
 
 #include "accel/config.hpp"
@@ -8,7 +13,8 @@
 namespace gnna::accel {
 
 /// Simulate one Table VII benchmark on `cfg` and return the run stats.
-/// Builds the dataset and model internally (deterministic by `seed`).
+/// Dataset and model are resolved through sim::Session::global()
+/// (deterministic by `seed`; cached across calls).
 /// `trace` attaches observability outputs (event sink / periodic sampler)
 /// to the run; the default traces nothing.
 [[nodiscard]] RunStats simulate_benchmark(gnn::Benchmark benchmark,

@@ -118,12 +118,15 @@ void AcceleratorSim::maybe_sample(const std::string& phase_name) {
   }
 
   if (trace_.sample_out != nullptr) {
-    std::ostream& os = *trace_.sample_out;
-    os << now << ',' << phase_name << ',' << gpe_frac << ',' << dna_frac
-       << ',' << agg_frac << ',' << dnq_live << ',' << agg_live << ','
-       << mem_depth << ',' << inflight << ',' << total_gbps;
-    for (const double g : mem_gbps) os << ',' << g;
-    os << '\n';
+    // Assemble the row first and emit it with one stream write, so rows
+    // stay intact even if several runs share the stream.
+    std::ostringstream row;
+    row << now << ',' << phase_name << ',' << gpe_frac << ',' << dna_frac
+        << ',' << agg_frac << ',' << dnq_live << ',' << agg_live << ','
+        << mem_depth << ',' << inflight << ',' << total_gbps;
+    for (const double g : mem_gbps) row << ',' << g;
+    row << '\n';
+    *trace_.sample_out << row.str();
   }
   if (trace_.sink != nullptr) {
     trace_.sink->counter(trace::Category::kGpe, 0, "busy_frac", now, gpe_frac);

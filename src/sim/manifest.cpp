@@ -1,0 +1,160 @@
+#include "sim/manifest.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace gnna::sim {
+namespace {
+
+[[noreturn]] void fail(const std::string& source, std::size_t line,
+                       const std::string& reason) {
+  throw std::invalid_argument(source + ":" + std::to_string(line) + ": " +
+                              reason);
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  // from_chars is exactly as strict as we want: no leading whitespace, no
+  // sign, no trailing junk.
+  std::uint64_t v = 0;
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, v);
+  if (ec != std::errc{} || ptr != end || s.empty()) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_f64(const std::string& s) {
+  // stod tolerates leading whitespace, hex floats, and "nan"/"inf"; none
+  // of those are meaningful manifest values, so require a leading digit,
+  // sign, or '.', and a finite result.
+  if (s.empty()) return std::nullopt;
+  const char c = s.front();
+  if (!(c >= '0' && c <= '9') && c != '-' && c != '+' && c != '.') {
+    return std::nullopt;
+  }
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size() || !std::isfinite(v)) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<gnn::Benchmark> benchmark_by_name(const std::string& name) {
+  for (const gnn::Benchmark b : gnn::kAllBenchmarks) {
+    if (gnn::benchmark_name(b) == name) return b;
+  }
+  return std::nullopt;
+}
+
+std::optional<accel::AcceleratorConfig> config_by_name(
+    const std::string& name) {
+  if (name == "cpu-iso-bw") return accel::AcceleratorConfig::cpu_iso_bw();
+  if (name == "gpu-iso-bw") return accel::AcceleratorConfig::gpu_iso_bw();
+  if (name == "gpu-iso-flops") {
+    return accel::AcceleratorConfig::gpu_iso_flops();
+  }
+  return std::nullopt;
+}
+
+std::optional<graph::PartitionPolicy> partition_by_name(
+    const std::string& name) {
+  if (name == "round-robin") return graph::PartitionPolicy::kRoundRobin;
+  if (name == "block") return graph::PartitionPolicy::kBlock;
+  return std::nullopt;
+}
+
+std::vector<RunRequest> parse_batch_manifest(std::istream& in,
+                                             const RunRequest& defaults,
+                                             const std::string& source) {
+  std::vector<RunRequest> requests;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream tokens(line);
+
+    RunRequest req = defaults;
+    req.benchmark.reset();
+    req.program.reset();
+    req.model.reset();
+    req.dataset.reset();
+    std::uint64_t repeat = 1;
+
+    bool any = false;
+    std::string token;
+    while (tokens >> token) {
+      any = true;
+      const auto eq = token.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        fail(source, lineno,
+             "expected key=value tokens, got '" + token + "'");
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key == "benchmark") {
+        req.benchmark = benchmark_by_name(value);
+        if (!req.benchmark) {
+          fail(source, lineno,
+               "unknown benchmark '" + value + "' (try gnnasim --list)");
+        }
+      } else if (key == "config") {
+        const auto cfg = config_by_name(value);
+        if (!cfg) {
+          fail(source, lineno, "unknown config '" + value +
+                                   "' (cpu-iso-bw | gpu-iso-bw | "
+                                   "gpu-iso-flops)");
+        }
+        req.config = *cfg;
+      } else if (key == "clock") {
+        const auto ghz = parse_f64(value);
+        if (!ghz || *ghz <= 0.0 || *ghz > 2.4 + 1e-9) {
+          fail(source, lineno,
+               "clock must be a number in (0, 2.4] GHz, got '" + value + "'");
+        }
+        req.clock_ghz = *ghz;
+      } else if (key == "threads") {
+        const auto n = parse_u64(value);
+        if (!n || *n == 0 || *n > 4096) {
+          fail(source, lineno,
+               "threads must be in [1, 4096], got '" + value + "'");
+        }
+        req.threads = static_cast<std::uint32_t>(*n);
+      } else if (key == "partition") {
+        const auto p = partition_by_name(value);
+        if (!p) {
+          fail(source, lineno, "unknown partition policy '" + value +
+                                   "' (round-robin | block)");
+        }
+        req.partition = *p;
+      } else if (key == "seed") {
+        const auto s = parse_u64(value);
+        if (!s) fail(source, lineno, "seed must be a number, got '" + value + "'");
+        req.seed = *s;
+      } else if (key == "repeat") {
+        const auto r = parse_u64(value);
+        if (!r || *r == 0 || *r > 100000) {
+          fail(source, lineno,
+               "repeat must be in [1, 100000], got '" + value + "'");
+        }
+        repeat = *r;
+      } else {
+        fail(source, lineno, "unknown key '" + key + "'");
+      }
+    }
+    if (!any) continue;  // blank or comment-only line
+    if (!req.benchmark) fail(source, lineno, "line names no benchmark");
+    for (std::uint64_t r = 0; r < repeat; ++r) requests.push_back(req);
+  }
+  return requests;
+}
+
+}  // namespace gnna::sim

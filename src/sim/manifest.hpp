@@ -1,0 +1,45 @@
+// Batch-manifest parsing for `gnnasim --batch <file>`.
+//
+// One run per line; blank lines and `#` comments are skipped. Each line is
+// whitespace-separated `key=value` tokens:
+//
+//   benchmark=GCN/Cora config=gpu-iso-bw clock=1.2 threads=32
+//   benchmark=GAT/Cora partition=block seed=7 repeat=4
+//
+// `benchmark` is required; every other key defaults to the CLI-level
+// default passed in (so `gnnasim --batch runs.txt --config gpu-iso-bw`
+// applies to lines that don't override it). `repeat=N` expands the line
+// into N identical runs. Unknown keys, malformed values, and unknown names
+// are hard errors with the line number in the message.
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/session.hpp"
+
+namespace gnna::sim {
+
+// Strict value parsers shared by the manifest and the gnnasim CLI: reject
+// garbage, trailing junk, and (for integers) negative signs, instead of
+// taking whatever strtoull salvages.
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(const std::string& s);
+[[nodiscard]] std::optional<double> parse_f64(const std::string& s);
+[[nodiscard]] std::optional<gnn::Benchmark> benchmark_by_name(
+    const std::string& name);
+[[nodiscard]] std::optional<accel::AcceleratorConfig> config_by_name(
+    const std::string& name);
+[[nodiscard]] std::optional<graph::PartitionPolicy> partition_by_name(
+    const std::string& name);
+
+/// Parse `in` into run requests, using `defaults` for unset keys (its
+/// workload fields are ignored; each line must name its own benchmark).
+/// Throws std::invalid_argument with "<source>:<line>: <reason>" on any
+/// malformed line.
+[[nodiscard]] std::vector<RunRequest> parse_batch_manifest(
+    std::istream& in, const RunRequest& defaults,
+    const std::string& source = "manifest");
+
+}  // namespace gnna::sim

@@ -1,0 +1,20 @@
+// Legacy accel::simulate_benchmark, now a thin shim over the session
+// layer. Lives in gnna_sim because gnna_accel must not depend back on it.
+#include "accel/runner.hpp"
+
+#include "sim/session.hpp"
+
+namespace gnna::accel {
+
+RunStats simulate_benchmark(gnn::Benchmark benchmark,
+                            const AcceleratorConfig& cfg, std::uint64_t seed,
+                            const TraceOptions& trace) {
+  sim::RunRequest req;
+  req.benchmark = benchmark;
+  req.config = cfg;
+  req.seed = seed;
+  req.trace = trace;
+  return sim::Session::global().run(req);
+}
+
+}  // namespace gnna::accel

@@ -1,0 +1,94 @@
+#include "sim/session.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "accel/compiler.hpp"
+
+namespace gnna::sim {
+
+std::shared_ptr<const graph::Dataset> Session::dataset(graph::DatasetId id,
+                                                       std::uint64_t seed) {
+  return datasets_.get(id, seed);
+}
+
+Session::Resolved Session::compile(
+    const gnn::ModelSpec& model,
+    std::shared_ptr<const graph::Dataset> dataset) {
+  if (!dataset) {
+    throw std::invalid_argument("Session::compile: null dataset");
+  }
+  Resolved r;
+  r.dataset = std::move(dataset);
+  r.program = std::make_shared<const accel::CompiledProgram>(
+      accel::ProgramCompiler{}.compile(model, *r.dataset));
+  return r;
+}
+
+Session::Resolved Session::resolve(const RunRequest& req) {
+  if (req.program) {
+    if (!req.dataset) {
+      throw std::invalid_argument(
+          "RunRequest: a pre-compiled program needs its dataset");
+    }
+    return Resolved{req.dataset, req.program};
+  }
+  if (req.benchmark) {
+    const ProgramKey key{*req.benchmark, req.seed};
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (const auto it = programs_.find(key); it != programs_.end()) {
+        ++program_hits_;
+        return it->second;
+      }
+    }
+    // Compile outside the program-cache lock: the dataset cache has its
+    // own, and two threads racing on one key just do the work twice — the
+    // results are identical and first-insert wins.
+    Resolved r = compile(gnn::make_benchmark_model(*req.benchmark),
+                         dataset(gnn::benchmark_dataset(*req.benchmark),
+                                 req.seed));
+    std::lock_guard<std::mutex> lock(mu_);
+    ++program_misses_;
+    return programs_.emplace(key, std::move(r)).first->second;
+  }
+  if (req.model && req.dataset) {
+    return compile(*req.model, req.dataset);
+  }
+  throw std::invalid_argument(
+      "RunRequest: set a benchmark, a program, or a (model, dataset) pair");
+}
+
+accel::RunStats Session::run(const RunRequest& req) {
+  const Resolved r = resolve(req);
+
+  accel::AcceleratorConfig cfg = req.config;
+  if (req.clock_ghz) cfg = cfg.with_core_clock(*req.clock_ghz);
+  if (req.threads) cfg.tile_params.gpe_threads = *req.threads;
+
+  accel::AcceleratorSim sim(std::move(cfg), req.partition);
+  if (req.watchdog_cycles) sim.set_watchdog_cycles(*req.watchdog_cycles);
+  sim.set_trace(req.trace);
+
+  accel::RunStats rs = sim.run(*r.program);
+  if (req.benchmark) rs.program_name = gnn::benchmark_name(*req.benchmark);
+  if (!req.label.empty()) rs.program_name = req.label;
+  return rs;
+}
+
+Session::CacheCounters Session::cache_counters() const {
+  CacheCounters c;
+  c.dataset_hits = datasets_.hits();
+  c.dataset_misses = datasets_.misses();
+  std::lock_guard<std::mutex> lock(mu_);
+  c.program_hits = program_hits_;
+  c.program_misses = program_misses_;
+  return c;
+}
+
+Session& Session::global() {
+  static Session session;
+  return session;
+}
+
+}  // namespace gnna::sim

@@ -1,0 +1,126 @@
+// The session layer: one process-wide home for everything a simulation run
+// needs that is immutable and shareable — generated datasets and compiled
+// programs — plus the single entry point that turns a RunRequest into
+// RunStats.
+//
+// Every driver in the repo (gnnasim, the bench_* sweeps, the legacy
+// accel::simulate_benchmark wrapper) resolves runs through a Session
+// instead of hand-rolling the dataset -> model -> compile -> simulate
+// pipeline. Within one Session, N runs of the same benchmark share one
+// dataset and one compiled program; only the per-run AcceleratorSim (cheap
+// to construct, single-use, fully independent) is rebuilt.
+//
+// Thread-safety: resolve()/run() may be called concurrently from
+// BatchRunner workers. The caches are mutex-guarded; the simulators
+// themselves share nothing mutable, so concurrent runs are bit-identical
+// to serial runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "accel/config.hpp"
+#include "accel/simulator.hpp"
+#include "gnn/model.hpp"
+#include "graph/dataset_cache.hpp"
+#include "graph/partition.hpp"
+
+namespace gnna::sim {
+
+/// One simulation to run: the immutable experiment inputs (what to run)
+/// plus the per-run knobs (how to run it). Copyable and cheap — custom
+/// datasets and pre-compiled programs are carried by shared_ptr.
+struct RunRequest {
+  // -- Workload. Exactly one of the three forms must be set; precedence is
+  //    program > benchmark > (model, dataset).
+  /// A Table VII benchmark, resolved through the session caches.
+  std::optional<gnn::Benchmark> benchmark;
+  /// A pre-compiled program (from Session::compile). `dataset` must be the
+  /// dataset it was compiled against (the program references it).
+  std::shared_ptr<const accel::CompiledProgram> program;
+  /// An explicit model over an explicit dataset (custom sweeps).
+  std::optional<gnn::ModelSpec> model;
+  std::shared_ptr<const graph::Dataset> dataset;
+
+  // -- Per-run knobs.
+  accel::AcceleratorConfig config = accel::AcceleratorConfig::cpu_iso_bw();
+  /// Core-clock override in GHz; unset keeps config.core_clock.
+  std::optional<double> clock_ghz;
+  /// GPE software-thread override; unset keeps config.tile_params.
+  std::optional<std::uint32_t> threads;
+  graph::PartitionPolicy partition = graph::PartitionPolicy::kRoundRobin;
+  /// Dataset seed (benchmark form only; explicit datasets carry their own).
+  std::uint64_t seed = 2020;
+  std::optional<Cycle> watchdog_cycles;
+  /// Per-run observability. Under a parallel BatchRunner each run should
+  /// get its own sink/stream, or share a thread-safe sink (ChromeTraceSink
+  /// is internally locked); plain ostream sample_out must not be shared.
+  accel::TraceOptions trace;
+  /// Optional display name; overrides the program name in the stats.
+  std::string label;
+};
+
+class Session {
+ public:
+  /// A resolved workload: the program plus the dataset keeping it alive
+  /// (CompiledProgram holds a non-owning dataset pointer).
+  struct Resolved {
+    std::shared_ptr<const graph::Dataset> dataset;
+    std::shared_ptr<const accel::CompiledProgram> program;
+  };
+
+  /// Cache-hit accounting (for tests and cache-effectiveness reports).
+  struct CacheCounters {
+    std::uint64_t dataset_hits = 0;
+    std::uint64_t dataset_misses = 0;
+    std::uint64_t program_hits = 0;
+    std::uint64_t program_misses = 0;
+  };
+
+  Session() = default;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// The dataset for (id, seed) — shared and cached.
+  [[nodiscard]] std::shared_ptr<const graph::Dataset> dataset(
+      graph::DatasetId id, std::uint64_t seed = 2020);
+
+  /// Compile `model` over `dataset` into a shareable program (uncached —
+  /// the caller reuses the handle across requests; benchmark programs go
+  /// through the content-keyed cache in resolve() instead).
+  [[nodiscard]] Resolved compile(const gnn::ModelSpec& model,
+                                 std::shared_ptr<const graph::Dataset> dataset);
+
+  /// Resolve the workload of `req` against the caches. Benchmark programs
+  /// are cached by (benchmark, seed) — the dataset is determined by the
+  /// benchmark plus the seed and the model by the benchmark alone, so the
+  /// key is content-complete. Throws std::invalid_argument if the request
+  /// names no workload.
+  [[nodiscard]] Resolved resolve(const RunRequest& req);
+
+  /// Resolve and execute one run on a fresh single-use AcceleratorSim.
+  [[nodiscard]] accel::RunStats run(const RunRequest& req);
+
+  [[nodiscard]] CacheCounters cache_counters() const;
+
+  /// The shared process-wide session (used by the legacy
+  /// accel::simulate_benchmark wrapper so every caller benefits from one
+  /// cache).
+  [[nodiscard]] static Session& global();
+
+ private:
+  using ProgramKey = std::pair<gnn::Benchmark, std::uint64_t>;
+
+  graph::DatasetCache datasets_;
+
+  mutable std::mutex mu_;
+  std::map<ProgramKey, Resolved> programs_;
+  std::uint64_t program_hits_ = 0;
+  std::uint64_t program_misses_ = 0;
+};
+
+}  // namespace gnna::sim

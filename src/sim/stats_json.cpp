@@ -1,0 +1,131 @@
+#include "sim/stats_json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace gnna::sim {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return ec == std::errc() ? std::string(buf, end) : "null";
+}
+
+class ObjectWriter {
+ public:
+  ObjectWriter(std::ostream& os, int indent) : os_(os), indent_(indent) {
+    os_ << "{";
+  }
+  void field(const char* key, const std::string& raw) {
+    os_ << (first_ ? "\n" : ",\n");
+    first_ = false;
+    pad(indent_ + 2);
+    os_ << '"' << key << "\": " << raw;
+  }
+  void str(const char* key, const std::string& v) {
+    field(key, '"' + json_escape(v) + '"');
+  }
+  void num(const char* key, std::uint64_t v) { field(key, std::to_string(v)); }
+  void num(const char* key, double v) { field(key, json_double(v)); }
+  void close() {
+    os_ << '\n';
+    pad(indent_);
+    os_ << '}';
+  }
+  std::ostream& raw() { return os_; }
+
+ private:
+  void pad(int n) {
+    for (int i = 0; i < n; ++i) os_ << ' ';
+  }
+  std::ostream& os_;
+  int indent_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+void write_run_stats_json(std::ostream& os, const accel::RunStats& rs,
+                          int indent) {
+  ObjectWriter w(os, indent);
+  w.str("program", rs.program_name);
+  w.str("config", rs.config_name);
+  w.num("core_clock_ghz", rs.core_clock_ghz);
+  w.num("cycles", rs.cycles);
+  w.num("seconds", rs.seconds);
+  w.num("millis", rs.millis);
+  w.num("mem_bytes_requested", rs.mem_bytes_requested);
+  w.num("mem_bytes_served", rs.mem_bytes_served);
+  w.num("mean_bandwidth_gbps", rs.mean_bandwidth_gbps);
+  w.num("bandwidth_utilization", rs.bandwidth_utilization);
+  w.num("dna_utilization", rs.dna_utilization);
+  w.num("gpe_utilization", rs.gpe_utilization);
+  w.num("agg_utilization", rs.agg_utilization);
+  w.num("tasks_completed", rs.tasks_completed);
+  w.num("packets_delivered", rs.packets_delivered);
+  w.num("avg_packet_latency", rs.avg_packet_latency);
+  w.num("dnq_queue_switches", rs.dnq_queue_switches);
+  w.num("alloc_stalls", rs.alloc_stalls);
+  w.num("noc_flit_hops", rs.noc_flit_hops);
+  w.num("noc_flits_delivered", rs.noc_flits_delivered);
+  w.num("agg_words_reduced", rs.agg_words_reduced);
+  w.num("dna_macs", rs.dna_macs);
+  w.num("gpe_actions", rs.gpe_actions);
+  w.num("dnq_words", rs.dnq_words);
+
+  std::string phases = "[";
+  for (std::size_t i = 0; i < rs.phases.size(); ++i) {
+    const auto& ph = rs.phases[i];
+    if (i > 0) phases += ", ";
+    phases += "{\"name\": \"" + json_escape(ph.name) +
+              "\", \"cycles\": " + std::to_string(ph.cycles) +
+              ", \"mem_bytes_served\": " + std::to_string(ph.mem_bytes_served) +
+              ", \"tasks\": " + std::to_string(ph.tasks) + "}";
+  }
+  phases += "]";
+  w.field("phases", phases);
+  w.close();
+}
+
+void write_batch_json(std::ostream& os, const std::vector<RunResult>& results) {
+  os << "[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    if (results[i].ok()) {
+      os << "  ";
+      write_run_stats_json(os, results[i].stats, 2);
+    } else {
+      os << "  {\"error\": \"" << json_escape(results[i].error) << "\"}";
+    }
+  }
+  os << "\n]\n";
+}
+
+}  // namespace gnna::sim

@@ -1,0 +1,22 @@
+// Machine-readable RunStats: JSON emission for `gnnasim --json` so bench
+// scripts can consume batch results without scraping tables.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "accel/simulator.hpp"
+#include "sim/batch_runner.hpp"
+
+namespace gnna::sim {
+
+/// One run as a JSON object (all counters, utilizations, and the per-phase
+/// breakdown). Doubles are emitted with round-trip precision.
+void write_run_stats_json(std::ostream& os, const accel::RunStats& rs,
+                          int indent = 0);
+
+/// A batch as a JSON array, in request order. Failed runs become
+/// {"error": "..."} entries so indices still line up with the manifest.
+void write_batch_json(std::ostream& os, const std::vector<RunResult>& results);
+
+}  // namespace gnna::sim

@@ -15,6 +15,7 @@ ChromeTraceSink::ChromeTraceSink(std::ostream& os) : os_(os) {
 ChromeTraceSink::~ChromeTraceSink() { close(); }
 
 void ChromeTraceSink::close() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (closed_) return;
   closed_ = true;
   os_ << "\n]}\n";
@@ -54,6 +55,7 @@ void ChromeTraceSink::begin_event(Category cat, std::uint32_t unit,
 void ChromeTraceSink::complete(Category cat, std::uint32_t unit,
                                const char* name, double start, double dur,
                                std::uint64_t a, std::uint64_t b) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (closed_) return;
   begin_event(cat, unit, name, 'X', start);
   os_ << ",\"dur\":" << sanitize(dur) << ",\"args\":{\"a\":" << a
@@ -63,6 +65,7 @@ void ChromeTraceSink::complete(Category cat, std::uint32_t unit,
 void ChromeTraceSink::instant(Category cat, std::uint32_t unit,
                               const char* name, double at, std::uint64_t a,
                               std::uint64_t b) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (closed_) return;
   begin_event(cat, unit, name, 'i', at);
   os_ << ",\"s\":\"t\",\"args\":{\"a\":" << a << ",\"b\":" << b << "}}";
@@ -70,6 +73,7 @@ void ChromeTraceSink::instant(Category cat, std::uint32_t unit,
 
 void ChromeTraceSink::counter(Category cat, std::uint32_t unit,
                               const char* name, double at, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (closed_) return;
   begin_event(cat, unit, name, 'C', at);
   os_ << ",\"args\":{\"value\":" << sanitize(value) << "}}";

@@ -22,6 +22,7 @@
 
 #include <array>
 #include <cstdint>
+#include <mutex>
 #include <ostream>
 #include <vector>
 
@@ -109,8 +110,10 @@ class Tracer {
 
 /// Streams Chrome trace-event JSON ({"traceEvents": [...]}) to an ostream.
 /// The JSON document is closed by close() or the destructor; the target
-/// stream must outlive the sink. Not thread-safe (the simulator is
-/// single-threaded).
+/// stream must outlive the sink. Thread-safe: each event is written under
+/// an internal mutex, so one sink may be shared by concurrent simulations
+/// (e.g. a parallel BatchRunner); events from different runs interleave
+/// but each is well-formed.
 class ChromeTraceSink final : public TraceSink {
  public:
   explicit ChromeTraceSink(std::ostream& os);
@@ -130,7 +133,10 @@ class ChromeTraceSink final : public TraceSink {
   /// Write the closing bracket and flush. Idempotent.
   void close();
 
-  [[nodiscard]] std::uint64_t events_written() const { return events_; }
+  [[nodiscard]] std::uint64_t events_written() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
 
  private:
   /// Emit process/thread naming metadata the first time (cat, unit) is seen.
@@ -138,6 +144,7 @@ class ChromeTraceSink final : public TraceSink {
   void begin_event(Category cat, std::uint32_t unit, const char* name,
                    char phase, double ts);
 
+  mutable std::mutex mu_;
   std::ostream& os_;
   bool closed_ = false;
   bool first_ = true;

@@ -4,21 +4,31 @@
 //   gnnasim --benchmark GCN/Cora --config cpu-iso-bw --clock 2.4
 //   gnnasim --benchmark MPNN/QM9_1000 --config gpu-iso-flops --energy
 //   gnnasim --benchmark PGNN/DBLP_1 --threads 32 --partition block
+//   gnnasim --batch runs.txt --jobs 4 --json results.json
 //
 // Prints a full run report: latency, utilizations, per-phase breakdown,
-// and (with --energy) the estimated energy split.
+// and (with --energy) the estimated energy split. Batch mode runs every
+// line of a manifest through the shared session caches, fanned across
+// --jobs worker threads, and reports per-run latencies (machine-readable
+// with --json).
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
-#include "accel/compiler.hpp"
 #include "accel/energy.hpp"
-#include "accel/runner.hpp"
 #include "baseline/baselines.hpp"
 #include "common/table.hpp"
+#include "sim/batch_runner.hpp"
+#include "sim/manifest.hpp"
+#include "sim/session.hpp"
+#include "sim/stats_json.hpp"
 #include "trace/trace.hpp"
 
 namespace {
@@ -28,7 +38,8 @@ using namespace gnna;
 void usage(std::ostream& os) {
   os << "usage: gnnasim [options]\n"
         "  --list                     list benchmarks and configurations\n"
-        "  --benchmark <name>         e.g. GCN/Cora (required unless --list)\n"
+        "  --benchmark <name>         e.g. GCN/Cora (required unless --list"
+        " or --batch)\n"
         "  --config <name>            cpu-iso-bw | gpu-iso-bw | gpu-iso-flops"
         " (default cpu-iso-bw)\n"
         "  --clock <ghz>              core clock in GHz (default 2.4)\n"
@@ -37,255 +48,91 @@ void usage(std::ostream& os) {
         " round-robin)\n"
         "  --seed <n>                 dataset seed (default 2020)\n"
         "  --energy                   print the energy breakdown\n"
+        "  --batch <manifest>         run one simulation per manifest line\n"
+        "                             (key=value tokens; `gnnasim --help-batch'"
+        " for the format);\n"
+        "                             CLI flags above become per-line"
+        " defaults\n"
+        "  --jobs <n>                 worker threads for --batch (default 1;"
+        " 0 = all cores)\n"
+        "  --json <file>              write run stats as JSON (object for a\n"
+        "                             single run, array for --batch)\n"
         "  --trace <file>             write a Chrome-trace JSON event log\n"
-        "                             (open in chrome://tracing or Perfetto)\n"
+        "                             (open in chrome://tracing or Perfetto;\n"
+        "                             per-run files <file>.runN in --batch)\n"
         "  --sample-every <cycles>    periodic utilization/occupancy samples\n"
         "  --sample-file <file>       CSV sidecar for the samples (default\n"
-        "                             stderr)\n"
+        "                             stderr; per-run files in --batch)\n"
         "  --watchdog <cycles>        progress watchdog threshold\n"
         "  --deadlock-report <file>   also write watchdog diagnostics here\n"
         "  --help                     this text\n";
 }
 
-// Strict numeric parsers: reject garbage and trailing junk instead of
-// letting std::stoull throw out of main().
-std::optional<std::uint64_t> parse_u64(const std::string& s) {
-  try {
-    std::size_t pos = 0;
-    const std::uint64_t v = std::stoull(s, &pos);
-    if (pos != s.size() || s.front() == '-') return std::nullopt;
-    return v;
-  } catch (const std::exception&) {
-    return std::nullopt;
-  }
+void usage_batch(std::ostream& os) {
+  os << "batch manifest format: one run per line, `#' comments, tokens\n"
+        "  benchmark=GCN/Cora config=gpu-iso-bw clock=1.2 threads=32 \\\n"
+        "      partition=block seed=7 repeat=4\n"
+        "`benchmark' is required per line; other keys default to the CLI\n"
+        "flags; `repeat=N' expands the line into N identical runs.\n";
 }
 
-std::optional<double> parse_f64(const std::string& s) {
-  try {
-    std::size_t pos = 0;
-    const double v = std::stod(s, &pos);
-    if (pos != s.size()) return std::nullopt;
-    return v;
-  } catch (const std::exception&) {
-    return std::nullopt;
+/// "t.json" -> "t.run3.json" (suffix before the extension, if any).
+std::string per_run_path(const std::string& path, std::size_t index) {
+  const auto slash = path.find_last_of('/');
+  const auto dot = path.find_last_of('.');
+  const std::string suffix = ".run" + std::to_string(index);
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + suffix;
   }
+  return path.substr(0, dot) + suffix + path.substr(dot);
 }
 
-std::optional<gnn::Benchmark> parse_benchmark(const std::string& name) {
-  for (const gnn::Benchmark b : gnn::kAllBenchmarks) {
-    if (gnn::benchmark_name(b) == name) return b;
-  }
-  return std::nullopt;
-}
-
-std::optional<accel::AcceleratorConfig> parse_config(const std::string& name) {
-  if (name == "cpu-iso-bw") return accel::AcceleratorConfig::cpu_iso_bw();
-  if (name == "gpu-iso-bw") return accel::AcceleratorConfig::gpu_iso_bw();
-  if (name == "gpu-iso-flops") {
-    return accel::AcceleratorConfig::gpu_iso_flops();
-  }
-  return std::nullopt;
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  std::optional<gnn::Benchmark> benchmark;
-  accel::AcceleratorConfig cfg = accel::AcceleratorConfig::cpu_iso_bw();
-  graph::PartitionPolicy partition = graph::PartitionPolicy::kRoundRobin;
-  double clock_ghz = 2.4;
-  std::uint32_t threads = 16;
-  std::uint64_t seed = 2020;
-  bool want_energy = false;
-  std::string trace_path;
-  std::string sample_path;
-  std::string deadlock_path;
-  Cycle sample_every = 0;
-  std::optional<Cycle> watchdog;
-
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> std::optional<std::string> {
-      if (i + 1 >= argc) return std::nullopt;
-      return std::string(argv[++i]);
-    };
-    if (arg == "--help" || arg == "-h") {
-      usage(std::cout);
-      return 0;
-    }
-    if (arg == "--list") {
-      std::cout << "benchmarks:\n";
-      for (const gnn::Benchmark b : gnn::kAllBenchmarks) {
-        std::cout << "  " << gnn::benchmark_name(b) << '\n';
-      }
-      std::cout << "configurations:\n  cpu-iso-bw\n  gpu-iso-bw\n"
-                   "  gpu-iso-flops\n";
-      return 0;
-    }
-    if (arg == "--benchmark") {
-      const auto v = next();
-      if (!v || !(benchmark = parse_benchmark(*v))) {
-        std::cerr << "error: unknown benchmark; try --list\n";
-        return 2;
-      }
-    } else if (arg == "--config") {
-      const auto v = next();
-      const auto c = v ? parse_config(*v) : std::nullopt;
-      if (!c) {
-        std::cerr << "error: unknown config; try --list\n";
-        return 2;
-      }
-      cfg = *c;
-    } else if (arg == "--clock") {
-      const auto v = next();
-      const auto parsed = v ? parse_f64(*v) : std::nullopt;
-      if (!parsed) {
-        std::cerr << "error: --clock needs a number (GHz)\n";
-        return 2;
-      }
-      clock_ghz = *parsed;
-      if (clock_ghz <= 0.0 || clock_ghz > 2.4 + 1e-9) {
-        std::cerr << "error: clock must be in (0, 2.4] GHz (the NoC runs "
-                     "at 2.4)\n";
-        return 2;
-      }
-    } else if (arg == "--threads") {
-      const auto v = next();
-      const auto parsed = v ? parse_u64(*v) : std::nullopt;
-      if (!parsed) {
-        std::cerr << "error: --threads needs a count\n";
-        return 2;
-      }
-      threads = static_cast<std::uint32_t>(*parsed);
-    } else if (arg == "--partition") {
-      const auto v = next();
-      if (v == std::optional<std::string>("round-robin")) {
-        partition = graph::PartitionPolicy::kRoundRobin;
-      } else if (v == std::optional<std::string>("block")) {
-        partition = graph::PartitionPolicy::kBlock;
-      } else {
-        std::cerr << "error: unknown partition policy\n";
-        return 2;
-      }
-    } else if (arg == "--seed") {
-      const auto v = next();
-      const auto parsed = v ? parse_u64(*v) : std::nullopt;
-      if (!parsed) {
-        std::cerr << "error: --seed needs a number\n";
-        return 2;
-      }
-      seed = *parsed;
-    } else if (arg == "--energy") {
-      want_energy = true;
-    } else if (arg == "--trace") {
-      const auto v = next();
-      if (!v) {
-        std::cerr << "error: --trace needs a file name\n";
-        return 2;
-      }
-      trace_path = *v;
-    } else if (arg == "--sample-every") {
-      const auto v = next();
-      const auto parsed = v ? parse_u64(*v) : std::nullopt;
-      if (!parsed) {
-        std::cerr << "error: --sample-every needs a cycle count\n";
-        return 2;
-      }
-      sample_every = *parsed;
-    } else if (arg == "--sample-file") {
-      const auto v = next();
-      if (!v) {
-        std::cerr << "error: --sample-file needs a file name\n";
-        return 2;
-      }
-      sample_path = *v;
-    } else if (arg == "--watchdog") {
-      const auto v = next();
-      const auto parsed = v ? parse_u64(*v) : std::nullopt;
-      if (!parsed) {
-        std::cerr << "error: --watchdog needs a cycle count\n";
-        return 2;
-      }
-      watchdog = *parsed;
-    } else if (arg == "--deadlock-report") {
-      const auto v = next();
-      if (!v) {
-        std::cerr << "error: --deadlock-report needs a file name\n";
-        return 2;
-      }
-      deadlock_path = *v;
-    } else {
-      std::cerr << "error: unknown option " << arg << "\n";
-      usage(std::cerr);
-      return 2;
-    }
-  }
-
-  if (!benchmark) {
-    usage(std::cerr);
-    return 2;
-  }
-
-  cfg = cfg.with_core_clock(clock_ghz);
-  cfg.tile_params.gpe_threads = threads;
-
-  // Build and run (mirrors accel::simulate_benchmark but honours the
-  // partition policy).
-  const graph::Dataset ds =
-      graph::make_dataset(gnn::benchmark_dataset(*benchmark), seed);
-  const gnn::ModelSpec model = gnn::make_benchmark_model(*benchmark);
-  const accel::CompiledProgram prog =
-      accel::ProgramCompiler{}.compile(model, ds);
-  accel::AcceleratorSim sim(cfg, partition);
-  if (watchdog) sim.set_watchdog_cycles(*watchdog);
-
-  // Observability outputs. The streams must outlive run(); the trace sink's
-  // destructor closes the JSON document.
+/// Owns the streams and sinks behind one run's TraceOptions; must outlive
+/// the run (the sink's destructor closes the JSON document).
+struct TraceFiles {
   std::ofstream trace_file;
   std::ofstream sample_file;
   std::optional<trace::ChromeTraceSink> sink;
-  accel::TraceOptions topts;
-  if (!trace_path.empty()) {
-    trace_file.open(trace_path);
-    if (!trace_file) {
-      std::cerr << "error: cannot open " << trace_path << " for writing\n";
-      return 2;
-    }
-    sink.emplace(trace_file);
-    topts.sink = &*sink;
-  }
-  if (sample_every > 0) {
-    topts.sample_every = sample_every;
-    if (!sample_path.empty()) {
-      sample_file.open(sample_path);
-      if (!sample_file) {
-        std::cerr << "error: cannot open " << sample_path << " for writing\n";
-        return 2;
+
+  /// Fills `opts` from the CLI paths; returns false (with a message on
+  /// stderr) if a file cannot be opened.
+  bool open(const std::string& trace_path, const std::string& sample_path,
+            Cycle sample_every, const std::string& deadlock_path,
+            accel::TraceOptions& opts) {
+    if (!trace_path.empty()) {
+      trace_file.open(trace_path);
+      if (!trace_file) {
+        std::cerr << "error: cannot open " << trace_path << " for writing\n";
+        return false;
       }
-      topts.sample_out = &sample_file;
-    } else {
-      topts.sample_out = &std::cerr;
+      sink.emplace(trace_file);
+      opts.sink = &*sink;
     }
+    if (sample_every > 0) {
+      opts.sample_every = sample_every;
+      if (!sample_path.empty()) {
+        sample_file.open(sample_path);
+        if (!sample_file) {
+          std::cerr << "error: cannot open " << sample_path
+                    << " for writing\n";
+          return false;
+        }
+        opts.sample_out = &sample_file;
+      } else {
+        opts.sample_out = &std::cerr;
+      }
+    }
+    opts.deadlock_report_path = deadlock_path;
+    return true;
   }
-  topts.deadlock_report_path = deadlock_path;
-  sim.set_trace(topts);
+};
 
-  accel::RunStats rs;
-  try {
-    rs = sim.run(prog);
-  } catch (const std::runtime_error& e) {
-    // Watchdog diagnostics land here; the report is in the message (and in
-    // --deadlock-report's file if given).
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
-  }
-  if (sink) {
-    sink->close();
-    std::cout << "trace: wrote " << sink->events_written() << " events to "
-              << trace_path << '\n';
-  }
-
-  std::cout << "benchmark : " << gnn::benchmark_name(*benchmark) << '\n';
+void print_single_run_report(const accel::RunStats& rs, gnn::Benchmark b,
+                             const accel::AcceleratorConfig& cfg,
+                             double clock_ghz, std::uint32_t threads,
+                             bool want_energy) {
+  std::cout << "benchmark : " << gnn::benchmark_name(b) << '\n';
   std::cout << "config    : " << cfg.name << " @ " << clock_ghz << " GHz, "
             << threads << " GPE threads\n\n";
 
@@ -302,7 +149,7 @@ int main(int argc, char** argv) {
   t.add_row({"NoC packets", std::to_string(rs.packets_delivered)});
   t.add_row({"avg packet latency",
              format_double(rs.avg_packet_latency, 1) + " cycles"});
-  const auto t7 = baseline::table7_row(*benchmark);
+  const auto t7 = baseline::table7_row(b);
   t.add_row({"speedup vs CPU baseline", format_speedup(t7.cpu_ms / rs.millis)});
   t.add_row({"speedup vs GPU baseline", format_speedup(t7.gpu_ms / rs.millis)});
   t.print(std::cout);
@@ -335,6 +182,332 @@ int main(int argc, char** argv) {
     et.print(std::cout);
     std::cout << "DRAM bytes wasted on 64B-line padding: "
               << format_percent(e.dram_waste_fraction) << '\n';
+  }
+}
+
+bool write_json_file(const std::string& path,
+                     const std::function<void(std::ostream&)>& emit) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot open " << path << " for writing\n";
+    return false;
+  }
+  emit(out);
+  return out.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<gnn::Benchmark> benchmark;
+  accel::AcceleratorConfig cfg = accel::AcceleratorConfig::cpu_iso_bw();
+  graph::PartitionPolicy partition = graph::PartitionPolicy::kRoundRobin;
+  double clock_ghz = 2.4;
+  std::uint32_t threads = 16;
+  std::uint64_t seed = 2020;
+  bool want_energy = false;
+  std::string batch_path;
+  std::string json_path;
+  unsigned jobs = 1;
+  std::string trace_path;
+  std::string sample_path;
+  std::string deadlock_path;
+  Cycle sample_every = 0;
+  std::optional<Cycle> watchdog;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    }
+    if (arg == "--help-batch") {
+      usage_batch(std::cout);
+      return 0;
+    }
+    if (arg == "--list") {
+      std::cout << "benchmarks:\n";
+      for (const gnn::Benchmark b : gnn::kAllBenchmarks) {
+        std::cout << "  " << gnn::benchmark_name(b) << '\n';
+      }
+      std::cout << "configurations:\n  cpu-iso-bw\n  gpu-iso-bw\n"
+                   "  gpu-iso-flops\n";
+      return 0;
+    }
+    if (arg == "--benchmark") {
+      const auto v = next();
+      if (!v || !(benchmark = sim::benchmark_by_name(*v))) {
+        std::cerr << "error: unknown benchmark; try --list\n";
+        return 2;
+      }
+    } else if (arg == "--config") {
+      const auto v = next();
+      const auto c = v ? sim::config_by_name(*v) : std::nullopt;
+      if (!c) {
+        std::cerr << "error: unknown config; try --list\n";
+        return 2;
+      }
+      cfg = *c;
+    } else if (arg == "--clock") {
+      const auto v = next();
+      const auto parsed = v ? sim::parse_f64(*v) : std::nullopt;
+      if (!parsed) {
+        std::cerr << "error: --clock needs a number (GHz)\n";
+        return 2;
+      }
+      clock_ghz = *parsed;
+      if (clock_ghz <= 0.0 || clock_ghz > 2.4 + 1e-9) {
+        std::cerr << "error: clock must be in (0, 2.4] GHz (the NoC runs "
+                     "at 2.4)\n";
+        return 2;
+      }
+    } else if (arg == "--threads") {
+      const auto v = next();
+      const auto parsed = v ? sim::parse_u64(*v) : std::nullopt;
+      if (!parsed) {
+        std::cerr << "error: --threads needs a count\n";
+        return 2;
+      }
+      threads = static_cast<std::uint32_t>(*parsed);
+    } else if (arg == "--partition") {
+      const auto v = next();
+      const auto p = v ? sim::partition_by_name(*v) : std::nullopt;
+      if (!p) {
+        std::cerr << "error: unknown partition policy\n";
+        return 2;
+      }
+      partition = *p;
+    } else if (arg == "--seed") {
+      const auto v = next();
+      const auto parsed = v ? sim::parse_u64(*v) : std::nullopt;
+      if (!parsed) {
+        std::cerr << "error: --seed needs a number\n";
+        return 2;
+      }
+      seed = *parsed;
+    } else if (arg == "--energy") {
+      want_energy = true;
+    } else if (arg == "--batch") {
+      const auto v = next();
+      if (!v) {
+        std::cerr << "error: --batch needs a manifest file\n";
+        return 2;
+      }
+      batch_path = *v;
+    } else if (arg == "--jobs") {
+      const auto v = next();
+      const auto parsed = v ? sim::parse_u64(*v) : std::nullopt;
+      if (!parsed || *parsed > 1024) {
+        std::cerr << "error: --jobs needs a count in [0, 1024] (0 = all "
+                     "cores)\n";
+        return 2;
+      }
+      jobs = static_cast<unsigned>(*parsed);
+    } else if (arg == "--json") {
+      const auto v = next();
+      if (!v) {
+        std::cerr << "error: --json needs a file name\n";
+        return 2;
+      }
+      json_path = *v;
+    } else if (arg == "--trace") {
+      const auto v = next();
+      if (!v) {
+        std::cerr << "error: --trace needs a file name\n";
+        return 2;
+      }
+      trace_path = *v;
+    } else if (arg == "--sample-every") {
+      const auto v = next();
+      const auto parsed = v ? sim::parse_u64(*v) : std::nullopt;
+      if (!parsed) {
+        std::cerr << "error: --sample-every needs a cycle count\n";
+        return 2;
+      }
+      sample_every = *parsed;
+    } else if (arg == "--sample-file") {
+      const auto v = next();
+      if (!v) {
+        std::cerr << "error: --sample-file needs a file name\n";
+        return 2;
+      }
+      sample_path = *v;
+    } else if (arg == "--watchdog") {
+      const auto v = next();
+      const auto parsed = v ? sim::parse_u64(*v) : std::nullopt;
+      if (!parsed) {
+        std::cerr << "error: --watchdog needs a cycle count\n";
+        return 2;
+      }
+      watchdog = *parsed;
+    } else if (arg == "--deadlock-report") {
+      const auto v = next();
+      if (!v) {
+        std::cerr << "error: --deadlock-report needs a file name\n";
+        return 2;
+      }
+      deadlock_path = *v;
+    } else {
+      std::cerr << "error: unknown option " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+
+  sim::Session& session = sim::Session::global();
+
+  // ---- Batch mode: manifest -> BatchRunner -> summary table / JSON.
+  if (!batch_path.empty()) {
+    std::ifstream manifest(batch_path);
+    if (!manifest) {
+      std::cerr << "error: cannot open manifest " << batch_path << '\n';
+      return 2;
+    }
+    sim::RunRequest defaults;
+    defaults.config = cfg;
+    defaults.clock_ghz = clock_ghz;
+    defaults.threads = threads;
+    defaults.partition = partition;
+    defaults.seed = seed;
+    defaults.watchdog_cycles = watchdog;
+
+    std::vector<sim::RunRequest> requests;
+    try {
+      requests = sim::parse_batch_manifest(manifest, defaults, batch_path);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 2;
+    }
+    if (requests.empty()) {
+      std::cerr << "error: " << batch_path << " names no runs\n";
+      return 2;
+    }
+    if (want_energy) {
+      std::cerr << "warning: --energy is single-run only; ignored in "
+                   "--batch mode\n";
+    }
+
+    // Per-run observability files (a shared sink would interleave events
+    // from unrelated runs; per-run files keep each trace self-contained).
+    std::vector<std::unique_ptr<TraceFiles>> trace_files(requests.size());
+    if (!trace_path.empty() || sample_every > 0 || !deadlock_path.empty()) {
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        trace_files[i] = std::make_unique<TraceFiles>();
+        const std::string tp =
+            trace_path.empty() ? "" : per_run_path(trace_path, i);
+        const std::string sp =
+            sample_path.empty() ? "" : per_run_path(sample_path, i);
+        const std::string dp =
+            deadlock_path.empty() ? "" : per_run_path(deadlock_path, i);
+        if (!trace_files[i]->open(tp, sp, sample_every, dp,
+                                  requests[i].trace)) {
+          return 2;
+        }
+      }
+    }
+
+    sim::BatchRunner runner(session, jobs);
+    runner.set_progress([&](std::size_t i, const sim::RunResult& r) {
+      std::cerr << "[gnnasim] run " << i + 1 << '/' << requests.size() << ' '
+                << gnn::benchmark_name(*requests[i].benchmark)
+                << (r.ok() ? " done (" + format_double(r.stats.millis, 3) +
+                                 " ms)"
+                           : " FAILED")
+                << '\n';
+    });
+    const std::vector<sim::RunResult> results = runner.run(requests);
+    for (auto& tf : trace_files) {
+      if (tf && tf->sink) tf->sink->close();
+    }
+
+    std::cout << "batch     : " << batch_path << " (" << results.size()
+              << " runs, " << runner.jobs() << " jobs)\n\n";
+    Table t({"#", "Benchmark", "Config", "GHz", "Thr", "Seed",
+             "Latency (ms)", "Cycles"});
+    std::size_t failures = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const sim::RunRequest& rq = requests[i];
+      const sim::RunResult& r = results[i];
+      t.add_row({std::to_string(i), gnn::benchmark_name(*rq.benchmark),
+                 rq.config.name, format_double(rq.clock_ghz.value_or(2.4), 1),
+                 std::to_string(rq.threads.value_or(16)),
+                 std::to_string(rq.seed),
+                 r.ok() ? format_double(r.stats.millis, 3) : "error",
+                 r.ok() ? std::to_string(r.stats.cycles) : r.error});
+      if (!r.ok()) ++failures;
+    }
+    t.print(std::cout);
+    const auto cc = session.cache_counters();
+    std::cout << "\ncache     : " << cc.dataset_hits << '/'
+              << cc.dataset_hits + cc.dataset_misses << " dataset hits, "
+              << cc.program_hits << '/'
+              << cc.program_hits + cc.program_misses << " program hits\n";
+
+    if (!json_path.empty() &&
+        !write_json_file(json_path, [&](std::ostream& os) {
+          sim::write_batch_json(os, results);
+        })) {
+      return 2;
+    }
+    if (failures > 0) {
+      std::cerr << "error: " << failures << " of " << results.size()
+                << " runs failed\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  // ---- Single-run mode.
+  if (!benchmark) {
+    usage(std::cerr);
+    return 2;
+  }
+
+  cfg = cfg.with_core_clock(clock_ghz);
+  cfg.tile_params.gpe_threads = threads;
+
+  sim::RunRequest req;
+  req.benchmark = benchmark;
+  req.config = cfg;
+  req.partition = partition;
+  req.seed = seed;
+  req.watchdog_cycles = watchdog;
+
+  // Observability outputs. The streams must outlive run(); the trace
+  // sink's destructor closes the JSON document.
+  TraceFiles tf;
+  if (!tf.open(trace_path, sample_path, sample_every, deadlock_path,
+               req.trace)) {
+    return 2;
+  }
+
+  accel::RunStats rs;
+  try {
+    rs = session.run(req);
+  } catch (const std::runtime_error& e) {
+    // Watchdog diagnostics land here; the report is in the message (and in
+    // --deadlock-report's file if given).
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  if (tf.sink) {
+    tf.sink->close();
+    std::cout << "trace: wrote " << tf.sink->events_written() << " events to "
+              << trace_path << '\n';
+  }
+
+  print_single_run_report(rs, *benchmark, cfg, clock_ghz, threads,
+                          want_energy);
+
+  if (!json_path.empty() && !write_json_file(json_path, [&](std::ostream& os) {
+        sim::write_run_stats_json(os, rs);
+        os << '\n';
+      })) {
+    return 2;
   }
   return 0;
 }
