@@ -7,6 +7,7 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 
 #include "accel/simulator.hpp"
@@ -21,6 +22,8 @@ namespace gnna::benchutil {
 
 /// Observability via the environment, for benches that have no CLI flags:
 ///   GNNA_TRACE=<file>        Chrome-trace JSON event log
+///   GNNA_PROFILE=1           aggregate per-phase profiles (attached to
+///                            each run's RunStats::profile)
 ///   GNNA_SAMPLE_EVERY=<n>    periodic sample cadence in NoC cycles
 ///   GNNA_SAMPLE_FILE=<file>  CSV sidecar for the samples (default stderr)
 /// Owns the output streams and sink; options() stays valid while this
@@ -39,6 +42,9 @@ class EnvTrace {
       } else {
         std::cerr << "warning: cannot open GNNA_TRACE file " << p << '\n';
       }
+    }
+    if (const char* p = std::getenv("GNNA_PROFILE")) {
+      opts_.profile = *p != '\0' && std::string_view(p) != "0";
     }
     if (const char* p = std::getenv("GNNA_SAMPLE_EVERY")) {
       // Strict parse: a malformed cadence must not silently disable
@@ -90,7 +96,8 @@ inline unsigned default_jobs(const EnvTrace& env) {
     } else if (*jobs > 0) {
       return static_cast<unsigned>(*jobs);
     }
-    // GNNA_JOBS=0 falls through to "all cores", like gnnasim --jobs 0.
+    // GNNA_JOBS=0 falls through to "all cores" (unlike gnnasim --jobs,
+    // which requires an explicit count >= 1).
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;

@@ -127,10 +127,42 @@ void Agg::complete(AggHandle h) {
   free_list_.push_back(h);
 }
 
+namespace {
+
+const char* reduce_op_name(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum: return "sum";
+    case ReduceOp::kMax: return "max";
+    case ReduceOp::kMin: return "min";
+  }
+  return "?";
+}
+
+/// "-> dnq ep=7 handle=3" — names the resource a stalled entry's result is
+/// destined for, so a deadlock dump reads as a wait-for chain.
+void print_dest(std::ostream& os, const Dest& d) {
+  switch (d.kind) {
+    case Dest::Kind::kNone: os << "-> none"; break;
+    case Dest::Kind::kMemWrite: os << "-> mem addr=0x" << std::hex << d.addr
+                                   << std::dec; break;
+    case Dest::Kind::kDnqEntry: os << "-> dnq ep=" << d.ep
+                                   << " handle=" << d.handle; break;
+    case Dest::Kind::kAggEntry: os << "-> agg ep=" << d.ep
+                                   << " handle=" << d.handle; break;
+  }
+}
+
+}  // namespace
+
 void Agg::dump_state(std::ostream& os) const {
+  std::uint64_t remaining_total = 0;
+  for (const Entry& e : entries_) {
+    if (e.active) remaining_total += e.expected_words - e.received_words;
+  }
   os << "    agg: live_entries=" << live_entries_ << " inbox="
      << inbox_.size() << " data_used=" << data_bytes_used_
-     << "B alu_free_at=" << alu_free_at_ << '\n';
+     << "B alu_free_at=" << alu_free_at_
+     << " remaining_words_total=" << remaining_total << '\n';
   std::size_t shown = 0;
   for (AggHandle h = 0; h < entries_.size(); ++h) {
     const Entry& e = entries_[h];
@@ -142,7 +174,10 @@ void Agg::dump_state(std::ostream& os) const {
     ++shown;
     os << "      entry " << h << ": received=" << e.received_words << '/'
        << e.expected_words << " words (width=" << e.width_words
-       << ", remaining=" << e.expected_words - e.received_words << ")\n";
+       << ", remaining=" << e.expected_words - e.received_words << ", op="
+       << reduce_op_name(e.op) << ") ";
+    print_dest(os, e.dest);
+    os << '\n';
   }
 }
 

@@ -68,12 +68,32 @@ void Gpe::send_to_dnq(DnqHandle h, std::uint32_t words) {
   net_.send(m);
 }
 
+const char* Gpe::body_span_name() const {
+  const PhaseSpec& ph = *phase_;
+  if (ph.per_graph) return "task/readout";
+  switch (ph.kind) {
+    case PhaseKind::kGatherAggregate:
+      return ph.walk_len > 1 ? "task/walk" : "task/gather";
+    case PhaseKind::kProject:
+      return "task/project";
+    case PhaseKind::kEdgeDnaAggregate:
+      return "task/edges";
+  }
+  return "task/body";
+}
+
 void Gpe::finish_task(Thread& t) {
   t.state = Thread::State::kFree;
   stats_.tasks_completed.add();
   if (tracer_.enabled()) {
+    const auto ti = static_cast<std::uint64_t>(&t - threads_.data());
+    // Flame sub-span: body of the task ('/' nesting under "task"). The gap
+    // between traverse and body spans is memory wait, surfaced by the
+    // profiler as the task's self time.
+    tracer_.complete(body_span_name(), t.body_started,
+                     gpe_time_ - t.body_started, t.work, ti);
     tracer_.complete("task", t.task_started, gpe_time_ - t.task_started,
-                     t.work, static_cast<std::uint64_t>(&t - threads_.data()));
+                     t.work, ti);
   }
 }
 
@@ -103,6 +123,7 @@ int Gpe::pick_runnable(double now) {
       t.state = Thread::State::kRunnable;
       t.work = work_[next_work_++];
       t.task_started = now;
+      t.body_started = now;  // overwritten when a traversal prologue ends
       return static_cast<int>(i);
     }
   }
@@ -199,6 +220,12 @@ double Gpe::step(Thread& t, Agg& agg, Dnq& dnq) {
     const std::uint32_t deg = g.out_degree(t.local_v);
     t.n_contrib = deg + (ph.include_self ? 1 : 0);
     t.stage = 2;
+    if (tracer_.enabled()) {
+      tracer_.complete("task/traverse", t.task_started,
+                       gpe_time_ - t.task_started, t.work,
+                       static_cast<std::uint64_t>(&t - threads_.data()));
+    }
+    t.body_started = gpe_time_;
     if (deg == 0) return params_.cost_loop_iter;
     const GraphLayout& gl = prog_->graphs[t.graph_idx];
     const Addr a = prog_->memmap.addr(

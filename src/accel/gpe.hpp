@@ -86,6 +86,7 @@ class Gpe {
     std::uint32_t pending_responses = 0;
     double stalled_until = 0.0;
     double task_started = 0.0;  // gpe_time_ when the work item was claimed
+    double body_started = 0.0;  // gpe_time_ when the post-traversal body began
     // Cached task context:
     std::size_t graph_idx = 0;
     NodeId local_v = 0;
@@ -118,6 +119,9 @@ class Gpe {
   void finish_task(Thread& t);
   void stall(Thread& t);
   [[nodiscard]] int pick_runnable(double now);
+  /// Flame path of the current phase's post-traversal body span
+  /// ("task/gather", "task/walk", ...), for the profiler's rollup.
+  [[nodiscard]] const char* body_span_name() const;
 
   [[nodiscard]] const graph::Graph& task_graph(const Thread& t) const {
     return prog_->dataset->undirected[t.graph_idx];

@@ -49,15 +49,26 @@ void AcceleratorSim::build() {
 }
 
 void AcceleratorSim::attach_tracers() {
-  if (trace_.sink == nullptr) return;
+  sink_ = trace_.sink;
+  if (trace_.profile) {
+    profiler_ = std::make_unique<trace::Profiler>();
+    if (sink_ != nullptr) {
+      tee_.add(sink_);
+      tee_.add(profiler_.get());
+      sink_ = &tee_;
+    } else {
+      sink_ = profiler_.get();
+    }
+  }
+  if (sink_ == nullptr) return;
   const Cycle* clock = net_->now_ptr();
-  net_->set_tracer({trace_.sink, clock, trace::Category::kNoc, 0});
+  net_->set_tracer({sink_, clock, trace::Category::kNoc, 0});
   for (std::size_t i = 0; i < mems_.size(); ++i) {
-    mems_[i]->set_tracer({trace_.sink, clock, trace::Category::kMem,
+    mems_[i]->set_tracer({sink_, clock, trace::Category::kMem,
                           static_cast<std::uint32_t>(i)});
   }
   for (std::size_t i = 0; i < tiles_.size(); ++i) {
-    tiles_[i]->set_tracing(trace_.sink, static_cast<std::uint32_t>(i));
+    tiles_[i]->set_tracing(sink_, static_cast<std::uint32_t>(i));
   }
 }
 
@@ -128,18 +139,17 @@ void AcceleratorSim::maybe_sample(const std::string& phase_name) {
     row << '\n';
     *trace_.sample_out << row.str();
   }
-  if (trace_.sink != nullptr) {
-    trace_.sink->counter(trace::Category::kGpe, 0, "busy_frac", now, gpe_frac);
-    trace_.sink->counter(trace::Category::kDna, 0, "busy_frac", now, dna_frac);
-    trace_.sink->counter(trace::Category::kAgg, 0, "busy_frac", now, agg_frac);
-    trace_.sink->counter(trace::Category::kDnq, 0, "live_entries", now,
-                         static_cast<double>(dnq_live));
-    trace_.sink->counter(trace::Category::kNoc, 0, "inflight_packets", now,
-                         static_cast<double>(inflight));
-    trace_.sink->counter(trace::Category::kMem, 0, "queue_depth", now,
-                         static_cast<double>(mem_depth));
-    trace_.sink->counter(trace::Category::kMem, 0, "total_gbps", now,
-                         total_gbps);
+  if (sink_ != nullptr) {
+    sink_->counter(trace::Category::kGpe, 0, "busy_frac", now, gpe_frac);
+    sink_->counter(trace::Category::kDna, 0, "busy_frac", now, dna_frac);
+    sink_->counter(trace::Category::kAgg, 0, "busy_frac", now, agg_frac);
+    sink_->counter(trace::Category::kDnq, 0, "live_entries", now,
+                   static_cast<double>(dnq_live));
+    sink_->counter(trace::Category::kNoc, 0, "inflight_packets", now,
+                   static_cast<double>(inflight));
+    sink_->counter(trace::Category::kMem, 0, "queue_depth", now,
+                   static_cast<double>(mem_depth));
+    sink_->counter(trace::Category::kMem, 0, "total_gbps", now, total_gbps);
   }
 }
 
@@ -215,6 +225,12 @@ RunStats AcceleratorSim::run(const CompiledProgram& prog) {
     }
 
     const Cycle phase_start = net_->now();
+    // Phase markers: pure observation (no tick happens here), so enabling
+    // them cannot move a single cycle — the goldens pin this.
+    if (sink_ != nullptr) {
+      sink_->phase_begin(phase.name.c_str(),
+                         static_cast<double>(phase_start));
+    }
     for (std::uint32_t t = 0; t < num_tiles; ++t) {
       tiles_[t]->begin_phase(prog, phase, std::move(work[t]));
     }
@@ -243,6 +259,10 @@ RunStats AcceleratorSim::run(const CompiledProgram& prog) {
             std::to_string(watchdog_cycles_) + " cycles (deadlock?)\n" +
             report);
       }
+    }
+
+    if (sink_ != nullptr) {
+      sink_->phase_end(phase.name.c_str(), static_cast<double>(net_->now()));
     }
 
     PhaseStats ps;
@@ -298,6 +318,10 @@ RunStats AcceleratorSim::run(const CompiledProgram& prog) {
   }
   rs.packets_delivered = net_->stats().packets_delivered.value();
   rs.avg_packet_latency = net_->stats().packet_latency.mean();
+  if (profiler_) {
+    rs.profile =
+        std::make_shared<const trace::ProfileReport>(profiler_->report());
+  }
   return rs;
 }
 

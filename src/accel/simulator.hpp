@@ -13,6 +13,7 @@
 #include "graph/partition.hpp"
 #include "mem/memory.hpp"
 #include "noc/network.hpp"
+#include "trace/profiler.hpp"
 #include "trace/trace.hpp"
 
 namespace gnna::accel {
@@ -22,6 +23,10 @@ namespace gnna::accel {
 struct TraceOptions {
   /// Event sink (e.g. a ChromeTraceSink). Not owned; must outlive run().
   trace::TraceSink* sink = nullptr;
+  /// Aggregate the run's event stream into a trace::ProfileReport
+  /// (attached to RunStats::profile). Composes with `sink`: both consume
+  /// the same events. Pure observation — cycle counts are unchanged.
+  bool profile = false;
   /// Periodic time-series sampling: every `sample_every` NoC cycles emit
   /// one CSV row to `sample_out` (if set) and counter events to `sink`
   /// (if set). 0 disables sampling.
@@ -74,6 +79,10 @@ struct RunStats {
   std::uint64_t dnq_words = 0;
 
   std::vector<PhaseStats> phases;
+
+  /// Per-phase/per-unit profile; set when TraceOptions::profile was on
+  /// (shared so RunStats stays cheap to copy through batch result slots).
+  std::shared_ptr<const trace::ProfileReport> profile;
 };
 
 class AcceleratorSim {
@@ -110,6 +119,11 @@ class AcceleratorSim {
   bool used_ = false;
   Cycle watchdog_cycles_ = 2'000'000;
   TraceOptions trace_;
+
+  // Effective event sink: trace_.sink, the profiler, or a tee of both.
+  trace::TraceSink* sink_ = nullptr;
+  std::unique_ptr<trace::Profiler> profiler_;
+  trace::TeeSink tee_;
 
   // Periodic-sampler state (valid during run()).
   Cycle next_sample_ = 0;

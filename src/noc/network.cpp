@@ -419,14 +419,47 @@ void MeshNetwork::dump_state(std::ostream& os) const {
        << " undelivered_msgs=" << ep.delivery.size()
        << " assembling_flits=" << ep.assembling_flits << '\n';
   }
+  // Per-port buffer occupancy for congested routers. Each input port has a
+  // single buffer (one virtual channel per port — VCs are unnecessary for
+  // deadlock freedom under dimension-order routing); "N=4/4" therefore
+  // reads as "the north input VC is full". Output state names the blocked
+  // resource: a wormhole lock (`locked=<input port>`) holds the output for
+  // an in-flight packet, and credits=0 means the downstream buffer is full.
+  const auto port_name = [](std::uint32_t p) -> std::string {
+    switch (p) {
+      case kPortNorth: return "N";
+      case kPortSouth: return "S";
+      case kPortEast: return "E";
+      case kPortWest: return "W";
+      default: return "L" + std::to_string(p - kFirstLocalPort);
+    }
+  };
   for (const Router& r : routers_) {
     if (r.buffered_flits() == 0) continue;
     os << "    router (" << r.x() << ',' << r.y() << "): buffered_flits="
-       << r.buffered_flits() << " per-port=[";
+       << r.buffered_flits() << " in=[";
     for (std::uint32_t p = 0; p < r.num_ports(); ++p) {
-      os << (p == 0 ? "" : " ") << r.buffer_occupancy(p);
+      os << (p == 0 ? "" : " ") << port_name(p) << '='
+         << r.buffer_occupancy(p) << '/' << params_.input_buffer_flits;
     }
     os << "]\n";
+    for (std::uint32_t p = 0; p < r.num_ports(); ++p) {
+      const Router::OutputState& out = r.outputs_[p];
+      const bool credit_starved = p < kFirstLocalPort && out.credits == 0;
+      if (out.locked_input < 0 && !credit_starved) continue;
+      os << "      out " << port_name(p) << ": ";
+      if (out.locked_input >= 0) {
+        os << "locked=" << port_name(static_cast<std::uint32_t>(
+                               out.locked_input));
+      } else {
+        os << "unlocked";
+      }
+      if (p < kFirstLocalPort) {
+        os << " credits=" << out.credits
+           << (credit_starved ? " (downstream full)" : "");
+      }
+      os << '\n';
+    }
   }
 }
 

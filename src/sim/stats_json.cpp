@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <string>
 
+#include "trace/profiler.hpp"
+
 namespace gnna::sim {
 namespace {
 
@@ -70,11 +72,86 @@ class ObjectWriter {
   bool first_ = true;
 };
 
+/// The embedded profile block ("profile": {...}); compact one-line-ish
+/// arrays, since profile JSON is machine-read by gnnatrace, not humans.
+std::string profile_json(const trace::ProfileReport& pr) {
+  using trace::Category;
+  std::string out = "{\"version\": " +
+                    std::to_string(trace::kProfileSchemaVersion) +
+                    ", \"phases\": [";
+  for (std::size_t pi = 0; pi < pr.phases.size(); ++pi) {
+    const auto& ph = pr.phases[pi];
+    if (pi > 0) out += ", ";
+    out += "{\"name\": \"" + json_escape(ph.name) +
+           "\", \"start\": " + json_double(ph.start) +
+           ", \"cycles\": " + json_double(ph.cycles()) +
+           ", \"tasks\": " + std::to_string(ph.tasks) +
+           ", \"alloc_stalls\": " + std::to_string(ph.alloc_stalls);
+    const auto per_category = [&](const char* key, auto get) {
+      out += ", \"";
+      out += key;
+      out += "\": {";
+      bool first = true;
+      for (std::size_t c = 0; c < trace::kNumCategories; ++c) {
+        const std::string v = get(c);
+        if (v == "0") continue;  // omit all-zero categories
+        if (!first) out += ", ";
+        first = false;
+        out += '"';
+        out += trace::category_name(static_cast<Category>(c));
+        out += "\": " + v;
+      }
+      out += "}";
+    };
+    per_category("busy", [&](std::size_t c) { return json_double(ph.busy[c]); });
+    per_category("completes",
+                 [&](std::size_t c) { return std::to_string(ph.completes[c]); });
+    per_category("instants",
+                 [&](std::size_t c) { return std::to_string(ph.instants[c]); });
+    out += ", \"units\": [";
+    for (std::size_t i = 0; i < ph.units.size(); ++i) {
+      const auto& u = ph.units[i];
+      if (i > 0) out += ", ";
+      out += "{\"cat\": \"";
+      out += trace::category_name(u.cat);
+      out += "\", \"unit\": " + std::to_string(u.unit) +
+             ", \"busy\": " + json_double(u.busy) +
+             ", \"completes\": " + std::to_string(u.completes) +
+             ", \"instants\": " + std::to_string(u.instants) + "}";
+    }
+    out += "], \"flame\": [";
+    for (std::size_t i = 0; i < ph.flame.size(); ++i) {
+      const auto& f = ph.flame[i];
+      if (i > 0) out += ", ";
+      out += "{\"path\": \"" + json_escape(f.path) +
+             "\", \"count\": " + std::to_string(f.count) +
+             ", \"total\": " + json_double(f.total) +
+             ", \"self\": " + json_double(f.self) +
+             ", \"max\": " + json_double(f.max) + "}";
+    }
+    out += "], \"counters\": [";
+    for (std::size_t i = 0; i < ph.counters.size(); ++i) {
+      const auto& c = ph.counters[i];
+      if (i > 0) out += ", ";
+      out += "{\"cat\": \"";
+      out += trace::category_name(c.cat);
+      out += "\", \"name\": \"" + json_escape(c.name) +
+             "\", \"samples\": " + std::to_string(c.samples) +
+             ", \"last\": " + json_double(c.last) +
+             ", \"max\": " + json_double(c.max) + "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
 }  // namespace
 
 void write_run_stats_json(std::ostream& os, const accel::RunStats& rs,
                           int indent) {
   ObjectWriter w(os, indent);
+  w.num("schema_version", std::uint64_t{kStatsJsonSchemaVersion});
   w.str("program", rs.program_name);
   w.str("config", rs.config_name);
   w.num("core_clock_ghz", rs.core_clock_ghz);
@@ -111,6 +188,7 @@ void write_run_stats_json(std::ostream& os, const accel::RunStats& rs,
   }
   phases += "]";
   w.field("phases", phases);
+  if (rs.profile) w.field("profile", profile_json(*rs.profile));
   w.close();
 }
 

@@ -10,6 +10,12 @@
 
 namespace gnna::sim {
 
+/// Version of the per-run JSON object emitted below. v1 had no version
+/// field; v2 added "schema_version" and the optional embedded "profile"
+/// block (see trace/profiler.hpp). Readers should treat a missing field
+/// as v1.
+inline constexpr int kStatsJsonSchemaVersion = 2;
+
 /// One run as a JSON object (all counters, utilizations, and the per-phase
 /// breakdown). Doubles are emitted with round-trip precision.
 void write_run_stats_json(std::ostream& os, const accel::RunStats& rs,

@@ -1,0 +1,214 @@
+#include "trace/profiler.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/table.hpp"
+
+namespace gnna::trace {
+namespace {
+
+/// Direct parent of a flame path ("task/gather" -> "task"); empty for
+/// roots.
+[[nodiscard]] std::string parent_path(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+/// Subtract every node's total from its direct parent's self time.
+void finalize_self_times(std::vector<FlameNode>& nodes) {
+  for (auto& n : nodes) n.self = n.total;
+  for (const auto& n : nodes) {
+    const std::string parent = parent_path(n.path);
+    if (parent.empty()) continue;
+    const auto it =
+        std::find_if(nodes.begin(), nodes.end(),
+                     [&](const FlameNode& p) { return p.path == parent; });
+    if (it != nodes.end()) it->self -= n.total;
+  }
+}
+
+}  // namespace
+
+double ProfileReport::total_cycles() const {
+  double total = 0.0;
+  for (const auto& ph : phases) total += ph.cycles();
+  return total;
+}
+
+double ProfileReport::busy_total(Category cat) const {
+  double total = 0.0;
+  for (const auto& ph : phases) total += ph.busy[static_cast<std::size_t>(cat)];
+  return total;
+}
+
+std::vector<FlameNode> ProfileReport::merged_flame() const {
+  std::map<std::string, FlameNode> merged;
+  for (const auto& ph : phases) {
+    for (const auto& n : ph.flame) {
+      FlameNode& m = merged[n.path];
+      m.path = n.path;
+      m.count += n.count;
+      m.total += n.total;
+      m.max = std::max(m.max, n.max);
+    }
+  }
+  std::vector<FlameNode> out;
+  out.reserve(merged.size());
+  for (auto& [path, n] : merged) out.push_back(std::move(n));
+  finalize_self_times(out);
+  return out;
+}
+
+void print_profile(std::ostream& os, const ProfileReport& report,
+                   std::size_t top_n) {
+  const double total = report.total_cycles();
+
+  os << "per-phase profile (cycles; busy = summed duration events):\n";
+  Table pt({"Phase", "Cycles", "Share", "Tasks", "GPE busy", "DNA busy",
+            "AGG busy", "Mem busy", "NoC pkt-cyc", "Stalls"});
+  const auto fmt = [](double v) { return format_double(v, 0); };
+  for (const auto& ph : report.phases) {
+    pt.add_row({ph.name, fmt(ph.cycles()),
+                format_percent(total > 0.0 ? ph.cycles() / total : 0.0),
+                std::to_string(ph.tasks),
+                fmt(ph.busy[static_cast<std::size_t>(Category::kGpe)]),
+                fmt(ph.busy[static_cast<std::size_t>(Category::kDna)]),
+                fmt(ph.busy[static_cast<std::size_t>(Category::kAgg)]),
+                fmt(ph.busy[static_cast<std::size_t>(Category::kMem)]),
+                fmt(ph.busy[static_cast<std::size_t>(Category::kNoc)]),
+                std::to_string(ph.alloc_stalls)});
+  }
+  pt.print(os);
+
+  std::vector<FlameNode> flame = report.merged_flame();
+  if (flame.empty()) return;
+  std::sort(flame.begin(), flame.end(),
+            [](const FlameNode& a, const FlameNode& b) {
+              return a.total > b.total;
+            });
+  if (flame.size() > top_n) flame.resize(top_n);
+
+  os << "\nGPE flame rollup (top " << flame.size() << " by total):\n";
+  Table ft({"Path", "Count", "Total", "Self", "Avg", "Max"});
+  for (const auto& n : flame) {
+    ft.add_row({n.path, std::to_string(n.count), fmt(n.total), fmt(n.self),
+                format_double(n.count > 0 ? n.total / n.count : 0.0, 1),
+                fmt(n.max)});
+  }
+  ft.print(os);
+}
+
+Profiler::PhaseAgg& Profiler::current() {
+  if (open_phase_ >= 0) return phases_[static_cast<std::size_t>(open_phase_)];
+  if (outside_.name.empty()) outside_.name = "(outside)";
+  return outside_;
+}
+
+void Profiler::complete(Category cat, std::uint32_t unit, const char* name,
+                        double /*start*/, double dur, std::uint64_t /*a*/,
+                        std::uint64_t /*b*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PhaseAgg& ph = current();
+  const auto c = static_cast<std::size_t>(cat);
+  ph.busy[c] += dur;
+  ++ph.completes[c];
+
+  UnitProfile& u = ph.units[{static_cast<std::uint8_t>(cat), unit}];
+  u.cat = cat;
+  u.unit = unit;
+  u.busy += dur;
+  ++u.completes;
+
+  if (cat == Category::kGpe) {
+    FlameNode& n = ph.flame[name];
+    if (n.path.empty()) n.path = name;
+    ++n.count;
+    n.total += dur;
+    n.max = std::max(n.max, dur);
+    if (std::strcmp(name, "task") == 0) ++ph.tasks;
+  }
+}
+
+void Profiler::instant(Category cat, std::uint32_t unit, const char* name,
+                       double /*at*/, std::uint64_t /*a*/,
+                       std::uint64_t /*b*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PhaseAgg& ph = current();
+  const auto c = static_cast<std::size_t>(cat);
+  ++ph.instants[c];
+
+  UnitProfile& u = ph.units[{static_cast<std::uint8_t>(cat), unit}];
+  u.cat = cat;
+  u.unit = unit;
+  ++u.instants;
+
+  if (cat == Category::kGpe && std::strcmp(name, "alloc_stall") == 0) {
+    ++ph.alloc_stalls;
+  }
+}
+
+void Profiler::counter(Category cat, std::uint32_t /*unit*/, const char* name,
+                       double /*at*/, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PhaseAgg& ph = current();
+  CounterStat& cs = ph.counters[{static_cast<std::uint8_t>(cat), name}];
+  cs.cat = cat;
+  if (cs.name.empty()) cs.name = name;
+  ++cs.samples;
+  cs.last = value;
+  cs.max = std::max(cs.max, value);
+}
+
+void Profiler::phase_begin(const char* name, double at) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PhaseAgg ph;
+  ph.name = name;
+  ph.start = at;
+  ph.end = at;
+  ph.open = true;
+  phases_.push_back(std::move(ph));
+  open_phase_ = static_cast<int>(phases_.size()) - 1;
+}
+
+void Profiler::phase_end(const char* name, double at) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_phase_ < 0) return;  // unmatched end: drop, don't misattribute
+  PhaseAgg& ph = phases_[static_cast<std::size_t>(open_phase_)];
+  if (ph.name == name) {
+    ph.end = at;
+    ph.open = false;
+    open_phase_ = -1;
+  }
+}
+
+ProfileReport Profiler::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ProfileReport r;
+  const auto snapshot = [&](const PhaseAgg& agg) {
+    PhaseProfile ph;
+    ph.name = agg.name;
+    ph.start = agg.start;
+    ph.end = agg.end;
+    ph.busy = agg.busy;
+    ph.completes = agg.completes;
+    ph.instants = agg.instants;
+    ph.tasks = agg.tasks;
+    ph.alloc_stalls = agg.alloc_stalls;
+    ph.units.reserve(agg.units.size());
+    for (const auto& [key, u] : agg.units) ph.units.push_back(u);
+    ph.flame.reserve(agg.flame.size());
+    for (const auto& [path, n] : agg.flame) ph.flame.push_back(n);
+    finalize_self_times(ph.flame);
+    ph.counters.reserve(agg.counters.size());
+    for (const auto& [key, cs] : agg.counters) ph.counters.push_back(cs);
+    r.phases.push_back(std::move(ph));
+  };
+  // "(outside)" first (if any events landed there), then the real phases
+  // in execution order.
+  if (!outside_.name.empty()) snapshot(outside_);
+  for (const auto& agg : phases_) snapshot(agg);
+  return r;
+}
+
+}  // namespace gnna::trace

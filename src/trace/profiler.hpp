@@ -1,0 +1,155 @@
+// Online profile aggregation — the "where did the cycles go" layer.
+//
+// `Profiler` is a TraceSink: it consumes the same event stream as
+// ChromeTraceSink but instead of serializing every event it aggregates
+// them online into a per-phase, per-unit breakdown plus a flame-style
+// rollup of GPE task events. Attach it alone (`TraceOptions::profile`) or
+// tee it next to a Chrome sink; either way the timing model is untouched —
+// profiling a run must not change a single cycle.
+//
+// Phase attribution uses the runtime's phase markers (phase_begin /
+// phase_end, emitted by AcceleratorSim around every Algorithm 1 phase).
+// Because phases end at global barriers, every event delivered between a
+// begin/end pair belongs to that phase; events seen outside any phase are
+// collected under the synthetic "(outside)" phase, which stays empty in a
+// well-instrumented run.
+//
+// Flame rollup: GPE duration events use '/'-separated paths
+// ("task", "task/traverse", "task/gather"). Aggregating by path gives the
+// classic flame-graph view — total time per path, and self time = a
+// node's total minus its direct children (for "task" that difference is
+// memory wait + scheduling, which no sub-span covers).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace gnna::trace {
+
+/// Version of the profile block embedded in sim/stats_json output. Bump
+/// whenever a field is renamed/removed or its meaning changes; additions
+/// are backward-compatible and need no bump.
+inline constexpr int kProfileSchemaVersion = 2;
+
+/// Aggregate of one flame path within one phase.
+struct FlameNode {
+  std::string path;  // e.g. "task/gather"
+  std::uint64_t count = 0;
+  double total = 0.0;  // summed duration, NoC cycles
+  double max = 0.0;    // longest single span
+  double self = 0.0;   // total minus direct children (set by report())
+};
+
+/// Aggregate of one (category, unit) pair within one phase.
+struct UnitProfile {
+  Category cat = Category::kGpe;
+  std::uint32_t unit = 0;
+  double busy = 0.0;  // summed duration-event cycles
+  std::uint64_t completes = 0;
+  std::uint64_t instants = 0;
+};
+
+/// Aggregate of one counter series within one phase.
+struct CounterStat {
+  Category cat = Category::kGpe;
+  std::string name;
+  std::uint64_t samples = 0;
+  double last = 0.0;
+  double max = 0.0;
+};
+
+/// One phase's profile. `busy` per category sums duration events: for the
+/// serialized resources (dna array, agg ALU bank, mem bus) that is true
+/// occupancy; for gpe tasks and noc packet lifetimes the spans overlap, so
+/// it is aggregate event-cycles (a load measure). Either way the numbers
+/// are stable run-to-run, which is what regression diffing needs.
+struct PhaseProfile {
+  std::string name;
+  double start = 0.0;
+  double end = 0.0;
+  std::array<double, kNumCategories> busy{};
+  std::array<std::uint64_t, kNumCategories> completes{};
+  std::array<std::uint64_t, kNumCategories> instants{};
+  std::uint64_t tasks = 0;         // GPE "task" retirements
+  std::uint64_t alloc_stalls = 0;  // GPE failed AGG/DNQ allocations
+  std::vector<UnitProfile> units;  // sorted by (cat, unit)
+  std::vector<FlameNode> flame;    // sorted by path
+  std::vector<CounterStat> counters;
+
+  [[nodiscard]] double cycles() const { return end - start; }
+};
+
+/// The finished profile of one run.
+struct ProfileReport {
+  std::vector<PhaseProfile> phases;
+
+  /// Sum of phase spans. Phases are contiguous from cycle 0 to the end of
+  /// the run, so this equals the run's total cycles (the conservation
+  /// invariant the tests pin).
+  [[nodiscard]] double total_cycles() const;
+  /// Summed `busy[cat]` across phases.
+  [[nodiscard]] double busy_total(Category cat) const;
+  /// Flame rollup across all phases, re-aggregated by path.
+  [[nodiscard]] std::vector<FlameNode> merged_flame() const;
+};
+
+/// Print the per-phase breakdown and the top-`top_n` flame paths as text
+/// tables (the `gnnasim --profile` / `gnnatrace report` view).
+void print_profile(std::ostream& os, const ProfileReport& report,
+                   std::size_t top_n = 12);
+
+/// The aggregating sink. Thread-safe like ChromeTraceSink (one mutex per
+/// event), though the intended use is one Profiler per run.
+class Profiler final : public TraceSink {
+ public:
+  Profiler() = default;
+
+  void complete(Category cat, std::uint32_t unit, const char* name,
+                double start, double dur, std::uint64_t a,
+                std::uint64_t b) override;
+  void instant(Category cat, std::uint32_t unit, const char* name, double at,
+               std::uint64_t a, std::uint64_t b) override;
+  void counter(Category cat, std::uint32_t unit, const char* name, double at,
+               double value) override;
+  void phase_begin(const char* name, double at) override;
+  void phase_end(const char* name, double at) override;
+
+  /// Snapshot the aggregation (finalizes flame self-times). Callable any
+  /// time; normally once, after the run.
+  [[nodiscard]] ProfileReport report() const;
+
+ private:
+  struct PhaseAgg {
+    std::string name;
+    double start = 0.0;
+    double end = 0.0;
+    bool open = false;
+    std::array<double, kNumCategories> busy{};
+    std::array<std::uint64_t, kNumCategories> completes{};
+    std::array<std::uint64_t, kNumCategories> instants{};
+    std::uint64_t tasks = 0;
+    std::uint64_t alloc_stalls = 0;
+    std::map<std::pair<std::uint8_t, std::uint32_t>, UnitProfile> units;
+    std::map<std::string, FlameNode> flame;
+    std::map<std::pair<std::uint8_t, std::string>, CounterStat> counters;
+  };
+
+  /// The phase receiving events right now: the open phase, or the
+  /// synthetic "(outside)" bucket.
+  [[nodiscard]] PhaseAgg& current();
+
+  mutable std::mutex mu_;
+  std::vector<PhaseAgg> phases_;  // completed + open phases, in order
+  PhaseAgg outside_;              // events seen outside any phase
+  int open_phase_ = -1;           // index into phases_, -1 = none open
+};
+
+}  // namespace gnna::trace

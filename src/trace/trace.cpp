@@ -1,5 +1,7 @@
 #include "trace/trace.hpp"
 
+#include <cstring>
+
 namespace gnna::trace {
 namespace {
 
@@ -7,6 +9,15 @@ namespace {
 [[nodiscard]] double sanitize(double x) { return x == x ? x : 0.0; }
 
 }  // namespace
+
+std::size_t category_by_name(const char* name) {
+  for (std::size_t c = 0; c < kNumCategories; ++c) {
+    if (std::strcmp(name, category_name(static_cast<Category>(c))) == 0) {
+      return c;
+    }
+  }
+  return kNumCategories;
+}
 
 ChromeTraceSink::ChromeTraceSink(std::ostream& os) : os_(os) {
   os_ << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
@@ -77,6 +88,28 @@ void ChromeTraceSink::counter(Category cat, std::uint32_t unit,
   if (closed_) return;
   begin_event(cat, unit, name, 'C', at);
   os_ << ",\"args\":{\"value\":" << sanitize(value) << "}}";
+}
+
+void ChromeTraceSink::phase_begin(const char* name, double at) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return;
+  open_phases_.emplace_back(name, at);
+}
+
+void ChromeTraceSink::phase_end(const char* name, double at) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return;
+  // Unmatched ends are dropped (same policy as the Profiler): emitting a
+  // zero-length span at `at` would misrepresent the run.
+  for (auto it = open_phases_.rbegin(); it != open_phases_.rend(); ++it) {
+    if (it->first == name) {
+      const double start = it->second;
+      open_phases_.erase(std::next(it).base());
+      begin_event(Category::kSim, 0, name, 'X', start);
+      os_ << ",\"dur\":" << sanitize(at - start) << ",\"args\":{}}";
+      return;
+    }
+  }
 }
 
 }  // namespace gnna::trace

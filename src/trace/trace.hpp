@@ -24,13 +24,18 @@
 #include <cstdint>
 #include <mutex>
 #include <ostream>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace gnna::trace {
 
-/// Event source categories — one trace "process" each.
-enum class Category : std::uint8_t { kGpe, kDnq, kDna, kAgg, kNoc, kMem };
-inline constexpr std::size_t kNumCategories = 6;
+/// Event source categories — one trace "process" each. kSim carries
+/// runtime-level events (phase spans, barriers) rather than a hardware
+/// unit's.
+enum class Category : std::uint8_t { kGpe, kDnq, kDna, kAgg, kNoc, kMem,
+                                     kSim };
+inline constexpr std::size_t kNumCategories = 7;
 
 [[nodiscard]] constexpr const char* category_name(Category c) {
   switch (c) {
@@ -40,9 +45,13 @@ inline constexpr std::size_t kNumCategories = 6;
     case Category::kAgg: return "agg";
     case Category::kNoc: return "noc";
     case Category::kMem: return "mem";
+    case Category::kSim: return "sim";
   }
   return "?";
 }
+
+/// category_name in reverse; nullopt-free: returns kNumCategories on miss.
+[[nodiscard]] std::size_t category_by_name(const char* name);
 
 /// Receives decoded trace events. Implementations must tolerate
 /// out-of-order timestamps (components emit as they simulate and their
@@ -65,6 +74,56 @@ class TraceSink {
   /// A sampled counter value at cycle `at`.
   virtual void counter(Category cat, std::uint32_t unit, const char* name,
                        double at, double value) = 0;
+
+  /// Phase markers — the runtime (AcceleratorSim) brackets every program
+  /// phase of Algorithm 1 with a begin/end pair at the phase's barrier
+  /// cycles. Markers are pure observation: they cost nothing in the timing
+  /// model and default to no-ops so existing sinks keep compiling. Within
+  /// one run, all events emitted between a begin/end pair belong to that
+  /// phase (the global barrier guarantees no spill-over).
+  virtual void phase_begin(const char* name, double at) {
+    (void)name;
+    (void)at;
+  }
+  virtual void phase_end(const char* name, double at) {
+    (void)name;
+    (void)at;
+  }
+};
+
+/// Fans one event stream out to several sinks (e.g. a ChromeTraceSink and
+/// a Profiler consuming the same run). Sinks are not owned.
+class TeeSink final : public TraceSink {
+ public:
+  TeeSink() = default;
+  explicit TeeSink(std::vector<TraceSink*> sinks) : sinks_(std::move(sinks)) {}
+
+  void add(TraceSink* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+
+  void complete(Category cat, std::uint32_t unit, const char* name,
+                double start, double dur, std::uint64_t a,
+                std::uint64_t b) override {
+    for (TraceSink* s : sinks_) s->complete(cat, unit, name, start, dur, a, b);
+  }
+  void instant(Category cat, std::uint32_t unit, const char* name, double at,
+               std::uint64_t a, std::uint64_t b) override {
+    for (TraceSink* s : sinks_) s->instant(cat, unit, name, at, a, b);
+  }
+  void counter(Category cat, std::uint32_t unit, const char* name, double at,
+               double value) override {
+    for (TraceSink* s : sinks_) s->counter(cat, unit, name, at, value);
+  }
+  void phase_begin(const char* name, double at) override {
+    for (TraceSink* s : sinks_) s->phase_begin(name, at);
+  }
+  void phase_end(const char* name, double at) override {
+    for (TraceSink* s : sinks_) s->phase_end(name, at);
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
 };
 
 /// The per-component handle: a (sink, clock, category, unit) tuple.
@@ -130,6 +189,12 @@ class ChromeTraceSink final : public TraceSink {
   void counter(Category cat, std::uint32_t unit, const char* name, double at,
                double value) override;
 
+  /// Phase markers render as one duration event per phase on the "sim"
+  /// process, so the viewer shows the Algorithm 1 phase structure as a
+  /// top-level lane above the unit events.
+  void phase_begin(const char* name, double at) override;
+  void phase_end(const char* name, double at) override;
+
   /// Write the closing bracket and flush. Idempotent.
   void close();
 
@@ -150,6 +215,9 @@ class ChromeTraceSink final : public TraceSink {
   bool first_ = true;
   std::uint64_t events_ = 0;
   std::array<std::vector<bool>, kNumCategories> announced_{};
+  // Open phases awaiting their end marker (matched by name, newest first,
+  // so per-run sinks pair correctly even if a run aborts mid-phase).
+  std::vector<std::pair<std::string, double>> open_phases_;
 };
 
 }  // namespace gnna::trace

@@ -4,6 +4,8 @@
 
 #include <numeric>
 #include <optional>
+#include <sstream>
+#include <string>
 
 #include "common/rng.hpp"
 
@@ -231,6 +233,38 @@ TEST(Agg, ValueIdentitiesInitialized) {
   const auto h = rig.agg->allocate(3, 3, ReduceOp::kMax, Dest{});
   const auto vals = rig.agg->entry_values(*h);
   for (const Fixed32 v : vals) EXPECT_EQ(v, Fixed32::min_value());
+}
+
+TEST(Agg, DumpStateNamesRemainingWordsAndDestination) {
+  // Watchdog diagnostics must read as a wait-for chain: each stalled
+  // entry shows how many elements it still expects and which resource
+  // (mem address / DNQ entry / AGG entry) its result would unblock.
+  Rig rig;
+  const auto h = rig.agg->allocate(4, 8, ReduceOp::kMax, rig.to_sink());
+  ASSERT_TRUE(h.has_value());
+  rig.contribute(*h, 3);
+  (void)rig.run(20);
+
+  std::ostringstream os;
+  rig.agg->dump_state(os);
+  const std::string dump = os.str();
+  EXPECT_NE(dump.find("remaining_words_total=5"), std::string::npos);
+  EXPECT_NE(dump.find("received=3/8"), std::string::npos);
+  EXPECT_NE(dump.find("remaining=5"), std::string::npos);
+  EXPECT_NE(dump.find("op=max"), std::string::npos);
+  EXPECT_NE(dump.find("-> dnq ep=" + std::to_string(rig.sink) + " handle=99"),
+            std::string::npos);
+
+  // Memory destinations are named by address.
+  Dest mem;
+  mem.kind = Dest::Kind::kMemWrite;
+  mem.addr = 0xff00;
+  const auto h2 = rig.agg->allocate(4, 4, ReduceOp::kSum, mem);
+  ASSERT_TRUE(h2.has_value());
+  std::ostringstream os2;
+  rig.agg->dump_state(os2);
+  EXPECT_NE(os2.str().find("-> mem addr=0xff00"), std::string::npos);
+  EXPECT_NE(os2.str().find("op=sum"), std::string::npos);
 }
 
 }  // namespace

@@ -202,6 +202,8 @@ TEST(Simulator, WatchdogReportsDiagnostics) {
     EXPECT_NE(msg.find("dnq:"), std::string::npos);
     EXPECT_NE(msg.find("mem "), std::string::npos);
     EXPECT_NE(msg.find("noc:"), std::string::npos);
+    // AGG sections always carry the aggregate remaining-element counter.
+    EXPECT_NE(msg.find("remaining_words_total="), std::string::npos);
     std::ifstream report(topts.deadlock_report_path);
     ASSERT_TRUE(report.good());
     std::stringstream contents;

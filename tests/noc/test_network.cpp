@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -222,6 +224,37 @@ TEST(Mesh, InputBuffersNeverExceedCapacity) {
     }
   }
   EXPECT_TRUE(net.idle());
+}
+
+TEST(Mesh, DumpStateNamesPortsAndWormholeLocks) {
+  // The deadlock dump must name the blocked resource: per-port input
+  // buffer occupancy (one VC per port) as "N=2/4", and output state with
+  // the wormhole-locked input and remaining credits.
+  NocParams params;
+  params.input_buffer_flits = 4;
+  MeshNetwork net(3, 1, params);
+  const EndpointId a = net.add_endpoint(0, 0);
+  const EndpointId b = net.add_endpoint(2, 0);
+  net.finalize();
+  for (int i = 0; i < 30; ++i) net.send(make_msg(a, b, 512));
+  // Mid-burst: 8-flit packets are crossing the routers, so input buffers
+  // hold flits and at least one output is wormhole-locked.
+  for (int c = 0; c < 6; ++c) net.tick();
+
+  std::ostringstream os;
+  net.dump_state(os);
+  const std::string dump = os.str();
+  EXPECT_NE(dump.find("noc:"), std::string::npos);
+  EXPECT_NE(dump.find("in=[N="), std::string::npos);
+  EXPECT_NE(dump.find(" L0="), std::string::npos);
+  EXPECT_NE(dump.find("/4"), std::string::npos);
+  EXPECT_NE(dump.find("locked="), std::string::npos);
+
+  while (!net.idle()) {
+    net.tick();
+    while (net.poll(b)) {
+    }
+  }
 }
 
 TEST(Mesh, IdleSemantics) {

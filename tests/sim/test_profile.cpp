@@ -1,0 +1,117 @@
+// End-to-end profiler pinning on the golden GCN/Cora run:
+//  - enabling --profile must not change a single cycle (the markers and
+//    the Profiler sink are pure observation);
+//  - the per-phase spans conserve cycles (they tile the run exactly);
+//  - the profile's task count matches the simulator's own counter;
+//  - the stats_json embedding is schema-versioned and round-trips through
+//    the sim::json reader gnnatrace uses.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+
+#include "sim/json.hpp"
+#include "sim/session.hpp"
+#include "sim/stats_json.hpp"
+#include "trace/profiler.hpp"
+
+namespace gnna::sim {
+namespace {
+
+// Pinned in tests/accel/test_golden.cpp; duplicated here so a profiling
+// side effect on timing shows up as a loud diff against the same number.
+constexpr Cycle kGcnCoraGoldenCycles = 2871294;
+
+accel::RunStats run_gcn_cora(bool profile) {
+  RunRequest req;
+  req.benchmark = gnn::Benchmark::kGcnCora;
+  req.trace.profile = profile;
+  return Session::global().run(req);
+}
+
+TEST(ProfileIntegration, ProfilingIsZeroCostAndConservesCycles) {
+  const accel::RunStats off = run_gcn_cora(false);
+  const accel::RunStats on = run_gcn_cora(true);
+
+  // Markers + profiler sink must not perturb the timing model.
+  EXPECT_EQ(off.cycles, kGcnCoraGoldenCycles);
+  EXPECT_EQ(on.cycles, kGcnCoraGoldenCycles);
+  EXPECT_EQ(on.tasks_completed, off.tasks_completed);
+  EXPECT_EQ(on.mem_bytes_served, off.mem_bytes_served);
+  EXPECT_EQ(on.packets_delivered, off.packets_delivered);
+
+  EXPECT_EQ(off.profile, nullptr);
+  ASSERT_NE(on.profile, nullptr);
+  const trace::ProfileReport& pr = *on.profile;
+
+  // Conservation: the phase spans tile the run, nothing lands outside.
+  ASSERT_EQ(pr.phases.size(), on.phases.size());
+  EXPECT_DOUBLE_EQ(pr.total_cycles(), static_cast<double>(on.cycles));
+  std::uint64_t tasks = 0;
+  for (std::size_t i = 0; i < pr.phases.size(); ++i) {
+    EXPECT_EQ(pr.phases[i].name, on.phases[i].name);
+    EXPECT_DOUBLE_EQ(pr.phases[i].cycles(),
+                     static_cast<double>(on.phases[i].cycles));
+    tasks += pr.phases[i].tasks;
+  }
+  EXPECT_EQ(tasks, on.tasks_completed);
+  EXPECT_GT(pr.busy_total(trace::Category::kMem), 0.0);
+  EXPECT_GT(pr.busy_total(trace::Category::kGpe), 0.0);
+
+  // The GPE flame: sub-spans tile each task exactly, so "task" keeps no
+  // self time and the rollup conserves the task total.
+  const auto flame = pr.merged_flame();
+  double task_total = 0.0;
+  double children_total = 0.0;
+  for (const auto& n : flame) {
+    if (n.path == "task") {
+      task_total = n.total;
+      EXPECT_EQ(n.count, on.tasks_completed);
+    } else {
+      children_total += n.total;
+    }
+  }
+  EXPECT_GT(task_total, 0.0);
+  EXPECT_NEAR(task_total, children_total, 1e-6 * task_total);
+}
+
+TEST(ProfileIntegration, StatsJsonEmbedsVersionedProfileThatRoundTrips) {
+  const accel::RunStats rs = run_gcn_cora(true);
+  std::ostringstream os;
+  write_run_stats_json(os, rs);
+
+  const json::Value doc = json::Value::parse(os.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.num_or("schema_version", 0.0),
+                   kStatsJsonSchemaVersion);
+  const json::Value* prof = doc.find("profile");
+  ASSERT_NE(prof, nullptr);
+  EXPECT_DOUBLE_EQ(prof->num_or("version", 0.0),
+                   trace::kProfileSchemaVersion);
+
+  const json::Value* phases = prof->find("phases");
+  ASSERT_NE(phases, nullptr);
+  ASSERT_EQ(phases->size(), rs.profile->phases.size());
+  double span_sum = 0.0;
+  for (const json::Value& p : phases->items()) {
+    span_sum += p.num_or("cycles", 0.0);
+    const json::Value* busy = p.find("busy");
+    ASSERT_NE(busy, nullptr);
+    EXPECT_GT(busy->num_or("mem", 0.0), 0.0);
+    ASSERT_NE(p.find("flame"), nullptr);
+    ASSERT_NE(p.find("units"), nullptr);
+  }
+  EXPECT_DOUBLE_EQ(span_sum, static_cast<double>(rs.cycles));
+
+  // Runs without profiling stay profile-free but keep the version field.
+  const accel::RunStats plain = run_gcn_cora(false);
+  std::ostringstream os2;
+  write_run_stats_json(os2, plain);
+  const json::Value doc2 = json::Value::parse(os2.str());
+  EXPECT_DOUBLE_EQ(doc2.num_or("schema_version", 0.0),
+                   kStatsJsonSchemaVersion);
+  EXPECT_EQ(doc2.find("profile"), nullptr);
+}
+
+}  // namespace
+}  // namespace gnna::sim

@@ -1,0 +1,215 @@
+// Profiler-sink invariants: phase attribution via markers, the cycle
+// conservation the integration tests also pin end to end, flame self-time
+// arithmetic, and the fan-out/marker plumbing (TeeSink, ChromeTraceSink
+// phase spans) the simulator relies on.
+#include "trace/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace gnna::trace {
+namespace {
+
+const FlameNode* find_path(const std::vector<FlameNode>& flame,
+                           const std::string& path) {
+  const auto it = std::find_if(flame.begin(), flame.end(),
+                               [&](const FlameNode& f) {
+                                 return f.path == path;
+                               });
+  return it == flame.end() ? nullptr : &*it;
+}
+
+TEST(Profiler, AttributesEventsToTheOpenPhase) {
+  Profiler p;
+  p.phase_begin("gc1", 0.0);
+  p.complete(Category::kDna, 0, "entry", 5.0, 10.0, 0, 0);
+  p.instant(Category::kDnq, 2, "alloc", 7.0, 0, 0);
+  p.phase_end("gc1", 100.0);
+  p.phase_begin("gc2", 100.0);
+  p.complete(Category::kDna, 0, "entry", 110.0, 20.0, 0, 0);
+  p.phase_end("gc2", 150.0);
+
+  const ProfileReport r = p.report();
+  ASSERT_EQ(r.phases.size(), 2U);
+  EXPECT_EQ(r.phases[0].name, "gc1");
+  EXPECT_DOUBLE_EQ(r.phases[0].cycles(), 100.0);
+  EXPECT_DOUBLE_EQ(r.phases[0].busy[static_cast<int>(Category::kDna)], 10.0);
+  EXPECT_EQ(r.phases[0].instants[static_cast<int>(Category::kDnq)], 1U);
+  EXPECT_EQ(r.phases[1].name, "gc2");
+  EXPECT_DOUBLE_EQ(r.phases[1].cycles(), 50.0);
+  EXPECT_DOUBLE_EQ(r.phases[1].busy[static_cast<int>(Category::kDna)], 20.0);
+  // Conservation: contiguous phases span the whole run.
+  EXPECT_DOUBLE_EQ(r.total_cycles(), 150.0);
+  EXPECT_DOUBLE_EQ(r.busy_total(Category::kDna), 30.0);
+}
+
+TEST(Profiler, EventsOutsideAnyPhaseLandInTheOutsideBucket) {
+  Profiler p;
+  p.complete(Category::kMem, 1, "read", 0.0, 4.0, 0, 0);
+  p.phase_begin("gc1", 10.0);
+  p.phase_end("gc1", 20.0);
+
+  const ProfileReport r = p.report();
+  ASSERT_EQ(r.phases.size(), 2U);
+  EXPECT_EQ(r.phases[0].name, "(outside)");
+  EXPECT_DOUBLE_EQ(r.phases[0].busy[static_cast<int>(Category::kMem)], 4.0);
+  // The synthetic bucket is zero-span so conservation still holds.
+  EXPECT_DOUBLE_EQ(r.phases[0].cycles(), 0.0);
+  EXPECT_DOUBLE_EQ(r.total_cycles(), 10.0);
+}
+
+TEST(Profiler, TracksPerUnitBreakdownAndTaskCounters) {
+  Profiler p;
+  p.phase_begin("ph", 0.0);
+  p.complete(Category::kGpe, 0, "task", 0.0, 8.0, 0, 0);
+  p.complete(Category::kGpe, 1, "task", 0.0, 6.0, 0, 0);
+  p.instant(Category::kGpe, 1, "alloc_stall", 3.0, 0, 0);
+  p.phase_end("ph", 10.0);
+
+  const ProfileReport r = p.report();
+  ASSERT_EQ(r.phases.size(), 1U);
+  const PhaseProfile& ph = r.phases[0];
+  EXPECT_EQ(ph.tasks, 2U);
+  EXPECT_EQ(ph.alloc_stalls, 1U);
+  ASSERT_EQ(ph.units.size(), 2U);
+  EXPECT_EQ(ph.units[0].unit, 0U);
+  EXPECT_DOUBLE_EQ(ph.units[0].busy, 8.0);
+  EXPECT_EQ(ph.units[1].unit, 1U);
+  EXPECT_DOUBLE_EQ(ph.units[1].busy, 6.0);
+  EXPECT_EQ(ph.units[1].instants, 1U);
+}
+
+TEST(Profiler, FlameSelfTimeSubtractsDirectChildren) {
+  Profiler p;
+  p.phase_begin("ph", 0.0);
+  p.complete(Category::kGpe, 0, "task", 0.0, 100.0, 0, 0);
+  p.complete(Category::kGpe, 0, "task/traverse", 0.0, 30.0, 0, 0);
+  p.complete(Category::kGpe, 0, "task/gather", 30.0, 50.0, 0, 0);
+  // A grandchild must not be double-subtracted from "task".
+  p.complete(Category::kGpe, 0, "task/gather/reduce", 35.0, 10.0, 0, 0);
+  p.phase_end("ph", 100.0);
+
+  const ProfileReport r = p.report();
+  const auto& flame = r.phases.at(0).flame;
+  const FlameNode* task = find_path(flame, "task");
+  ASSERT_NE(task, nullptr);
+  EXPECT_DOUBLE_EQ(task->total, 100.0);
+  EXPECT_DOUBLE_EQ(task->self, 20.0);  // 100 - (30 + 50)
+  const FlameNode* gather = find_path(flame, "task/gather");
+  ASSERT_NE(gather, nullptr);
+  EXPECT_DOUBLE_EQ(gather->self, 40.0);  // 50 - 10
+  const FlameNode* leaf = find_path(flame, "task/gather/reduce");
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_DOUBLE_EQ(leaf->self, 10.0);
+  // Only GPE events enter the flame.
+  Profiler q;
+  q.phase_begin("ph", 0.0);
+  q.complete(Category::kMem, 0, "read", 0.0, 5.0, 0, 0);
+  q.phase_end("ph", 10.0);
+  EXPECT_TRUE(q.report().phases.at(0).flame.empty());
+}
+
+TEST(Profiler, MergedFlameReaggregatesAcrossPhases) {
+  Profiler p;
+  p.phase_begin("gc1", 0.0);
+  p.complete(Category::kGpe, 0, "task", 0.0, 10.0, 0, 0);
+  p.phase_end("gc1", 50.0);
+  p.phase_begin("gc2", 50.0);
+  p.complete(Category::kGpe, 0, "task", 60.0, 30.0, 0, 0);
+  p.phase_end("gc2", 100.0);
+
+  const auto merged = p.report().merged_flame();
+  const FlameNode* task = find_path(merged, "task");
+  ASSERT_NE(task, nullptr);
+  EXPECT_EQ(task->count, 2U);
+  EXPECT_DOUBLE_EQ(task->total, 40.0);
+  EXPECT_DOUBLE_EQ(task->max, 30.0);
+}
+
+TEST(Profiler, CountersKeepLastAndMax) {
+  Profiler p;
+  p.phase_begin("ph", 0.0);
+  p.counter(Category::kMem, 0, "queue_depth", 1.0, 3.0);
+  p.counter(Category::kMem, 0, "queue_depth", 2.0, 9.0);
+  p.counter(Category::kMem, 0, "queue_depth", 3.0, 4.0);
+  p.phase_end("ph", 10.0);
+
+  const ProfileReport r = p.report();
+  const auto& counters = r.phases.at(0).counters;
+  ASSERT_EQ(counters.size(), 1U);
+  EXPECT_EQ(counters[0].name, "queue_depth");
+  EXPECT_EQ(counters[0].samples, 3U);
+  EXPECT_DOUBLE_EQ(counters[0].last, 4.0);
+  EXPECT_DOUBLE_EQ(counters[0].max, 9.0);
+}
+
+TEST(Profiler, PrintProfileMentionsPhasesAndPaths) {
+  Profiler p;
+  p.phase_begin("gc1", 0.0);
+  p.complete(Category::kGpe, 0, "task", 0.0, 10.0, 0, 0);
+  p.phase_end("gc1", 100.0);
+  std::ostringstream os;
+  print_profile(os, p.report());
+  EXPECT_NE(os.str().find("gc1"), std::string::npos);
+  EXPECT_NE(os.str().find("task"), std::string::npos);
+}
+
+TEST(CategoryByName, RoundTripsAndRejectsUnknown) {
+  for (std::size_t c = 0; c < kNumCategories; ++c) {
+    EXPECT_EQ(category_by_name(category_name(static_cast<Category>(c))), c);
+  }
+  EXPECT_EQ(category_by_name("bogus"), kNumCategories);
+}
+
+TEST(TeeSink, ForwardsEveryEventToEverySink) {
+  Profiler a;
+  Profiler b;
+  TeeSink tee;
+  tee.add(&a);
+  tee.add(&b);
+  tee.phase_begin("ph", 0.0);
+  tee.complete(Category::kAgg, 0, "reduce", 1.0, 2.0, 0, 0);
+  tee.instant(Category::kDnq, 0, "alloc", 1.5, 0, 0);
+  tee.counter(Category::kMem, 0, "depth", 2.0, 1.0);
+  tee.phase_end("ph", 10.0);
+  for (const Profiler* p : {&a, &b}) {
+    const ProfileReport r = p->report();
+    ASSERT_EQ(r.phases.size(), 1U);
+    EXPECT_DOUBLE_EQ(r.phases[0].cycles(), 10.0);
+    EXPECT_DOUBLE_EQ(r.phases[0].busy[static_cast<int>(Category::kAgg)], 2.0);
+    EXPECT_EQ(r.phases[0].instants[static_cast<int>(Category::kDnq)], 1U);
+    ASSERT_EQ(r.phases[0].counters.size(), 1U);
+  }
+}
+
+TEST(ChromeTraceSink, PhaseMarkersBecomeSimSpans) {
+  std::ostringstream os;
+  {
+    ChromeTraceSink sink(os);
+    sink.phase_begin("gc1", 10.0);
+    sink.phase_end("gc1", 110.0);
+    sink.close();
+  }
+  const std::string doc = os.str();
+  EXPECT_NE(doc.find("\"name\":\"gc1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"dur\":100"), std::string::npos);
+  EXPECT_NE(doc.find("\"sim.0\""), std::string::npos);
+}
+
+TEST(ChromeTraceSink, UnmatchedPhaseEndIsDropped) {
+  std::ostringstream os;
+  {
+    ChromeTraceSink sink(os);
+    sink.phase_end("never_began", 5.0);
+    sink.close();
+  }
+  EXPECT_EQ(os.str().find("never_began"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gnna::trace

@@ -29,6 +29,7 @@
 #include "sim/manifest.hpp"
 #include "sim/session.hpp"
 #include "sim/stats_json.hpp"
+#include "trace/profiler.hpp"
 #include "trace/trace.hpp"
 
 namespace {
@@ -53,10 +54,13 @@ void usage(std::ostream& os) {
         " for the format);\n"
         "                             CLI flags above become per-line"
         " defaults\n"
-        "  --jobs <n>                 worker threads for --batch (default 1;"
-        " 0 = all cores)\n"
+        "  --jobs <n>                 worker threads for --batch (default 1)\n"
         "  --json <file>              write run stats as JSON (object for a\n"
         "                             single run, array for --batch)\n"
+        "  --profile[=<file>]         aggregate a per-phase/per-unit profile;\n"
+        "                             printed after the report, embedded in\n"
+        "                             --json output, and (with =<file>) also\n"
+        "                             written there as JSON for gnnatrace\n"
         "  --trace <file>             write a Chrome-trace JSON event log\n"
         "                             (open in chrome://tracing or Perfetto;\n"
         "                             per-run files <file>.runN in --batch)\n"
@@ -208,6 +212,8 @@ int main(int argc, char** argv) {
   bool want_energy = false;
   std::string batch_path;
   std::string json_path;
+  bool profile = false;
+  std::string profile_path;
   unsigned jobs = 1;
   std::string trace_path;
   std::string sample_path;
@@ -301,9 +307,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--jobs") {
       const auto v = next();
       const auto parsed = v ? sim::parse_u64(*v) : std::nullopt;
-      if (!parsed || *parsed > 1024) {
-        std::cerr << "error: --jobs needs a count in [0, 1024] (0 = all "
-                     "cores)\n";
+      if (!parsed || *parsed < 1 || *parsed > 1024) {
+        std::cerr << "error: --jobs needs a count in [1, 1024], got '"
+                  << v.value_or("") << "'\n";
         return 2;
       }
       jobs = static_cast<unsigned>(*parsed);
@@ -314,6 +320,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       json_path = *v;
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      profile = true;
+      profile_path = arg.substr(std::strlen("--profile="));
+      if (profile_path.empty()) {
+        std::cerr << "error: --profile= needs a file name\n";
+        return 2;
+      }
     } else if (arg == "--trace") {
       const auto v = next();
       if (!v) {
@@ -390,6 +405,9 @@ int main(int argc, char** argv) {
       std::cerr << "warning: --energy is single-run only; ignored in "
                    "--batch mode\n";
     }
+    if (profile) {
+      for (sim::RunRequest& rq : requests) rq.trace.profile = true;
+    }
 
     // Per-run observability files (a shared sink would interleave events
     // from unrelated runs; per-run files keep each trace self-contained).
@@ -453,6 +471,12 @@ int main(int argc, char** argv) {
         })) {
       return 2;
     }
+    if (!profile_path.empty() &&
+        !write_json_file(profile_path, [&](std::ostream& os) {
+          sim::write_batch_json(os, results);
+        })) {
+      return 2;
+    }
     if (failures > 0) {
       std::cerr << "error: " << failures << " of " << results.size()
                 << " runs failed\n";
@@ -476,6 +500,7 @@ int main(int argc, char** argv) {
   req.partition = partition;
   req.seed = seed;
   req.watchdog_cycles = watchdog;
+  req.trace.profile = profile;
 
   // Observability outputs. The streams must outlive run(); the trace
   // sink's destructor closes the JSON document.
@@ -503,10 +528,17 @@ int main(int argc, char** argv) {
   print_single_run_report(rs, *benchmark, cfg, clock_ghz, threads,
                           want_energy);
 
-  if (!json_path.empty() && !write_json_file(json_path, [&](std::ostream& os) {
-        sim::write_run_stats_json(os, rs);
-        os << '\n';
-      })) {
+  if (rs.profile) {
+    std::cout << '\n';
+    trace::print_profile(std::cout, *rs.profile);
+  }
+
+  const auto emit_run = [&](std::ostream& os) {
+    sim::write_run_stats_json(os, rs);
+    os << '\n';
+  };
+  if (!json_path.empty() && !write_json_file(json_path, emit_run)) return 2;
+  if (!profile_path.empty() && !write_json_file(profile_path, emit_run)) {
     return 2;
   }
   return 0;

@@ -1,0 +1,361 @@
+// gnnatrace — offline profile viewer and A/B regression differ.
+//
+//   gnnatrace report <run.json> [--run N] [--top N]
+//   gnnatrace diff <a.json> <b.json> [--run N] [--threshold PCT] [--top N]
+//
+// Inputs are `gnnasim --json` outputs (a single run object or a batch
+// array; `--run` selects the array element). `report` prints the embedded
+// per-phase/per-unit profile; `diff` lines two runs up phase by phase and
+// unit by unit, prints absolute and percentage deltas, and exits 1 when
+// the total-cycle regression exceeds `--threshold` — the CI gate.
+//
+// Exit codes: 0 ok, 1 regression beyond threshold, 2 usage/parse error.
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/table.hpp"
+#include "sim/json.hpp"
+#include "trace/profiler.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using gnna::Table;
+using gnna::format_double;
+using gnna::sim::json::Value;
+using gnna::trace::Category;
+using gnna::trace::FlameNode;
+using gnna::trace::kNumCategories;
+using gnna::trace::PhaseProfile;
+using gnna::trace::ProfileReport;
+
+void usage(std::ostream& os) {
+  os << "usage: gnnatrace report <run.json> [--run N] [--top N]\n"
+        "       gnnatrace diff <a.json> <b.json> [--run N] [--threshold PCT]"
+        " [--top N]\n"
+        "\n"
+        "Reads gnnasim --json output (single run or batch array).\n"
+        "  --run N         batch array element to use (default 0)\n"
+        "  --top N         flame paths to show in report (default 12)\n"
+        "  --threshold PCT diff: exit 1 if total cycles regress by more\n"
+        "                  than PCT percent (default: report only)\n";
+}
+
+/// One loaded run: the raw JSON object plus the decoded profile (empty
+/// when the run was produced without --profile).
+struct LoadedRun {
+  std::string path;
+  std::string program;
+  std::string config;
+  double cycles = 0.0;
+  ProfileReport profile;
+  bool has_profile = false;
+  /// Fallback phase spans from the plain "phases" array (always present).
+  std::vector<std::pair<std::string, double>> phase_cycles;
+};
+
+PhaseProfile decode_phase(const Value& p) {
+  PhaseProfile ph;
+  ph.name = p.str_or("name", "?");
+  ph.start = p.num_or("start", 0.0);
+  ph.end = ph.start + p.num_or("cycles", 0.0);
+  ph.tasks = static_cast<std::uint64_t>(p.num_or("tasks", 0.0));
+  ph.alloc_stalls = static_cast<std::uint64_t>(p.num_or("alloc_stalls", 0.0));
+  const auto per_category = [](const Value* obj, auto& dst) {
+    if (obj == nullptr || !obj->is_object()) return;
+    for (const auto& [key, v] : obj->members()) {
+      const std::size_t c = gnna::trace::category_by_name(key.c_str());
+      if (c < kNumCategories && v.is_number()) {
+        dst[c] = static_cast<std::remove_reference_t<decltype(dst[c])>>(
+            v.as_number());
+      }
+    }
+  };
+  per_category(p.find("busy"), ph.busy);
+  per_category(p.find("completes"), ph.completes);
+  per_category(p.find("instants"), ph.instants);
+  if (const Value* units = p.find("units"); units != nullptr) {
+    for (const Value& u : units->items()) {
+      const std::size_t c =
+          gnna::trace::category_by_name(u.str_or("cat", "").c_str());
+      if (c >= kNumCategories) continue;
+      ph.units.push_back(
+          {static_cast<Category>(c),
+           static_cast<std::uint32_t>(u.num_or("unit", 0.0)),
+           u.num_or("busy", 0.0),
+           static_cast<std::uint64_t>(u.num_or("completes", 0.0)),
+           static_cast<std::uint64_t>(u.num_or("instants", 0.0))});
+    }
+  }
+  if (const Value* flame = p.find("flame"); flame != nullptr) {
+    for (const Value& f : flame->items()) {
+      ph.flame.push_back({f.str_or("path", "?"),
+                          static_cast<std::uint64_t>(f.num_or("count", 0.0)),
+                          f.num_or("total", 0.0), f.num_or("max", 0.0),
+                          f.num_or("self", 0.0)});
+    }
+  }
+  if (const Value* counters = p.find("counters"); counters != nullptr) {
+    for (const Value& c : counters->items()) {
+      const std::size_t cat =
+          gnna::trace::category_by_name(c.str_or("cat", "").c_str());
+      if (cat >= kNumCategories) continue;
+      ph.counters.push_back(
+          {static_cast<Category>(cat), c.str_or("name", "?"),
+           static_cast<std::uint64_t>(c.num_or("samples", 0.0)),
+           c.num_or("last", 0.0), c.num_or("max", 0.0)});
+    }
+  }
+  return ph;
+}
+
+LoadedRun load_run(const std::string& path, std::size_t run_index) {
+  LoadedRun run;
+  run.path = path;
+  Value doc = gnna::sim::json::parse_file(path);
+  const Value* obj = &doc;
+  if (doc.is_array()) {
+    if (run_index >= doc.size()) {
+      throw std::runtime_error(path + ": batch has " +
+                               std::to_string(doc.size()) +
+                               " runs, --run " + std::to_string(run_index) +
+                               " is out of range");
+    }
+    obj = &doc.at(run_index);
+  }
+  if (!obj->is_object()) throw std::runtime_error(path + ": not a run object");
+  if (const Value* err = obj->find("error"); err != nullptr) {
+    throw std::runtime_error(path + ": run failed: " +
+                             (err->is_string() ? err->as_string() : "?"));
+  }
+  run.program = obj->str_or("program", "?");
+  run.config = obj->str_or("config", "?");
+  run.cycles = obj->num_or("cycles", 0.0);
+  if (const Value* phases = obj->find("phases"); phases != nullptr) {
+    for (const Value& p : phases->items()) {
+      run.phase_cycles.emplace_back(p.str_or("name", "?"),
+                                    p.num_or("cycles", 0.0));
+    }
+  }
+  if (const Value* prof = obj->find("profile"); prof != nullptr) {
+    if (const Value* phases = prof->find("phases"); phases != nullptr) {
+      for (const Value& p : phases->items()) {
+        run.profile.phases.push_back(decode_phase(p));
+      }
+      run.has_profile = true;
+    }
+  }
+  return run;
+}
+
+/// Phase spans to diff: the profile's when present (includes "(outside)"
+/// and marker-derived spans), else the plain per-phase stats.
+std::vector<std::pair<std::string, double>> diffable_phases(
+    const LoadedRun& run) {
+  if (!run.has_profile) return run.phase_cycles;
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(run.profile.phases.size());
+  for (const auto& ph : run.profile.phases) {
+    out.emplace_back(ph.name, ph.cycles());
+  }
+  return out;
+}
+
+std::string delta_cell(double a, double b) {
+  const double d = b - a;
+  std::string s = (d >= 0 ? "+" : "") + format_double(d, 0);
+  return s;
+}
+
+std::string pct_cell(double a, double b) {
+  if (a == 0.0) return b == 0.0 ? "0.0%" : "n/a";
+  const double pct = (b - a) / a * 100.0;
+  return (pct >= 0 ? "+" : "") + format_double(pct, 2) + "%";
+}
+
+int cmd_report(const LoadedRun& run, std::size_t top_n) {
+  std::cout << "run: " << run.program << " on " << run.config << " ("
+            << format_double(run.cycles, 0) << " cycles)\n";
+  if (!run.has_profile) {
+    std::cout << "no embedded profile (rerun gnnasim with --profile); "
+                 "showing phase totals only\n\n";
+    Table t({"Phase", "Cycles"});
+    for (const auto& [name, cycles] : run.phase_cycles) {
+      t.add_row({name, format_double(cycles, 0)});
+    }
+    t.print(std::cout);
+    return 0;
+  }
+  std::cout << '\n';
+  gnna::trace::print_profile(std::cout, run.profile, top_n);
+  return 0;
+}
+
+int cmd_diff(const LoadedRun& a, const LoadedRun& b,
+             std::optional<double> threshold) {
+  std::cout << "A: " << a.path << " (" << a.program << " on " << a.config
+            << ", " << format_double(a.cycles, 0) << " cycles)\n"
+            << "B: " << b.path << " (" << b.program << " on " << b.config
+            << ", " << format_double(b.cycles, 0) << " cycles)\n\n";
+
+  // Per-phase cycle deltas, matched by (name, occurrence) so repeated
+  // phase names (one per layer) line up positionally.
+  const auto pa = diffable_phases(a);
+  const auto pb = diffable_phases(b);
+  std::map<std::string, std::vector<double>> b_by_name;
+  for (const auto& [name, cycles] : pb) b_by_name[name].push_back(cycles);
+  std::map<std::string, std::size_t> seen;
+  Table phases({"Phase", "A cycles", "B cycles", "Delta", "Delta %"});
+  for (const auto& [name, cycles_a] : pa) {
+    const std::size_t occurrence = seen[name]++;
+    const auto it = b_by_name.find(name);
+    if (it == b_by_name.end() || occurrence >= it->second.size()) {
+      phases.add_row({name, format_double(cycles_a, 0), "-", "-", "-"});
+      continue;
+    }
+    const double cycles_b = it->second[occurrence];
+    phases.add_row({name, format_double(cycles_a, 0),
+                    format_double(cycles_b, 0), delta_cell(cycles_a, cycles_b),
+                    pct_cell(cycles_a, cycles_b)});
+  }
+  for (const auto& [name, cycles_list] : b_by_name) {
+    const std::size_t matched = seen.count(name) != 0U ? seen[name] : 0;
+    for (std::size_t i = matched; i < cycles_list.size(); ++i) {
+      phases.add_row({name + " (B only)", "-",
+                      format_double(cycles_list[i], 0), "-", "-"});
+    }
+  }
+  phases.add_row({"total", format_double(a.cycles, 0),
+                  format_double(b.cycles, 0), delta_cell(a.cycles, b.cycles),
+                  pct_cell(a.cycles, b.cycles)});
+  phases.print(std::cout);
+
+  // Per-unit-category busy deltas (whole-run sums), when both runs carry
+  // a profile.
+  if (a.has_profile && b.has_profile) {
+    std::cout << "\nPer-unit busy cycles (duration-event sums; gpe/noc "
+                 "overlap across units):\n";
+    Table units({"Unit", "A busy", "B busy", "Delta", "Delta %"});
+    for (std::size_t c = 0; c < kNumCategories; ++c) {
+      const auto cat = static_cast<Category>(c);
+      const double ba = a.profile.busy_total(cat);
+      const double bb = b.profile.busy_total(cat);
+      if (ba == 0.0 && bb == 0.0) continue;
+      units.add_row({gnna::trace::category_name(cat), format_double(ba, 0),
+                     format_double(bb, 0), delta_cell(ba, bb),
+                     pct_cell(ba, bb)});
+    }
+    units.print(std::cout);
+  }
+
+  const double pct =
+      a.cycles != 0.0 ? (b.cycles - a.cycles) / a.cycles * 100.0 : 0.0;
+  if (threshold) {
+    if (pct > *threshold) {
+      std::cout << "\nREGRESSION: total cycles "
+                << (pct >= 0 ? "+" : "") << format_double(pct, 2)
+                << "% exceeds threshold " << format_double(*threshold, 2)
+                << "%\n";
+      return 1;
+    }
+    std::cout << "\nok: total cycles " << (pct >= 0 ? "+" : "")
+              << format_double(pct, 2) << "% within threshold "
+              << format_double(*threshold, 2) << "%\n";
+  }
+  return 0;
+}
+
+bool parse_size(const char* s, std::size_t& out) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || v < 0) return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  std::size_t run_index = 0;
+  std::size_t top_n = 12;
+  std::optional<double> threshold;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    }
+    if (arg == "--run") {
+      if (!parse_size(next(), run_index)) {
+        std::cerr << "error: --run needs a non-negative integer\n";
+        return 2;
+      }
+    } else if (arg == "--top") {
+      if (!parse_size(next(), top_n)) {
+        std::cerr << "error: --top needs a non-negative integer\n";
+        return 2;
+      }
+    } else if (arg == "--threshold") {
+      char* end = nullptr;
+      const char* v = next();
+      const double t = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !std::isfinite(t)) {
+        std::cerr << "error: --threshold needs a percentage\n";
+        return 2;
+      }
+      threshold = t;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "error: unknown flag " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  if (positional.empty()) {
+    usage(std::cerr);
+    return 2;
+  }
+  const std::string& cmd = positional[0];
+  try {
+    if (cmd == "report") {
+      if (positional.size() != 2) {
+        std::cerr << "error: report needs exactly one input file\n";
+        return 2;
+      }
+      return cmd_report(load_run(positional[1], run_index), top_n);
+    }
+    if (cmd == "diff") {
+      if (positional.size() != 3) {
+        std::cerr << "error: diff needs exactly two input files\n";
+        return 2;
+      }
+      return cmd_diff(load_run(positional[1], run_index),
+                      load_run(positional[2], run_index), threshold);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  std::cerr << "error: unknown command '" << cmd << "'\n";
+  usage(std::cerr);
+  return 2;
+}
