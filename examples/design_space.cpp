@@ -50,7 +50,7 @@ int main() {
       accel::ProgramCompiler{}.compile(gat, cora);
 
   std::vector<accel::RunStats> runs;
-  for (const auto [tiles, mems] :
+  for (const auto& [tiles, mems] :
        {std::pair{1U, 1U}, {2U, 1U}, {2U, 2U}, {4U, 2U}, {4U, 4U},
         {8U, 4U}, {8U, 8U}}) {
     std::cerr << "simulating " << tiles << " tiles / " << mems

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstdio>
+#include <stdexcept>
 
 namespace gnna::accel {
 
@@ -16,6 +17,24 @@ Agg::Agg(const TileParams& params, noc::MeshNetwork& net, EndpointId endpoint,
 std::optional<AggHandle> Agg::allocate(std::uint32_t width_words,
                                        std::uint64_t expected_words,
                                        ReduceOp op, Dest dest) {
+  // Malformed requests are program bugs, not transient resource pressure:
+  // report them explicitly instead of returning nullopt (which the GPE
+  // treats as "retry next cycle" — an infinite retry loop for these).
+  if (width_words == 0) {
+    throw std::invalid_argument(
+        "Agg::allocate: zero-width aggregation entry");
+  }
+  if (!is_associative(op)) {
+    throw std::invalid_argument(
+        "Agg::allocate: non-associative reduce op (the AGG only supports "
+        "associative aggregation)");
+  }
+  if ((dest.kind == Dest::Kind::kDnqEntry ||
+       dest.kind == Dest::Kind::kAggEntry) &&
+      dest.ep == kInvalidEndpoint) {
+    throw std::invalid_argument(
+        "Agg::allocate: unit destination with invalid endpoint");
+  }
   const std::uint64_t bytes = std::uint64_t{width_words} * kWordBytes;
   const std::uint32_t max_entries =
       params_.agg_ctrl_bytes / params_.agg_ctrl_entry_bytes;
@@ -134,6 +153,7 @@ const char* reduce_op_name(ReduceOp op) {
     case ReduceOp::kSum: return "sum";
     case ReduceOp::kMax: return "max";
     case ReduceOp::kMin: return "min";
+    case ReduceOp::kMean: return "mean";
   }
   return "?";
 }

@@ -70,11 +70,13 @@ CompiledProgram ProgramCompiler::compile(const gnn::ModelSpec& model,
     gl.edge_offset = edge_off;
     gl.row_ptr = prog.memmap.add_region(
         "rowptr" + std::to_string(gi),
-        (static_cast<std::uint64_t>(sym.num_nodes()) + 1) * kWord);
+        (static_cast<std::uint64_t>(sym.num_nodes()) + 1) * kWord,
+        /*preloaded=*/true);
     // col_idx stores (id, weight) pairs so weighted phases read 8B/edge.
     gl.col_idx = prog.memmap.add_region(
         "colidx" + std::to_string(gi),
-        static_cast<std::uint64_t>(sym.num_edges()) * 2 * kWord);
+        static_cast<std::uint64_t>(sym.num_edges()) * 2 * kWord,
+        /*preloaded=*/true);
     prog.graphs.push_back(gl);
     node_off += sym.num_nodes();
     edge_off += sym.num_edges();
@@ -92,14 +94,19 @@ CompiledProgram ProgramCompiler::compile(const gnn::ModelSpec& model,
         width_words};
   };
 
-  BufferRef cur = add_vertex_buffer("input", ds.spec.vertex_features);
+  BufferRef cur{prog.memmap.add_region(
+                    "input", static_cast<std::uint64_t>(total_nodes) *
+                                 ds.spec.vertex_features * kWord,
+                    /*preloaded=*/true),
+                ds.spec.vertex_features};
 
   BufferRef edge_feats{};
   if (ds.spec.edge_features > 0) {
     edge_feats = BufferRef{
         prog.memmap.add_region("edgefeat",
                                static_cast<std::uint64_t>(total_sym_edges) *
-                                   ds.spec.edge_features * kWord),
+                                   ds.spec.edge_features * kWord,
+                               /*preloaded=*/true),
         ds.spec.edge_features};
   }
 
@@ -270,7 +277,8 @@ CompiledProgram ProgramCompiler::compile(const gnn::ModelSpec& model,
   for (auto& ph : prog.phases) {
     if (ph.weight_bytes > 0) {
       ph.weight_region = prog.memmap.add_region(ph.name + ".w",
-                                                ph.weight_bytes);
+                                                ph.weight_bytes,
+                                                /*preloaded=*/true);
     }
   }
   return prog;

@@ -1,10 +1,17 @@
 #include "accel/dnq.hpp"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace gnna::accel {
 
 std::uint32_t Dnq::queue0_split_bytes(const TileParams& params) {
+  if (params.dnq_queue0_sixteenths > 16) {
+    throw std::invalid_argument(
+        "Dnq: dnq_queue0_sixteenths out of range (" +
+        std::to_string(params.dnq_queue0_sixteenths) + "/16)");
+  }
   // Scale before dividing: `data / 16 * sixteenths` truncates the
   // per-sixteenth size first, so a sixteenths=16 split of a non-divisible
   // scratchpad would strand up to 15 bytes in queue 1.
@@ -21,15 +28,36 @@ Dnq::Dnq(const TileParams& params) : params_(params) {
 }
 
 void Dnq::configure(std::uint32_t queue0_bytes, std::uint32_t queue1_bytes) {
-  assert(live_entries_ == 0 && "reconfiguring a non-empty DNQ");
-  assert(queue0_bytes + queue1_bytes <= params_.dnq_data_bytes);
+  // Explicit errors (not asserts): a bad split is a program/config bug that
+  // must surface in release builds too, before it turns into a deadlock.
+  if (live_entries_ != 0) {
+    throw std::logic_error("Dnq::configure: reconfiguring a non-empty DNQ");
+  }
+  if (std::uint64_t{queue0_bytes} + queue1_bytes > params_.dnq_data_bytes) {
+    throw std::invalid_argument(
+        "Dnq::configure: split " + std::to_string(queue0_bytes) + "+" +
+        std::to_string(queue1_bytes) + "B exceeds the " +
+        std::to_string(params_.dnq_data_bytes) + "B data scratchpad");
+  }
   capacity_bytes_ = {queue0_bytes, queue1_bytes};
   active_queue_ = 0;
 }
 
 std::optional<DnqHandle> Dnq::allocate(std::uint8_t queue,
                                        std::uint32_t width_words, Dest dest) {
-  assert(queue < 2);
+  if (queue >= 2) {
+    throw std::invalid_argument("Dnq::allocate: virtual queue " +
+                                std::to_string(queue) + " out of range");
+  }
+  if (width_words == 0) {
+    throw std::invalid_argument("Dnq::allocate: zero-width entry");
+  }
+  if ((dest.kind == Dest::Kind::kDnqEntry ||
+       dest.kind == Dest::Kind::kAggEntry) &&
+      dest.ep == kInvalidEndpoint) {
+    throw std::invalid_argument(
+        "Dnq::allocate: unit destination with invalid endpoint");
+  }
   const std::uint64_t bytes = std::uint64_t{width_words} * 4;
   const std::uint32_t max_dest_entries =
       params_.dnq_dest_bytes / params_.dnq_dest_entry_bytes;

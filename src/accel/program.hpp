@@ -9,7 +9,9 @@
 // aggregation phases).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -22,23 +24,60 @@ namespace gnna::accel {
 
 using RegionId = std::uint32_t;
 
-/// A named range of the simulated physical address space.
+/// A named range of the simulated physical address space. `preloaded`
+/// marks regions the loader fills before the program starts (topology,
+/// input features, weights); the static verifier treats every other
+/// region as undefined until some phase writes it.
 struct Region {
   std::string name;
   Addr base = 0;
   std::uint64_t bytes = 0;
+  bool preloaded = false;
 };
 
 /// Flat address space, page-interleaved across memory nodes by the
 /// simulator. Regions are 64B-aligned so buffers never share a DRAM line.
 class MemoryMap {
  public:
-  RegionId add_region(std::string name, std::uint64_t bytes) {
+  RegionId add_region(std::string name, std::uint64_t bytes,
+                      bool preloaded = false) {
+    // The cursor rounds up to the next 64B line; reject any request whose
+    // rounded-up end would wrap the 64-bit address space (the wrapped
+    // cursor would silently overlap every earlier region).
+    constexpr Addr kMaxAddr = ~Addr{0};
+    if (bytes > kMaxAddr - next_ || next_ + bytes > kMaxAddr - 63) {
+      throw std::overflow_error("MemoryMap::add_region: region '" + name +
+                                "' (" + std::to_string(bytes) +
+                                " bytes) overflows the address space");
+    }
     Region r;
     r.name = std::move(name);
     r.base = next_;
     r.bytes = bytes;
+    r.preloaded = preloaded;
     next_ = (next_ + bytes + 63) / 64 * 64;
+    regions_.push_back(std::move(r));
+    return static_cast<RegionId>(regions_.size() - 1);
+  }
+
+  /// Raw placement for hand-written programs and verifier tests: put a
+  /// region at an explicit base with no alignment adjustment. The
+  /// allocation cursor advances past it so later add_region calls don't
+  /// collide, but nothing stops the caller from overlapping existing
+  /// regions — accel::verify flags that (GV007).
+  RegionId add_region_at(std::string name, Addr base, std::uint64_t bytes,
+                         bool preloaded = false) {
+    constexpr Addr kMaxAddr = ~Addr{0};
+    if (bytes > kMaxAddr - base || base + bytes > kMaxAddr - 63) {
+      throw std::overflow_error("MemoryMap::add_region_at: region '" + name +
+                                "' overflows the address space");
+    }
+    Region r;
+    r.name = std::move(name);
+    r.base = base;
+    r.bytes = bytes;
+    r.preloaded = preloaded;
+    next_ = std::max(next_, (base + bytes + 63) / 64 * 64);
     regions_.push_back(std::move(r));
     return static_cast<RegionId>(regions_.size() - 1);
   }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "accel/report.hpp"
+#include "accel/verify.hpp"
 
 namespace gnna::accel {
 
@@ -193,6 +194,11 @@ std::uint64_t AcceleratorSim::progress_signature() const {
 RunStats AcceleratorSim::run(const CompiledProgram& prog) {
   if (used_) throw std::logic_error("AcceleratorSim::run: already used");
   used_ = true;
+  // Static verification before any hardware is built: a program that
+  // cannot execute (oversized entries, bad models, unwritten buffers)
+  // fails here with structured diagnostics instead of deadlocking into
+  // the watchdog.
+  if (verify_) verify_or_throw(prog, cfg_.tile_params);
   build();
   attach_tracers();
   begin_sampling();

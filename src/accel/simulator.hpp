@@ -98,6 +98,11 @@ class AcceleratorSim {
   /// Progress watchdog threshold (cycles without any progress).
   void set_watchdog_cycles(Cycle c) { watchdog_cycles_ = c; }
 
+  /// Static program verification before the timing model starts (on by
+  /// default): run() throws ProgramVerifyError when accel::verify finds
+  /// errors, instead of deadlocking mid-simulation.
+  void set_verify(bool v) { verify_ = v; }
+
   /// Attach observability outputs; must be called before run().
   void set_trace(TraceOptions opts) { trace_ = std::move(opts); }
 
@@ -117,6 +122,7 @@ class AcceleratorSim {
   AcceleratorConfig cfg_;
   graph::PartitionPolicy partition_;
   bool used_ = false;
+  bool verify_ = true;
   Cycle watchdog_cycles_ = 2'000'000;
   TraceOptions trace_;
 

@@ -1,0 +1,677 @@
+#include "accel/verify.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "accel/dnq.hpp"
+#include "common/units.hpp"
+
+namespace gnna::accel {
+
+namespace {
+
+/// Independent recomputation of the walk-tree contribution counts the
+/// compiler stores in `expected_contribs` (walks_L(v) = sum over neighbors
+/// of walks_{L-1}(u), walks_0 = 1), with the same explosion bound the
+/// compiler enforces. nullopt when the tree is too large to enumerate.
+std::optional<std::vector<std::uint64_t>> recompute_walk_counts(
+    const graph::Dataset& ds, std::uint32_t len) {
+  constexpr std::uint64_t kMaxWalks = 50'000'000ULL;
+  NodeId total = 0;
+  for (const auto& g : ds.graphs) total += g.num_nodes();
+  std::vector<std::uint64_t> cur(total, 1);
+  std::vector<std::uint64_t> next(total, 0);
+  std::vector<NodeId> bases;
+  NodeId base = 0;
+  for (const auto& g : ds.undirected) {
+    bases.push_back(base);
+    base += g.num_nodes();
+  }
+  for (std::uint32_t step = 0; step < len; ++step) {
+    std::uint64_t grand_total = 0;
+    for (std::size_t gi = 0; gi < ds.undirected.size(); ++gi) {
+      const graph::Graph& g = ds.undirected[gi];
+      const NodeId off = bases[gi];
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        std::uint64_t acc = 0;
+        for (const NodeId u : g.neighbors(v)) acc += cur[off + u];
+        next[off + v] = acc;
+        grand_total += acc;
+      }
+    }
+    if (grand_total > kMaxWalks) return std::nullopt;
+    std::swap(cur, next);
+  }
+  return cur;
+}
+
+/// Collects diagnostics while walking the program.
+class Linter {
+ public:
+  Linter(const CompiledProgram& prog, const TileParams& params)
+      : prog_(prog), params_(params) {
+    report_.program_name = prog.name;
+  }
+
+  VerifyReport run() {
+    check_tile_params();
+    check_memory_map();
+    const bool have_dataset = prog_.dataset != nullptr;
+    if (!have_dataset) {
+      add(LintCode::kBadBufferRef, -1,
+          "program has no dataset attached; extent checks skipped");
+    }
+    for (std::size_t i = 0; i < prog_.phases.size(); ++i) {
+      check_phase(static_cast<int>(i), prog_.phases[i], have_dataset);
+    }
+    check_dataflow();
+    return std::move(report_);
+  }
+
+ private:
+  void add(LintCode code, int phase, std::string msg) {
+    VerifyDiagnostic d;
+    d.code = code;
+    d.severity = lint_code_severity(code);
+    d.phase = phase;
+    if (phase >= 0) d.phase_name = prog_.phases[phase].name;
+    d.message = std::move(msg);
+    report_.diagnostics.push_back(std::move(d));
+  }
+
+  // ---- GV010: tile parameters ----
+  void check_tile_params() {
+    const TileParams& p = params_;
+    if (p.gpe_threads == 0) {
+      add(LintCode::kBadTileParams, -1, "gpe_threads is 0: no work can run");
+    }
+    if (p.agg_alus == 0) {
+      add(LintCode::kBadTileParams, -1, "agg_alus is 0: AGG cannot reduce");
+    }
+    if (p.agg_data_bytes == 0 || p.agg_ctrl_bytes < p.agg_ctrl_entry_bytes) {
+      add(LintCode::kBadTileParams, -1,
+          "AGG scratchpads admit no entries (data=" +
+              std::to_string(p.agg_data_bytes) +
+              "B, ctrl=" + std::to_string(p.agg_ctrl_bytes) + "B / " +
+              std::to_string(p.agg_ctrl_entry_bytes) + "B per entry)");
+    }
+    if (p.dnq_data_bytes == 0 || p.dnq_dest_bytes < p.dnq_dest_entry_bytes) {
+      add(LintCode::kBadTileParams, -1,
+          "DNQ scratchpads admit no entries (data=" +
+              std::to_string(p.dnq_data_bytes) +
+              "B, dest=" + std::to_string(p.dnq_dest_bytes) + "B / " +
+              std::to_string(p.dnq_dest_entry_bytes) + "B per entry)");
+    }
+    if (p.dnq_queue0_sixteenths > 16) {
+      add(LintCode::kBadTileParams, -1,
+          "dnq_queue0_sixteenths out of range (" +
+              std::to_string(p.dnq_queue0_sixteenths) + "/16)");
+      split_valid_ = false;
+    }
+  }
+
+  // ---- GV007: memory map ----
+  void check_memory_map() {
+    const MemoryMap& mm = prog_.memmap;
+    struct Span {
+      std::uint64_t base, end;
+      const std::string* name;
+    };
+    std::vector<Span> spans;
+    spans.reserve(mm.num_regions());
+    for (RegionId id = 0; id < mm.num_regions(); ++id) {
+      const Region& r = mm.region(id);
+      if (r.base % 64 != 0) {
+        add(LintCode::kBadMemoryMap, -1,
+            "region '" + r.name + "' base 0x" + to_hex(r.base) +
+                " is not 64B-aligned");
+      }
+      if (r.bytes > ~std::uint64_t{0} - r.base) {
+        add(LintCode::kBadMemoryMap, -1,
+            "region '" + r.name + "' wraps the address space");
+        continue;
+      }
+      if (r.base + r.bytes > mm.total_bytes()) {
+        add(LintCode::kBadMemoryMap, -1,
+            "region '" + r.name + "' extends past total_bytes (" +
+                std::to_string(r.base + r.bytes) + " > " +
+                std::to_string(mm.total_bytes()) + ")");
+      }
+      spans.push_back({r.base, r.base + r.bytes, &r.name});
+    }
+    std::sort(spans.begin(), spans.end(),
+              [](const Span& a, const Span& b) { return a.base < b.base; });
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      if (spans[i].base < spans[i - 1].end) {
+        add(LintCode::kBadMemoryMap, -1,
+            "regions '" + *spans[i - 1].name + "' and '" + *spans[i].name +
+                "' overlap");
+      }
+    }
+  }
+
+  // ---- per-phase checks ----
+  void check_phase(int pi, const PhaseSpec& ph, bool have_dataset) {
+    check_phase_combo(pi, ph);
+    check_dnq_footprint(pi, ph);
+    check_agg(pi, ph);
+    check_dna_models(pi, ph);
+    if (have_dataset) check_buffers(pi, ph);
+    if (have_dataset) check_contribs(pi, ph);
+  }
+
+  // GV009: field combinations the runtime cannot execute.
+  void check_phase_combo(int pi, const PhaseSpec& ph) {
+    const bool aggregate_kind = ph.kind == PhaseKind::kGatherAggregate ||
+                                ph.kind == PhaseKind::kEdgeDnaAggregate;
+    if (aggregate_kind && !ph.has_agg()) {
+      add(LintCode::kIllegalPhaseCombo, pi,
+          "aggregate-kind phase with agg_width_words == 0");
+    }
+    if (ph.kind == PhaseKind::kProject && ph.extra_inputs.empty()) {
+      add(LintCode::kIllegalPhaseCombo, pi,
+          "project phase with no inputs (would allocate zero-width DNQ "
+          "entries)");
+    }
+    if (ph.walk_len == 0) {
+      add(LintCode::kIllegalPhaseCombo, pi, "walk_len is 0");
+    }
+    if (ph.walk_len > 1 && ph.kind != PhaseKind::kGatherAggregate) {
+      add(LintCode::kIllegalPhaseCombo, pi,
+          "walk_len > 1 is only meaningful for gather-aggregate phases");
+    }
+    if (ph.per_graph &&
+        (ph.kind != PhaseKind::kGatherAggregate || ph.walk_len > 1)) {
+      add(LintCode::kIllegalPhaseCombo, pi,
+          "per_graph readout must be a 1-hop gather-aggregate phase");
+    }
+    if (ph.kind == PhaseKind::kEdgeDnaAggregate && ph.include_self &&
+        ph.extra_inputs_per_edge && !ph.extra_inputs.empty()) {
+      add(LintCode::kIllegalPhaseCombo, pi,
+          "self contribution cannot carry per-edge extra inputs "
+          "(include_self + extra_inputs_per_edge)");
+    }
+    if (ph.has_dna2() && ph.kind != PhaseKind::kEdgeDnaAggregate) {
+      add(LintCode::kIllegalPhaseCombo, pi,
+          "dna2 model on a phase kind that never enqueues to virtual "
+          "queue 1");
+    }
+  }
+
+  // GV001/GV102: every DNQ entry the GPE allocates for this phase must fit
+  // the virtual queue it targets under the split the runtime will program
+  // (all of the scratchpad to queue 0 unless the phase uses queue 1).
+  void check_dnq_footprint(int pi, const PhaseSpec& ph) {
+    if (!split_valid_) return;  // GV010 already reported
+    std::uint32_t q0_cap = params_.dnq_data_bytes;
+    std::uint32_t q1_cap = 0;
+    if (ph.has_dna2()) {
+      q0_cap = Dnq::queue0_split_bytes(params_);
+      q1_cap = params_.dnq_data_bytes - q0_cap;
+    }
+
+    std::uint64_t q0_entry_words = 0;
+    switch (ph.kind) {
+      case PhaseKind::kGatherAggregate:
+        if (ph.has_dna()) q0_entry_words = ph.agg_width_words;
+        break;
+      case PhaseKind::kProject:
+        for (const auto& b : ph.extra_inputs) q0_entry_words += b.width_words;
+        break;
+      case PhaseKind::kEdgeDnaAggregate:
+        q0_entry_words = std::uint64_t{ph.gather.width_words} +
+                         ph.gpe_words_per_entry;
+        for (const auto& b : ph.extra_inputs) q0_entry_words += b.width_words;
+        break;
+    }
+    check_queue_entry(pi, 0, q0_entry_words, q0_cap);
+    if (ph.has_dna2()) {
+      const std::uint64_t q1_entry_words =
+          std::uint64_t{ph.agg_width_words} + ph.dna2_gpe_words;
+      check_queue_entry(pi, 1, q1_entry_words, q1_cap);
+    }
+  }
+
+  void check_queue_entry(int pi, int queue, std::uint64_t entry_words,
+                         std::uint64_t cap_bytes) {
+    if (entry_words == 0) return;
+    const std::uint64_t entry_bytes = entry_words * kWordBytes;
+    if (entry_bytes > cap_bytes) {
+      add(LintCode::kDnqEntryTooLarge, pi,
+          "DNQ virtual queue " + std::to_string(queue) + " entry (" +
+              std::to_string(entry_words) + " words = " +
+              std::to_string(entry_bytes) + "B) can never fit its " +
+              std::to_string(cap_bytes) +
+              "B capacity: guaranteed deadlock");
+    } else if (entry_bytes * 2 > cap_bytes) {
+      add(LintCode::kDnqLowConcurrency, pi,
+          "DNQ virtual queue " + std::to_string(queue) +
+              " admits only one in-flight entry (" +
+              std::to_string(entry_bytes) + "B of " +
+              std::to_string(cap_bytes) + "B): threads will serialize");
+    }
+  }
+
+  // GV002/GV003/GV101: AGG scratchpad capacity and reduce-op legality.
+  void check_agg(int pi, const PhaseSpec& ph) {
+    if (!ph.has_agg()) return;
+    const std::uint64_t entry_bytes =
+        std::uint64_t{ph.agg_width_words} * kWordBytes;
+    if (entry_bytes > params_.agg_data_bytes) {
+      add(LintCode::kAggEntryTooLarge, pi,
+          "AGG entry (" + std::to_string(ph.agg_width_words) + " words = " +
+              std::to_string(entry_bytes) + "B) exceeds the " +
+              std::to_string(params_.agg_data_bytes) +
+              "B data scratchpad: guaranteed deadlock");
+    } else if (entry_bytes * 2 > params_.agg_data_bytes) {
+      add(LintCode::kAggLowConcurrency, pi,
+          "AGG data scratchpad admits only one in-flight aggregation (" +
+              std::to_string(entry_bytes) + "B of " +
+              std::to_string(params_.agg_data_bytes) +
+              "B): vertices will serialize");
+    }
+    if (!is_associative(ph.agg_op)) {
+      add(LintCode::kNonAssociativeAggOp, pi,
+          "agg_op is not associative; the AGG only supports associative "
+          "reductions (data is aggregated in arrival order)");
+    }
+  }
+
+  // GV005/GV105: matmul-chain shape compatibility and out-width rules.
+  void check_dna_models(int pi, const PhaseSpec& ph) {
+    if ((ph.kind == PhaseKind::kProject ||
+         ph.kind == PhaseKind::kEdgeDnaAggregate) &&
+        !ph.has_dna()) {
+      add(LintCode::kBadDnaModel, pi,
+          "phase kind enqueues DNQ entries but has no dna_shapes: the DNA "
+          "can never process them");
+    }
+    if (ph.has_dna2() && !ph.has_dna()) {
+      add(LintCode::kBadDnaModel, pi,
+          "dna2_shapes set without a primary dna_shapes model");
+    }
+    if (ph.has_dna()) {
+      check_chain(pi, "dna_shapes", ph.dna_shapes, ph.dna_out_words);
+    }
+    if (ph.has_dna2()) {
+      check_chain(pi, "dna2_shapes", ph.dna2_shapes, ph.dna2_out_words);
+    }
+    if (ph.weight_bytes > 0 && !ph.has_dna()) {
+      add(LintCode::kWeightsWithoutDna, pi,
+          "weight_bytes > 0 but the phase has no DNA model to consume "
+          "them");
+    }
+  }
+
+  void check_chain(int pi, const char* field,
+                   const std::vector<dataflow::MatmulShape>& chain,
+                   std::uint32_t out_words) {
+    for (std::size_t s = 0; s < chain.size(); ++s) {
+      const auto& sh = chain[s];
+      if (sh.m == 0 || sh.k == 0 || sh.n == 0) {
+        add(LintCode::kBadDnaModel, pi,
+            std::string(field) + "[" + std::to_string(s) +
+                "] has a zero dimension (" + shape_str(sh) + ")");
+        return;
+      }
+    }
+    // Stage i+1 consumes stage i's output either directly (k chaining) or
+    // as a generated k x n weight matrix (hypernetwork chaining, e.g.
+    // MPNN's edge network emitting the d x d message matrix).
+    for (std::size_t s = 1; s < chain.size(); ++s) {
+      const auto& prev = chain[s - 1];
+      const auto& sh = chain[s];
+      const std::uint64_t prev_out = prev.m * prev.n;
+      const bool input_chain = sh.k == prev.n;
+      const bool weight_chain = sh.k * sh.n == prev_out;
+      if (!input_chain && !weight_chain) {
+        add(LintCode::kBadDnaModel, pi,
+            std::string(field) + "[" + std::to_string(s) + "] (" +
+                shape_str(sh) + ") consumes neither the output width (" +
+                std::to_string(prev.n) + ") nor the full output (" +
+                std::to_string(prev_out) + " words) of stage " +
+                std::to_string(s - 1) + " (" + shape_str(prev) + ")");
+      }
+    }
+    const std::uint64_t last_out = chain.back().m * chain.back().n;
+    if (out_words == 0 || out_words > last_out) {
+      add(LintCode::kBadDnaModel, pi,
+          std::string(field) + " out_words (" + std::to_string(out_words) +
+              ") must be in [1, " + std::to_string(last_out) +
+              "] (the final stage's output)");
+    }
+  }
+
+  static std::string shape_str(const dataflow::MatmulShape& s) {
+    return std::to_string(s.m) + "x" + std::to_string(s.k) + "x" +
+           std::to_string(s.n);
+  }
+
+  // GV004: region ids, widths, indexed extents, width consistency.
+  void check_buffers(int pi, const PhaseSpec& ph) {
+    const std::uint64_t n_vertices = prog_.total_vertices();
+    const std::uint64_t n_graphs = prog_.dataset->graphs.size();
+    std::uint64_t n_sym_edges = 0;
+    for (const auto& g : prog_.dataset->undirected)
+      n_sym_edges += g.num_edges();
+
+    const bool reads_gather = ph.kind != PhaseKind::kProject;
+    if (reads_gather) {
+      check_buffer_extent(pi, "gather", ph.gather, n_vertices);
+    }
+    for (std::size_t bi = 0; bi < ph.extra_inputs.size(); ++bi) {
+      check_buffer_extent(
+          pi, "extra_inputs[" + std::to_string(bi) + "]",
+          ph.extra_inputs[bi],
+          ph.extra_inputs_per_edge ? n_sym_edges : n_vertices);
+    }
+    check_buffer_extent(pi, "output", ph.output,
+                        ph.per_graph ? n_graphs : n_vertices);
+
+    // The width each completed work item actually produces must match the
+    // output buffer's stride, else every vertex after the first lands at
+    // the wrong address.
+    std::uint32_t produced = ph.agg_width_words;
+    if (ph.has_dna2()) {
+      produced = ph.dna2_out_words;
+    } else if (ph.has_dna()) {
+      produced = ph.dna_out_words;
+    }
+    if (produced != ph.output.width_words) {
+      add(LintCode::kBadBufferRef, pi,
+          "output width (" + std::to_string(ph.output.width_words) +
+              " words) != produced width (" + std::to_string(produced) +
+              " words)");
+    }
+    // Contribution accounting is in units of the vectors that arrive:
+    // gather phases count gather-width vectors into agg-width entries,
+    // edge phases count DNA results into agg-width entries. A mismatch
+    // miscounts expected words, so the entry completes early or never.
+    if (ph.kind == PhaseKind::kGatherAggregate && ph.has_agg() &&
+        ph.gather.width_words != ph.agg_width_words) {
+      add(LintCode::kBadBufferRef, pi,
+          "gather width (" + std::to_string(ph.gather.width_words) +
+              " words) != agg_width_words (" +
+              std::to_string(ph.agg_width_words) +
+              "): AGG word accounting would never complete");
+    }
+    if (ph.kind == PhaseKind::kEdgeDnaAggregate && ph.has_agg() &&
+        ph.has_dna() && ph.dna_out_words != ph.agg_width_words) {
+      add(LintCode::kBadBufferRef, pi,
+          "dna_out_words (" + std::to_string(ph.dna_out_words) +
+              ") != agg_width_words (" + std::to_string(ph.agg_width_words) +
+              "): each DNA result must be one aggregation vector");
+    }
+    if (ph.weight_bytes > 0) {
+      if (ph.weight_region >= prog_.memmap.num_regions()) {
+        add(LintCode::kBadBufferRef, pi,
+            "weight_region id " + std::to_string(ph.weight_region) +
+                " out of range");
+      } else if (prog_.memmap.region(ph.weight_region).bytes <
+                 ph.weight_bytes) {
+        add(LintCode::kBadBufferRef, pi,
+            "weight region '" + prog_.memmap.region(ph.weight_region).name +
+                "' (" +
+                std::to_string(prog_.memmap.region(ph.weight_region).bytes) +
+                "B) smaller than weight_bytes (" +
+                std::to_string(ph.weight_bytes) + "B)");
+      }
+    }
+  }
+
+  void check_buffer_extent(int pi, const std::string& what,
+                           const BufferRef& b, std::uint64_t count) {
+    if (b.region >= prog_.memmap.num_regions()) {
+      add(LintCode::kBadBufferRef, pi,
+          what + " region id " + std::to_string(b.region) + " out of range");
+      return;
+    }
+    if (b.width_words == 0) {
+      add(LintCode::kBadBufferRef, pi, what + " has zero width");
+      return;
+    }
+    const Region& r = prog_.memmap.region(b.region);
+    const std::uint64_t need = count * b.width_words * kWordBytes;
+    if (r.bytes < need) {
+      add(LintCode::kBadBufferRef, pi,
+          what + " region '" + r.name + "' (" + std::to_string(r.bytes) +
+              "B) too small for " + std::to_string(count) + " x " +
+              std::to_string(b.width_words) + " words (" +
+              std::to_string(need) + "B)");
+    }
+  }
+
+  // GV006/GV104: expected_contribs vs an independent walk-tree count.
+  void check_contribs(int pi, const PhaseSpec& ph) {
+    if (ph.walk_len <= 1) {
+      if (ph.expected_contribs.empty()) return;
+      // A 1-hop phase ignores expected_contribs (the runtime counts direct
+      // degrees), so redundant-but-correct counts are harmless — PGNN's
+      // first A^1 hop ships them. Warn only when they disagree with what
+      // the runtime will actually expect.
+      if (!contribs_match_degrees(ph)) {
+        add(LintCode::kUnusedExpectedContribs, pi,
+            "expected_contribs supplied but walk_len == 1: the runtime "
+            "uses direct degrees, which disagree with the supplied "
+            "counts");
+      }
+      return;
+    }
+    if (ph.kind != PhaseKind::kGatherAggregate) return;  // GV009 covers it
+    const std::uint64_t n_vertices = prog_.total_vertices();
+    if (ph.expected_contribs.size() != n_vertices) {
+      add(LintCode::kBadExpectedContribs, pi,
+          "expected_contribs has " +
+              std::to_string(ph.expected_contribs.size()) +
+              " entries for " + std::to_string(n_vertices) + " vertices");
+      return;
+    }
+    const auto truth = recompute_walk_counts(*prog_.dataset, ph.walk_len);
+    if (!truth.has_value()) {
+      add(LintCode::kBadExpectedContribs, pi,
+          "walk tree of length " + std::to_string(ph.walk_len) +
+              " too large to enumerate");
+      return;
+    }
+    for (std::uint64_t v = 0; v < n_vertices; ++v) {
+      if (ph.expected_contribs[v] != (*truth)[v]) {
+        add(LintCode::kBadExpectedContribs, pi,
+            "expected_contribs[" + std::to_string(v) + "] = " +
+                std::to_string(ph.expected_contribs[v]) +
+                " but the walk tree has " + std::to_string((*truth)[v]) +
+                " walks of length " + std::to_string(ph.walk_len));
+        return;  // first mismatch is enough
+      }
+    }
+  }
+
+  [[nodiscard]] bool contribs_match_degrees(const PhaseSpec& ph) const {
+    const std::uint64_t self = ph.include_self ? 1 : 0;
+    std::uint64_t v = 0;
+    for (const auto& g : prog_.dataset->undirected) {
+      for (NodeId lv = 0; lv < g.num_nodes(); ++lv, ++v) {
+        if (v >= ph.expected_contribs.size() ||
+            ph.expected_contribs[v] != g.out_degree(lv) + self) {
+          return false;
+        }
+      }
+    }
+    return v == ph.expected_contribs.size();
+  }
+
+  // ---- GV008/GV103/GV106: cross-phase def-use dataflow ----
+  void check_dataflow() {
+    const std::size_t n = prog_.memmap.num_regions();
+    std::vector<bool> written(n, false);
+    for (RegionId id = 0; id < n; ++id) {
+      written[id] = prog_.memmap.region(id).preloaded;
+    }
+    // last_read[r] = last phase index that reads region r (-1 = never).
+    std::vector<int> last_read(n, -1);
+    for (std::size_t i = 0; i < prog_.phases.size(); ++i) {
+      const PhaseSpec& ph = prog_.phases[i];
+      for (const auto& b : reads_of(ph)) {
+        if (b >= n) continue;  // GV004 already reported
+        last_read[b] = static_cast<int>(i);
+        if (!written[b]) {
+          add(LintCode::kReadBeforeWrite, static_cast<int>(i),
+              "reads region '" + prog_.memmap.region(b).name +
+                  "' before any phase writes it");
+        }
+      }
+      if (ph.output.region < n) {
+        if (prog_.memmap.region(ph.output.region).preloaded) {
+          add(LintCode::kOutputClobbersPreload, static_cast<int>(i),
+              "output overwrites preloaded region '" +
+                  prog_.memmap.region(ph.output.region).name + "'");
+        }
+        written[ph.output.region] = true;
+      }
+    }
+    // Dead stores: an output no later phase reads, unless it is the final
+    // phase's (the program result).
+    for (std::size_t i = 0; i + 1 < prog_.phases.size(); ++i) {
+      const RegionId out = prog_.phases[i].output.region;
+      if (out >= n) continue;
+      if (last_read[out] <= static_cast<int>(i)) {
+        add(LintCode::kDeadStore, static_cast<int>(i),
+            "output region '" + prog_.memmap.region(out).name +
+                "' is never read by a later phase");
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<RegionId> reads_of(const PhaseSpec& ph) const {
+    std::vector<RegionId> r;
+    if (ph.kind != PhaseKind::kProject) r.push_back(ph.gather.region);
+    for (const auto& b : ph.extra_inputs) r.push_back(b.region);
+    return r;
+  }
+
+  static std::string to_hex(std::uint64_t v) {
+    std::ostringstream os;
+    os << std::hex << v;
+    return os.str();
+  }
+
+  const CompiledProgram& prog_;
+  const TileParams& params_;
+  VerifyReport report_;
+  bool split_valid_ = true;
+};
+
+}  // namespace
+
+VerifyReport verify_program(const CompiledProgram& prog,
+                            const TileParams& params) {
+  return Linter(prog, params).run();
+}
+
+std::size_t VerifyReport::num_errors() const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [](const VerifyDiagnostic& d) {
+                      return d.severity == Severity::kError;
+                    }));
+}
+
+std::size_t VerifyReport::num_warnings() const {
+  return diagnostics.size() - num_errors();
+}
+
+bool VerifyReport::has(LintCode code) const {
+  return std::any_of(
+      diagnostics.begin(), diagnostics.end(),
+      [code](const VerifyDiagnostic& d) { return d.code == code; });
+}
+
+void VerifyReport::print(std::ostream& os) const {
+  os << "verify: " << program_name << ": " << num_errors() << " error(s), "
+     << num_warnings() << " warning(s)\n";
+  for (const auto& d : diagnostics) {
+    os << "  " << lint_code_name(d.code) << ' '
+       << (d.severity == Severity::kError ? "error" : "warning");
+    if (d.phase >= 0) {
+      os << " phase " << d.phase << " (" << d.phase_name << ")";
+    }
+    os << ": " << d.message << '\n';
+  }
+}
+
+std::string VerifyReport::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+ProgramVerifyError::ProgramVerifyError(VerifyReport report)
+    : std::runtime_error(report.to_string()), report_(std::move(report)) {}
+
+VerifyReport verify_or_throw(const CompiledProgram& prog,
+                             const TileParams& params) {
+  VerifyReport report = verify_program(prog, params);
+  if (!report.ok()) throw ProgramVerifyError(std::move(report));
+  return report;
+}
+
+namespace {
+
+constexpr LintCodeInfo kLintTable[] = {
+    {LintCode::kDnqEntryTooLarge, Severity::kError, "GV001",
+     "DNQ entry can never fit its virtual queue (guaranteed deadlock)"},
+    {LintCode::kAggEntryTooLarge, Severity::kError, "GV002",
+     "AGG entry exceeds the data scratchpad (guaranteed deadlock)"},
+    {LintCode::kNonAssociativeAggOp, Severity::kError, "GV003",
+     "non-associative AGG reduce op"},
+    {LintCode::kBadBufferRef, Severity::kError, "GV004",
+     "bad buffer reference (region id, width, extent, or stride mismatch)"},
+    {LintCode::kBadDnaModel, Severity::kError, "GV005",
+     "bad DNA model (matmul chain, out_words, or missing model)"},
+    {LintCode::kBadExpectedContribs, Severity::kError, "GV006",
+     "expected_contribs inconsistent with the walk tree"},
+    {LintCode::kBadMemoryMap, Severity::kError, "GV007",
+     "malformed MemoryMap (overlap, misalignment, overflow)"},
+    {LintCode::kReadBeforeWrite, Severity::kError, "GV008",
+     "buffer read before any phase writes it"},
+    {LintCode::kIllegalPhaseCombo, Severity::kError, "GV009",
+     "illegal phase-field combination"},
+    {LintCode::kBadTileParams, Severity::kError, "GV010",
+     "unusable TileParams (zero resources or bad queue split)"},
+    {LintCode::kAggLowConcurrency, Severity::kWarning, "GV101",
+     "AGG scratchpad admits < 2 concurrent aggregations"},
+    {LintCode::kDnqLowConcurrency, Severity::kWarning, "GV102",
+     "DNQ virtual queue admits < 2 concurrent entries"},
+    {LintCode::kDeadStore, Severity::kWarning, "GV103",
+     "phase output never read and not the program result"},
+    {LintCode::kUnusedExpectedContribs, Severity::kWarning, "GV104",
+     "expected_contribs supplied but unused (walk_len == 1)"},
+    {LintCode::kWeightsWithoutDna, Severity::kWarning, "GV105",
+     "weight_bytes > 0 on a phase with no DNA model"},
+    {LintCode::kOutputClobbersPreload, Severity::kWarning, "GV106",
+     "phase output overwrites a preloaded region"},
+};
+
+}  // namespace
+
+const char* lint_code_name(LintCode code) {
+  for (const auto& e : kLintTable) {
+    if (e.code == code) return e.name;
+  }
+  return "GV???";
+}
+
+const char* lint_code_summary(LintCode code) {
+  for (const auto& e : kLintTable) {
+    if (e.code == code) return e.summary;
+  }
+  return "unknown lint code";
+}
+
+std::vector<LintCodeInfo> lint_code_table() {
+  return {std::begin(kLintTable), std::end(kLintTable)};
+}
+
+}  // namespace gnna::accel

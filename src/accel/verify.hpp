@@ -1,0 +1,130 @@
+// Static program verification (accel::verify).
+//
+// A compiled program (PhaseSpec sequence + MemoryMap) can violate hard
+// hardware invariants — 62kB DNQ/AGG scratchpads, associative-only AGG
+// reductions, valid allocation-time destinations — and until now those
+// violations surfaced as mid-simulation deadlocks (caught, at best, by the
+// watchdog) or silently wrong timing. verify_program() runs a static
+// analysis pass over the program *before* the timing model and emits
+// structured diagnostics with stable lint codes, severity, and
+// phase/buffer provenance, so the watchdog's deadlock dumps become a last
+// resort instead of the first line of defense.
+//
+// Lint codes are stable identifiers (GV0xx = error, GV1xx = warning):
+//
+//   GV001  DNQ entry can never fit its virtual queue (guaranteed deadlock)
+//   GV002  AGG entry exceeds the data scratchpad (guaranteed deadlock)
+//   GV003  non-associative AGG reduce op
+//   GV004  bad buffer reference (bad region id, zero width, region too
+//          small for its indexed extent, producer/consumer width mismatch)
+//   GV005  bad DNA model (incompatible matmul chain, zero dimensions,
+//          inconsistent out_words, missing/misplaced model)
+//   GV006  expected_contribs inconsistent with the walk tree
+//   GV007  malformed MemoryMap (overlap, misalignment, overflow)
+//   GV008  buffer read before any phase writes it
+//   GV009  illegal phase-field combination
+//   GV010  unusable TileParams (zero ALUs/threads/scratchpads, bad split)
+//   GV101  AGG scratchpad admits < 2 concurrent entries (serialized aggs)
+//   GV102  DNQ virtual queue admits < 2 concurrent entries
+//   GV103  dead store: phase output never read and not the program result
+//   GV104  expected_contribs supplied but unused (walk_len == 1)
+//   GV105  weight_bytes > 0 on a phase with no DNA model
+//   GV106  phase output overwrites a preloaded region
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "accel/config.hpp"
+#include "accel/program.hpp"
+
+namespace gnna::accel {
+
+enum class LintCode : std::uint16_t {
+  // Errors: the program cannot execute correctly on the modeled hardware.
+  kDnqEntryTooLarge = 1,
+  kAggEntryTooLarge = 2,
+  kNonAssociativeAggOp = 3,
+  kBadBufferRef = 4,
+  kBadDnaModel = 5,
+  kBadExpectedContribs = 6,
+  kBadMemoryMap = 7,
+  kReadBeforeWrite = 8,
+  kIllegalPhaseCombo = 9,
+  kBadTileParams = 10,
+  // Warnings: legal but probably not what the author intended.
+  kAggLowConcurrency = 101,
+  kDnqLowConcurrency = 102,
+  kDeadStore = 103,
+  kUnusedExpectedContribs = 104,
+  kWeightsWithoutDna = 105,
+  kOutputClobbersPreload = 106,
+};
+
+enum class Severity : std::uint8_t { kWarning, kError };
+
+/// "GV001", "GV102", ... — the stable identifier printed in diagnostics.
+[[nodiscard]] const char* lint_code_name(LintCode code);
+/// One-line description of what the code means (for --list-codes).
+[[nodiscard]] const char* lint_code_summary(LintCode code);
+[[nodiscard]] constexpr Severity lint_code_severity(LintCode code) {
+  return static_cast<std::uint16_t>(code) >= 100 ? Severity::kWarning
+                                                 : Severity::kError;
+}
+
+struct VerifyDiagnostic {
+  LintCode code = LintCode::kBadMemoryMap;
+  Severity severity = Severity::kError;
+  int phase = -1;          // phase index, or -1 for whole-program findings
+  std::string phase_name;  // empty for whole-program findings
+  std::string message;
+};
+
+struct VerifyReport {
+  std::string program_name;
+  std::vector<VerifyDiagnostic> diagnostics;
+
+  [[nodiscard]] std::size_t num_errors() const;
+  [[nodiscard]] std::size_t num_warnings() const;
+  [[nodiscard]] bool ok() const { return num_errors() == 0; }
+  [[nodiscard]] bool has(LintCode code) const;
+
+  /// "GV001 error phase 2 (gcn.att): ..." — one line per diagnostic plus a
+  /// summary header.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Run every check against `prog` under tile parameters `params`. Never
+/// throws on program defects — they all land in the report.
+[[nodiscard]] VerifyReport verify_program(const CompiledProgram& prog,
+                                          const TileParams& params);
+
+/// Thrown by verify_or_throw; carries the full report.
+class ProgramVerifyError : public std::runtime_error {
+ public:
+  explicit ProgramVerifyError(VerifyReport report);
+  [[nodiscard]] const VerifyReport& report() const { return report_; }
+
+ private:
+  VerifyReport report_;
+};
+
+/// verify_program + throw ProgramVerifyError if any *error* diagnostics
+/// were produced (warnings never throw). Returns the report otherwise.
+VerifyReport verify_or_throw(const CompiledProgram& prog,
+                             const TileParams& params);
+
+/// The full lint-code catalog, for `gnnaverify --list-codes` and docs.
+struct LintCodeInfo {
+  LintCode code;
+  Severity severity;
+  const char* name;
+  const char* summary;
+};
+[[nodiscard]] std::vector<LintCodeInfo> lint_code_table();
+
+}  // namespace gnna::accel

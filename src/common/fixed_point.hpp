@@ -79,17 +79,29 @@ class Fixed32 {
   std::int32_t raw_ = 0;
 };
 
-/// Associative reduction operators supported by the AGG ALU bank.
+/// Reduction operators a model may request for its aggregation stage.
+/// The AGG hardware executes only the associative ones ("the AGG only
+/// supports aggregation operations that are associative"); kMean is a
+/// streaming mean, which needs a running element count and is therefore
+/// NOT order-independent on the 16-ALU bank — the static verifier
+/// (accel::verify, GV003) rejects programs that ask for it.
 enum class ReduceOp : std::uint8_t {
   kSum,
   kMax,
   kMin,
+  kMean,
 };
+
+/// Whether the AGG ALU bank can execute `op` in arrival order.
+[[nodiscard]] constexpr bool is_associative(ReduceOp op) {
+  return op == ReduceOp::kSum || op == ReduceOp::kMax || op == ReduceOp::kMin;
+}
 
 [[nodiscard]] constexpr Fixed32 apply_reduce(ReduceOp op, Fixed32 a,
                                              Fixed32 b) {
   switch (op) {
     case ReduceOp::kSum:
+    case ReduceOp::kMean:  // accumulate; the divide would need a count
       return a + b;
     case ReduceOp::kMax:
       return b > a ? b : a;
@@ -103,6 +115,7 @@ enum class ReduceOp : std::uint8_t {
 [[nodiscard]] constexpr Fixed32 reduce_identity(ReduceOp op) {
   switch (op) {
     case ReduceOp::kSum:
+    case ReduceOp::kMean:
       return Fixed32{};
     case ReduceOp::kMax:
       return Fixed32::min_value();

@@ -139,6 +139,14 @@ std::vector<RunRequest> parse_batch_manifest(std::istream& in,
         const auto s = parse_u64(value);
         if (!s) fail(source, lineno, "seed must be a number, got '" + value + "'");
         req.seed = *s;
+      } else if (key == "verify") {
+        if (value == "1") {
+          req.verify = true;
+        } else if (value == "0") {
+          req.verify = false;
+        } else {
+          fail(source, lineno, "verify must be 0 or 1, got '" + value + "'");
+        }
       } else if (key == "repeat") {
         const auto r = parse_u64(value);
         if (!r || *r == 0 || *r > 100000) {

@@ -4,7 +4,7 @@
 // whitespace-separated `key=value` tokens:
 //
 //   benchmark=GCN/Cora config=gpu-iso-bw clock=1.2 threads=32
-//   benchmark=GAT/Cora partition=block seed=7 repeat=4
+//   benchmark=GAT/Cora partition=block seed=7 repeat=4 verify=0
 //
 // `benchmark` is required; every other key defaults to the CLI-level
 // default passed in (so `gnnasim --batch runs.txt --config gpu-iso-bw`

@@ -68,6 +68,7 @@ accel::RunStats Session::run(const RunRequest& req) {
 
   accel::AcceleratorSim sim(std::move(cfg), req.partition);
   if (req.watchdog_cycles) sim.set_watchdog_cycles(*req.watchdog_cycles);
+  sim.set_verify(req.verify);
   sim.set_trace(req.trace);
 
   accel::RunStats rs = sim.run(*r.program);

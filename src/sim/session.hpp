@@ -56,6 +56,9 @@ struct RunRequest {
   /// Dataset seed (benchmark form only; explicit datasets carry their own).
   std::uint64_t seed = 2020;
   std::optional<Cycle> watchdog_cycles;
+  /// Static program verification (accel::verify) before simulating; the
+  /// run throws accel::ProgramVerifyError on lint errors. On by default.
+  bool verify = true;
   /// Per-run observability. Under a parallel BatchRunner each run should
   /// get its own sink/stream, or share a thread-safe sink (ChromeTraceSink
   /// is internally locked); plain ostream sample_out must not be shared.

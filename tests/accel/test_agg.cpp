@@ -5,6 +5,7 @@
 #include <numeric>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "common/rng.hpp"
@@ -265,6 +266,33 @@ TEST(Agg, DumpStateNamesRemainingWordsAndDestination) {
   rig.agg->dump_state(os2);
   EXPECT_NE(os2.str().find("-> mem addr=0xff00"), std::string::npos);
   EXPECT_NE(os2.str().find("op=sum"), std::string::npos);
+}
+
+// Malformed allocations are program bugs, not back-pressure: they must
+// throw instead of returning nullopt (the GPE retries nullopt forever).
+TEST(Agg, ZeroWidthAllocationThrows) {
+  Rig rig;
+  EXPECT_THROW((void)rig.agg->allocate(0, 4, ReduceOp::kSum, rig.to_sink()),
+               std::invalid_argument);
+}
+
+TEST(Agg, NonAssociativeReduceOpThrows) {
+  Rig rig;
+  EXPECT_THROW((void)rig.agg->allocate(4, 4, ReduceOp::kMean, rig.to_sink()),
+               std::invalid_argument);
+}
+
+TEST(Agg, UnitDestWithInvalidEndpointThrows) {
+  Rig rig;
+  Dest d = rig.to_sink();
+  d.ep = kInvalidEndpoint;
+  EXPECT_THROW((void)rig.agg->allocate(4, 4, ReduceOp::kSum, d),
+               std::invalid_argument);
+  // Memory destinations are named by address, not endpoint: fine.
+  Dest mem;
+  mem.kind = Dest::Kind::kMemWrite;
+  mem.addr = 0x100;
+  EXPECT_TRUE(rig.agg->allocate(4, 4, ReduceOp::kSum, mem).has_value());
 }
 
 }  // namespace

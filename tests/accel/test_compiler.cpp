@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
+#include <string>
 
 #include "gnn/model.hpp"
 #include "graph/dataset.hpp"
@@ -138,6 +140,32 @@ TEST(Compiler, InputWidthMismatchThrows) {
                std::invalid_argument);
 }
 
+TEST(Compiler, InputWidthMismatchNamesTheLayer) {
+  const auto ds = tiny_dataset(6);
+  try {
+    (void)ProgramCompiler{}.compile(gnn::make_gcn(7, 3), ds);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("input width mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find("gc1"), std::string::npos) << what;
+  }
+}
+
+TEST(Compiler, MidChainWidthMismatchNamesTheLayer) {
+  // First layer fits the dataset; the hand-edited second layer doesn't.
+  const auto ds = tiny_dataset(6);
+  auto model = gnn::make_gcn(6, 3, 4);
+  model.layers[1].in_features = 5;  // layer 0 produces 4
+  try {
+    (void)ProgramCompiler{}.compile(model, ds);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("gc2"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(Compiler, GraphOfResolvesMultiGraphDatasets) {
   Rng rng(5);
   graph::Dataset ds;
@@ -167,6 +195,24 @@ TEST(Compiler, WalkExplosionGuard) {
   ds.edge_features.emplace_back();
   EXPECT_THROW(ProgramCompiler{}.compile(gnn::make_pgnn(1, 2, 4, 3), ds),
                std::invalid_argument);
+}
+
+TEST(Compiler, WalkExplosionGuardReportsTheWalkCount) {
+  Rng rng(6);
+  graph::Dataset ds;
+  ds.spec = {"dense", 1, 200, 19900, 1, 0, 2};
+  ds.graphs.push_back(graph::generate_random_graph(rng, 200, 19900));
+  ds.undirected.push_back(ds.graphs[0].symmetrized());
+  ds.node_features.emplace_back(200, 0.0F);
+  ds.edge_features.emplace_back();
+  try {
+    (void)ProgramCompiler{}.compile(gnn::make_pgnn(1, 2, 4, 3), ds);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("walk tree too large"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace

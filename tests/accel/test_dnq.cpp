@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace gnna::accel {
 namespace {
 
@@ -178,6 +180,41 @@ TEST(Dnq, LiveEntriesTracksOutstanding) {
   q.on_message(fill(*h1, 4));
   (void)q.try_dequeue(0);
   EXPECT_EQ(q.live_entries(), 1U);
+}
+
+// Malformed requests and splits are program/config bugs: they throw
+// explicitly instead of surfacing as nullopt back-pressure or a deadlock.
+TEST(Dnq, SplitSixteenthsOutOfRangeThrows) {
+  TileParams params;
+  params.dnq_queue0_sixteenths = 17;
+  EXPECT_THROW((void)Dnq::queue0_split_bytes(params), std::invalid_argument);
+  EXPECT_THROW(Dnq{params}, std::invalid_argument);
+}
+
+TEST(Dnq, ConfigureOverfullSplitThrows) {
+  Dnq q{TileParams{}};
+  const TileParams params;
+  EXPECT_THROW(q.configure(params.dnq_data_bytes, 1), std::invalid_argument);
+}
+
+TEST(Dnq, ConfigureNonEmptyQueueThrows) {
+  Dnq q{TileParams{}};
+  (void)q.allocate(0, 1, mem_dest(0));
+  EXPECT_THROW(q.configure(64, 64), std::logic_error);
+}
+
+TEST(Dnq, AllocateBadQueueOrWidthThrows) {
+  Dnq q{TileParams{}};
+  EXPECT_THROW((void)q.allocate(2, 4, mem_dest(0)), std::invalid_argument);
+  EXPECT_THROW((void)q.allocate(0, 0, mem_dest(0)), std::invalid_argument);
+}
+
+TEST(Dnq, AllocateUnitDestWithInvalidEndpointThrows) {
+  Dnq q{TileParams{}};
+  Dest d;
+  d.kind = Dest::Kind::kAggEntry;
+  d.ep = kInvalidEndpoint;
+  EXPECT_THROW((void)q.allocate(0, 4, d), std::invalid_argument);
 }
 
 }  // namespace

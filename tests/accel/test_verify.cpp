@@ -1,0 +1,396 @@
+// Static program verifier (accel::verify): every lint code must fire on a
+// hand-crafted bad program, and every shipped model family must verify
+// completely clean (zero errors AND zero warnings).
+#include "accel/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "accel/compiler.hpp"
+#include "gnn/model.hpp"
+#include "graph/dataset.hpp"
+#include "graph/generator.hpp"
+#include "sim/session.hpp"
+
+namespace gnna::accel {
+namespace {
+
+graph::Dataset tiny_dataset(std::uint32_t vf = 6, std::uint32_t ef = 0) {
+  Rng rng(3);
+  graph::Dataset ds;
+  ds.spec = {"tiny", 1, 20, 40, vf, ef, 3};
+  ds.graphs.push_back(graph::generate_random_graph(rng, 20, 40));
+  ds.undirected.push_back(ds.graphs[0].symmetrized());
+  ds.node_features.emplace_back(std::size_t{20} * vf, 0.5F);
+  ds.edge_features.emplace_back(std::size_t{40} * ef, 0.5F);
+  return ds;
+}
+
+/// Keeps the dataset alive alongside the program that references it (the
+/// dataset lives on the heap so moving Compiled doesn't invalidate the
+/// program's non-owning dataset pointer).
+struct Compiled {
+  std::unique_ptr<graph::Dataset> ds;
+  CompiledProgram prog;
+};
+
+Compiled compile(const gnn::ModelSpec& model, graph::Dataset ds) {
+  Compiled c;
+  c.ds = std::make_unique<graph::Dataset>(std::move(ds));
+  c.prog = ProgramCompiler{}.compile(model, *c.ds);
+  return c;
+}
+
+Compiled gcn() { return compile(gnn::make_gcn(6, 3, 4), tiny_dataset()); }
+
+// ---- clean programs ----
+
+TEST(Verify, CleanModelFamiliesProduceNoDiagnostics) {
+  const TileParams params;
+  const auto check = [&](const Compiled& c) {
+    const VerifyReport r = verify_program(c.prog, params);
+    EXPECT_TRUE(r.ok()) << r.to_string();
+    EXPECT_TRUE(r.diagnostics.empty()) << r.to_string();
+  };
+  check(gcn());
+  check(compile(gnn::make_gat(6, 3, 2, 4), tiny_dataset()));
+  check(compile(gnn::make_mpnn(6, 5, 3, 8, 2), tiny_dataset(6, 5)));
+  check(compile(gnn::make_pgnn(1, 3, 4, 3, 2), tiny_dataset(1)));
+}
+
+TEST(Verify, AllShippedBenchmarksVerifyClean) {
+  sim::Session& session = sim::Session::global();
+  for (const gnn::Benchmark b : gnn::kAllBenchmarks) {
+    sim::RunRequest req;
+    req.benchmark = b;
+    const auto resolved = session.resolve(req);
+    const VerifyReport r =
+        verify_program(*resolved.program, req.config.tile_params);
+    EXPECT_TRUE(r.diagnostics.empty())
+        << gnn::benchmark_name(b) << ":\n" << r.to_string();
+  }
+}
+
+// ---- GV001: oversized DNQ entry ----
+
+TEST(Verify, OversizedDnqEntryIsDeadlockError) {
+  const auto c = gcn();
+  TileParams params;
+  params.dnq_data_bytes = 16;  // phase 0 needs a 24B queue-0 entry
+  const VerifyReport r = verify_program(c.prog, params);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.has(LintCode::kDnqEntryTooLarge)) << r.to_string();
+}
+
+TEST(Verify, OversizedQueue1EntryIsDeadlockError) {
+  // MPNN's GRU entry (agg_width + dna2_gpe_words = 16 words = 64B) must
+  // fit virtual queue 1, which only gets half the scratchpad.
+  auto c = compile(gnn::make_mpnn(6, 5, 3, 8, 2), tiny_dataset(6, 5));
+  TileParams params;
+  params.dnq_data_bytes = 160;  // q1 = 80B with the default 8/16 split
+  params.dnq_queue0_sixteenths = 15;  // q1 = 10B < 64B
+  const VerifyReport r = verify_program(c.prog, params);
+  EXPECT_TRUE(r.has(LintCode::kDnqEntryTooLarge)) << r.to_string();
+}
+
+// ---- GV002: oversized AGG entry ----
+
+TEST(Verify, OversizedAggEntryIsDeadlockError) {
+  const auto c = gcn();
+  TileParams params;
+  params.agg_data_bytes = 16;  // phase 0 aggregates 6-word (24B) vectors
+  const VerifyReport r = verify_program(c.prog, params);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.has(LintCode::kAggEntryTooLarge)) << r.to_string();
+}
+
+// ---- GV003: non-associative reduce op ----
+
+TEST(Verify, NonAssociativeAggOpIsError) {
+  auto c = gcn();
+  c.prog.phases[0].agg_op = ReduceOp::kMean;
+  const VerifyReport r = verify_program(c.prog, TileParams{});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.has(LintCode::kNonAssociativeAggOp)) << r.to_string();
+}
+
+// ---- GV004: bad buffer references ----
+
+TEST(Verify, OutOfRangeRegionIdIsError) {
+  auto c = gcn();
+  c.prog.phases[0].output.region = 999;
+  const VerifyReport r = verify_program(c.prog, TileParams{});
+  EXPECT_TRUE(r.has(LintCode::kBadBufferRef)) << r.to_string();
+}
+
+TEST(Verify, OutputWidthMismatchIsError) {
+  auto c = gcn();
+  c.prog.phases[0].output.width_words = 7;  // DNA produces 4 words
+  const VerifyReport r = verify_program(c.prog, TileParams{});
+  EXPECT_TRUE(r.has(LintCode::kBadBufferRef)) << r.to_string();
+}
+
+TEST(Verify, UndersizedRegionIsError) {
+  auto c = gcn();
+  // Point the output at a region far too small for 20 vertices x 4 words.
+  c.prog.phases[1].output.region =
+      c.prog.memmap.add_region("small", 8);
+  const VerifyReport r = verify_program(c.prog, TileParams{});
+  EXPECT_TRUE(r.has(LintCode::kBadBufferRef)) << r.to_string();
+}
+
+// ---- GV005: bad DNA models ----
+
+TEST(Verify, MismatchedMatmulChainIsError) {
+  auto c = gcn();
+  // Stage 1 consumes neither the width (4) nor the full output (4 words)
+  // of stage 0.
+  c.prog.phases[0].dna_shapes = {{1, 6, 4}, {1, 5, 7}};
+  const VerifyReport r = verify_program(c.prog, TileParams{});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.has(LintCode::kBadDnaModel)) << r.to_string();
+}
+
+TEST(Verify, HypernetworkChainIsAccepted) {
+  // MPNN-style: stage 0 emits a 2x3 weight matrix consumed as stage 1's
+  // k x n — legal even though 2 != 6.
+  auto c = gcn();
+  c.prog.phases[0].dna_shapes = {{1, 6, 6}, {1, 2, 3}};
+  c.prog.phases[0].dna_out_words = 3;
+  c.prog.phases[0].output.width_words = 3;
+  // Keep the extent valid for the narrower output.
+  const VerifyReport r = verify_program(c.prog, TileParams{});
+  EXPECT_FALSE(r.has(LintCode::kBadDnaModel)) << r.to_string();
+}
+
+TEST(Verify, OutWordsBeyondFinalStageIsError) {
+  auto c = gcn();
+  c.prog.phases[0].dna_out_words = 99;  // final stage emits 4 words
+  const VerifyReport r = verify_program(c.prog, TileParams{});
+  EXPECT_TRUE(r.has(LintCode::kBadDnaModel)) << r.to_string();
+}
+
+TEST(Verify, ProjectPhaseWithoutDnaIsError) {
+  auto c = compile(gnn::make_gat(6, 3, 2, 4), tiny_dataset());
+  ASSERT_EQ(c.prog.phases[0].kind, PhaseKind::kProject);
+  c.prog.phases[0].dna_shapes.clear();
+  const VerifyReport r = verify_program(c.prog, TileParams{});
+  EXPECT_TRUE(r.has(LintCode::kBadDnaModel)) << r.to_string();
+}
+
+// ---- GV006: expected_contribs vs the walk tree ----
+
+TEST(Verify, WrongWalkCountIsError) {
+  auto c = compile(gnn::make_pgnn(1, 3, 4, 2, 1), tiny_dataset(1));
+  ASSERT_GT(c.prog.phases[1].walk_len, 1U);
+  c.prog.phases[1].expected_contribs[0] += 1;
+  const VerifyReport r = verify_program(c.prog, TileParams{});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.has(LintCode::kBadExpectedContribs)) << r.to_string();
+}
+
+TEST(Verify, TruncatedWalkCountsAreError) {
+  auto c = compile(gnn::make_pgnn(1, 3, 4, 2, 1), tiny_dataset(1));
+  c.prog.phases[1].expected_contribs.resize(3);
+  const VerifyReport r = verify_program(c.prog, TileParams{});
+  EXPECT_TRUE(r.has(LintCode::kBadExpectedContribs)) << r.to_string();
+}
+
+// ---- GV007: malformed memory maps ----
+
+TEST(Verify, OverlappingRegionsAreError) {
+  auto c = gcn();
+  c.prog.memmap.add_region_at("overlap", c.prog.memmap.region(0).base + 64,
+                              256);
+  const VerifyReport r = verify_program(c.prog, TileParams{});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.has(LintCode::kBadMemoryMap)) << r.to_string();
+}
+
+TEST(Verify, MisalignedRegionIsError) {
+  auto c = gcn();
+  c.prog.memmap.add_region_at("odd", c.prog.memmap.total_bytes() + 4, 16);
+  const VerifyReport r = verify_program(c.prog, TileParams{});
+  EXPECT_TRUE(r.has(LintCode::kBadMemoryMap)) << r.to_string();
+}
+
+// ---- GV008: read before write ----
+
+TEST(Verify, ReadBeforeWriteIsError) {
+  auto c = gcn();
+  // Run layer 2 before layer 1: layer 2 gathers layer 1's output, which
+  // no earlier phase has written.
+  std::swap(c.prog.phases[0], c.prog.phases[1]);
+  const VerifyReport r = verify_program(c.prog, TileParams{});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.has(LintCode::kReadBeforeWrite)) << r.to_string();
+}
+
+// ---- GV009: illegal phase combinations ----
+
+TEST(Verify, AggregateKindWithoutAggWidthIsError) {
+  auto c = gcn();
+  c.prog.phases[0].agg_width_words = 0;
+  const VerifyReport r = verify_program(c.prog, TileParams{});
+  EXPECT_TRUE(r.has(LintCode::kIllegalPhaseCombo)) << r.to_string();
+}
+
+TEST(Verify, PerEdgeExtrasWithSelfContributionIsError) {
+  auto c = compile(gnn::make_mpnn(6, 5, 3, 8, 2), tiny_dataset(6, 5));
+  ASSERT_EQ(c.prog.phases[1].kind, PhaseKind::kEdgeDnaAggregate);
+  ASSERT_TRUE(c.prog.phases[1].extra_inputs_per_edge);
+  c.prog.phases[1].include_self = true;
+  const VerifyReport r = verify_program(c.prog, TileParams{});
+  EXPECT_TRUE(r.has(LintCode::kIllegalPhaseCombo)) << r.to_string();
+}
+
+// ---- GV010: unusable tile parameters ----
+
+TEST(Verify, ZeroAluTileParamsAreError) {
+  const auto c = gcn();
+  TileParams params;
+  params.agg_alus = 0;
+  const VerifyReport r = verify_program(c.prog, params);
+  EXPECT_TRUE(r.has(LintCode::kBadTileParams)) << r.to_string();
+}
+
+TEST(Verify, BadQueueSplitIsError) {
+  const auto c = gcn();
+  TileParams params;
+  params.dnq_queue0_sixteenths = 17;
+  const VerifyReport r = verify_program(c.prog, params);
+  EXPECT_TRUE(r.has(LintCode::kBadTileParams)) << r.to_string();
+}
+
+// ---- warnings ----
+
+TEST(Verify, SingleEntryAggScratchpadWarns) {
+  const auto c = gcn();
+  TileParams params;
+  params.agg_data_bytes = 44;  // one 24B entry fits, two don't
+  const VerifyReport r = verify_program(c.prog, params);
+  EXPECT_TRUE(r.ok()) << r.to_string();  // warning, not error
+  EXPECT_TRUE(r.has(LintCode::kAggLowConcurrency)) << r.to_string();
+}
+
+TEST(Verify, SingleEntryDnqQueueWarns) {
+  const auto c = gcn();
+  TileParams params;
+  params.dnq_data_bytes = 32;  // phase 0's 24B entry fits, two don't
+  const VerifyReport r = verify_program(c.prog, params);
+  EXPECT_TRUE(r.has(LintCode::kDnqLowConcurrency)) << r.to_string();
+}
+
+TEST(Verify, DeadStoreWarns) {
+  auto c = compile(gnn::make_gat(6, 3, 2, 4), tiny_dataset());
+  // Make the attention phase gather the raw input instead of the
+  // projection output: the projection's result is never read.
+  ASSERT_EQ(c.prog.phases[1].kind, PhaseKind::kEdgeDnaAggregate);
+  c.prog.phases[1].gather = BufferRef{0 /* set below */, 6};
+  // Region of the preloaded input buffer.
+  for (RegionId id = 0; id < c.prog.memmap.num_regions(); ++id) {
+    if (c.prog.memmap.region(id).name == "input") {
+      c.prog.phases[1].gather.region = id;
+    }
+  }
+  const VerifyReport r = verify_program(c.prog, TileParams{});
+  EXPECT_TRUE(r.has(LintCode::kDeadStore)) << r.to_string();
+}
+
+TEST(Verify, MismatchedUnusedContribsWarn) {
+  auto c = compile(gnn::make_pgnn(1, 3, 4, 2, 1), tiny_dataset(1));
+  ASSERT_EQ(c.prog.phases[0].walk_len, 1U);
+  ASSERT_FALSE(c.prog.phases[0].expected_contribs.empty());
+  c.prog.phases[0].expected_contribs[0] += 5;
+  const VerifyReport r = verify_program(c.prog, TileParams{});
+  EXPECT_TRUE(r.ok()) << r.to_string();
+  EXPECT_TRUE(r.has(LintCode::kUnusedExpectedContribs)) << r.to_string();
+}
+
+TEST(Verify, WeightsWithoutDnaWarn) {
+  auto c = gcn();
+  c.prog.phases[0].dna_shapes.clear();
+  c.prog.phases[0].dna_out_words = 0;
+  // agg_width (6) now lands directly in the output buffer.
+  c.prog.phases[0].output.width_words = 6;
+  const VerifyReport r = verify_program(c.prog, TileParams{});
+  EXPECT_TRUE(r.has(LintCode::kWeightsWithoutDna)) << r.to_string();
+}
+
+TEST(Verify, OutputClobberingPreloadWarns) {
+  auto c = gcn();
+  for (RegionId id = 0; id < c.prog.memmap.num_regions(); ++id) {
+    if (c.prog.memmap.region(id).name == "input") {
+      c.prog.phases[0].output.region = id;
+    }
+  }
+  const VerifyReport r = verify_program(c.prog, TileParams{});
+  EXPECT_TRUE(r.has(LintCode::kOutputClobbersPreload)) << r.to_string();
+}
+
+// ---- report plumbing ----
+
+TEST(Verify, VerifyOrThrowCarriesTheReport) {
+  auto c = gcn();
+  c.prog.phases[0].agg_op = ReduceOp::kMean;
+  try {
+    (void)verify_or_throw(c.prog, TileParams{});
+    FAIL() << "expected ProgramVerifyError";
+  } catch (const ProgramVerifyError& e) {
+    EXPECT_TRUE(e.report().has(LintCode::kNonAssociativeAggOp));
+    EXPECT_NE(std::string(e.what()).find("GV003"), std::string::npos);
+  }
+}
+
+TEST(Verify, WarningsDoNotThrow) {
+  const auto c = gcn();
+  TileParams params;
+  params.agg_data_bytes = 44;
+  const VerifyReport r = verify_or_throw(c.prog, params);
+  EXPECT_EQ(r.num_errors(), 0U);
+  EXPECT_GE(r.num_warnings(), 1U);
+}
+
+TEST(Verify, ReportPrintsCodeAndPhaseProvenance) {
+  auto c = gcn();
+  c.prog.phases[1].agg_op = ReduceOp::kMean;
+  const VerifyReport r = verify_program(c.prog, TileParams{});
+  std::ostringstream os;
+  r.print(os);
+  EXPECT_NE(os.str().find("GV003"), std::string::npos) << os.str();
+  EXPECT_NE(os.str().find("phase 1"), std::string::npos) << os.str();
+}
+
+TEST(Verify, LintCodeTableIsCompleteAndStable) {
+  const auto table = lint_code_table();
+  EXPECT_EQ(table.size(), 16U);
+  EXPECT_STREQ(lint_code_name(LintCode::kDnqEntryTooLarge), "GV001");
+  EXPECT_STREQ(lint_code_name(LintCode::kOutputClobbersPreload), "GV106");
+  for (const auto& e : table) {
+    EXPECT_EQ(e.severity, lint_code_severity(e.code));
+  }
+}
+
+// ---- MemoryMap hardening (satellite) ----
+
+TEST(MemoryMap, AddRegionGuardsAddrOverflow) {
+  MemoryMap mm;
+  (void)mm.add_region("a", 64);
+  EXPECT_THROW((void)mm.add_region("huge", ~std::uint64_t{0} - 32),
+               std::overflow_error);
+  // The failed request must not have disturbed the cursor.
+  const RegionId ok = mm.add_region("b", 64);
+  EXPECT_EQ(mm.region(ok).base, 64U);
+}
+
+TEST(MemoryMap, AddRegionAtGuardsAddrOverflow) {
+  MemoryMap mm;
+  EXPECT_THROW(
+      (void)mm.add_region_at("wrap", ~std::uint64_t{0} - 100, 200),
+      std::overflow_error);
+}
+
+}  // namespace
+}  // namespace gnna::accel

@@ -69,15 +69,19 @@ void usage(std::ostream& os) {
         "                             stderr; per-run files in --batch)\n"
         "  --watchdog <cycles>        progress watchdog threshold\n"
         "  --deadlock-report <file>   also write watchdog diagnostics here\n"
+        "  --verify / --no-verify     static program verification before\n"
+        "                             simulating (default on; lint errors\n"
+        "                             abort the run — see gnnaverify)\n"
         "  --help                     this text\n";
 }
 
 void usage_batch(std::ostream& os) {
   os << "batch manifest format: one run per line, `#' comments, tokens\n"
         "  benchmark=GCN/Cora config=gpu-iso-bw clock=1.2 threads=32 \\\n"
-        "      partition=block seed=7 repeat=4\n"
+        "      partition=block seed=7 repeat=4 verify=0\n"
         "`benchmark' is required per line; other keys default to the CLI\n"
-        "flags; `repeat=N' expands the line into N identical runs.\n";
+        "flags; `repeat=N' expands the line into N identical runs;\n"
+        "`verify=0|1' toggles static program verification per line.\n";
 }
 
 /// "t.json" -> "t.run3.json" (suffix before the extension, if any).
@@ -220,6 +224,7 @@ int main(int argc, char** argv) {
   std::string deadlock_path;
   Cycle sample_every = 0;
   std::optional<Cycle> watchdog;
+  bool verify = true;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -366,6 +371,10 @@ int main(int argc, char** argv) {
         return 2;
       }
       deadlock_path = *v;
+    } else if (arg == "--verify") {
+      verify = true;
+    } else if (arg == "--no-verify") {
+      verify = false;
     } else {
       std::cerr << "error: unknown option " << arg << "\n";
       usage(std::cerr);
@@ -389,6 +398,7 @@ int main(int argc, char** argv) {
     defaults.partition = partition;
     defaults.seed = seed;
     defaults.watchdog_cycles = watchdog;
+    defaults.verify = verify;
 
     std::vector<sim::RunRequest> requests;
     try {
@@ -500,6 +510,7 @@ int main(int argc, char** argv) {
   req.partition = partition;
   req.seed = seed;
   req.watchdog_cycles = watchdog;
+  req.verify = verify;
   req.trace.profile = profile;
 
   // Observability outputs. The streams must outlive run(); the trace

@@ -1,0 +1,202 @@
+// gnnaverify — lint compiled accelerator programs without simulating.
+//
+// Runs the accel::verify static-analysis pass (the same one `gnnasim`
+// applies before the timing model) over benchmarks or whole batch
+// manifests, printing every diagnostic with its stable lint code. Exit
+// status: 0 = clean, 1 = lint errors (or warnings under --werror),
+// 2 = usage/manifest errors.
+//
+//   gnnaverify --all                      # lint every Table VII benchmark
+//   gnnaverify --benchmark GCN/Cora       # lint one benchmark
+//   gnnaverify runs.txt sweeps.txt        # lint every manifest line
+//   gnnaverify --list-codes               # print the lint-code catalog
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "accel/verify.hpp"
+#include "sim/manifest.hpp"
+#include "sim/session.hpp"
+
+namespace {
+
+using namespace gnna;
+
+void usage(std::ostream& os) {
+  os << "usage: gnnaverify [options] [manifest...]\n"
+        "  manifest...           batch manifests (gnnasim --batch format);\n"
+        "                        every line's program is linted, none are\n"
+        "                        simulated\n"
+        "  --benchmark <name>    lint one benchmark (repeatable)\n"
+        "  --all                 lint every built-in benchmark\n"
+        "  --config <name>       cpu-iso-bw | gpu-iso-bw | gpu-iso-flops\n"
+        "                        (default cpu-iso-bw; sets the tile\n"
+        "                        parameters programs are checked against)\n"
+        "  --threads <n>         GPE software-thread override\n"
+        "  --seed <n>            dataset seed (default 2020)\n"
+        "  --werror              treat warnings as errors\n"
+        "  --quiet               print only programs with findings\n"
+        "  --list-codes          print the lint-code catalog and exit\n"
+        "  --help                this text\n";
+}
+
+void print_codes(std::ostream& os) {
+  for (const auto& e : accel::lint_code_table()) {
+    os << e.name << "  "
+       << (e.severity == accel::Severity::kError ? "error  " : "warning")
+       << "  " << e.summary << '\n';
+  }
+}
+
+/// Dedup key: two requests with the same workload and tile parameters
+/// produce the same report (repeat=N manifest lines collapse to one lint).
+std::string request_key(const sim::RunRequest& req) {
+  std::string k = req.benchmark ? gnn::benchmark_name(*req.benchmark) : "?";
+  k += "|seed=" + std::to_string(req.seed);
+  k += "|config=" + req.config.name;
+  if (req.threads) k += "|threads=" + std::to_string(*req.threads);
+  return k;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> manifests;
+  std::vector<gnn::Benchmark> benchmarks;
+  accel::AcceleratorConfig cfg = accel::AcceleratorConfig::cpu_iso_bw();
+  std::optional<std::uint32_t> threads;
+  std::uint64_t seed = 2020;
+  bool werror = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    }
+    if (arg == "--list-codes") {
+      print_codes(std::cout);
+      return 0;
+    }
+    if (arg == "--benchmark") {
+      const auto v = next();
+      const auto b = v ? sim::benchmark_by_name(*v) : std::nullopt;
+      if (!b) {
+        std::cerr << "error: --benchmark needs a known name (try gnnasim"
+                     " --list)\n";
+        return 2;
+      }
+      benchmarks.push_back(*b);
+    } else if (arg == "--all") {
+      for (const gnn::Benchmark b : gnn::kAllBenchmarks) {
+        benchmarks.push_back(b);
+      }
+    } else if (arg == "--config") {
+      const auto v = next();
+      const auto c = v ? sim::config_by_name(*v) : std::nullopt;
+      if (!c) {
+        std::cerr << "error: --config needs cpu-iso-bw | gpu-iso-bw |"
+                     " gpu-iso-flops\n";
+        return 2;
+      }
+      cfg = *c;
+    } else if (arg == "--threads") {
+      const auto v = next();
+      const auto n = v ? sim::parse_u64(*v) : std::nullopt;
+      if (!n || *n == 0 || *n > 4096) {
+        std::cerr << "error: --threads must be in [1, 4096]\n";
+        return 2;
+      }
+      threads = static_cast<std::uint32_t>(*n);
+    } else if (arg == "--seed") {
+      const auto v = next();
+      const auto n = v ? sim::parse_u64(*v) : std::nullopt;
+      if (!n) {
+        std::cerr << "error: --seed needs a number\n";
+        return 2;
+      }
+      seed = *n;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::cerr << "error: unknown option " << arg << '\n';
+      usage(std::cerr);
+      return 2;
+    } else {
+      manifests.push_back(arg);
+    }
+  }
+
+  // Collect every request to lint.
+  std::vector<sim::RunRequest> requests;
+  sim::RunRequest defaults;
+  defaults.config = cfg;
+  defaults.threads = threads;
+  defaults.seed = seed;
+  for (const std::string& path : manifests) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "error: cannot open manifest " << path << '\n';
+      return 2;
+    }
+    try {
+      auto reqs = sim::parse_batch_manifest(in, defaults, path);
+      requests.insert(requests.end(), reqs.begin(), reqs.end());
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 2;
+    }
+  }
+  for (const gnn::Benchmark b : benchmarks) {
+    sim::RunRequest req = defaults;
+    req.benchmark = b;
+    requests.push_back(req);
+  }
+  if (requests.empty()) {
+    usage(std::cerr);
+    return 2;
+  }
+
+  sim::Session& session = sim::Session::global();
+  std::set<std::string> seen;
+  std::size_t programs = 0, errors = 0, warnings = 0;
+  for (const sim::RunRequest& req : requests) {
+    if (!seen.insert(request_key(req)).second) continue;
+    sim::Session::Resolved resolved;
+    try {
+      resolved = session.resolve(req);
+    } catch (const std::exception& e) {
+      // A workload the compiler itself rejects is a lint failure too.
+      std::cerr << request_key(req) << ": compile failed: " << e.what()
+                << '\n';
+      ++programs;
+      ++errors;
+      continue;
+    }
+    accel::TileParams params = req.config.tile_params;
+    if (req.threads) params.gpe_threads = *req.threads;
+    const accel::VerifyReport report =
+        accel::verify_program(*resolved.program, params);
+    ++programs;
+    errors += report.num_errors();
+    warnings += report.num_warnings();
+    if (!quiet || !report.diagnostics.empty()) report.print(std::cout);
+  }
+
+  std::cout << "gnnaverify: " << programs << " program(s), " << errors
+            << " error(s), " << warnings << " warning(s)\n";
+  if (errors > 0) return 1;
+  if (werror && warnings > 0) return 1;
+  return 0;
+}
