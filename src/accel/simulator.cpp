@@ -1,5 +1,6 @@
 #include "accel/simulator.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -287,10 +288,39 @@ RunStats AcceleratorSim::run(const CompiledProgram& prog) {
   rs.seconds = cfg_.noc_clock.cycles_to_seconds(static_cast<double>(rs.cycles));
   rs.millis = rs.seconds * 1e3;
 
-  for (const auto& m : mems_) {
+  rs.mem_scheduler = mem::mem_scheduler_name(cfg_.mem_params.scheduler);
+  double occupancy_weight = 0.0;
+  double occupancy_sum = 0.0;
+  for (std::size_t mi = 0; mi < mems_.size(); ++mi) {
+    const auto& m = mems_[mi];
     rs.mem_bytes_requested += m->stats().bytes_requested.value();
     rs.mem_bytes_served += m->stats().bytes_served.value();
+    rs.mem_row_hits += m->row_hits();
+    rs.mem_row_misses += m->row_misses();
+    occupancy_sum += m->stats().queue_depth.sum();
+    occupancy_weight += m->stats().queue_depth.weight();
+    rs.mem_queue_occupancy_max =
+        std::max(rs.mem_queue_occupancy_max, m->stats().queue_depth.max());
+    for (std::size_t b = 0; b < m->stats().banks.size(); ++b) {
+      const mem::BankStats& bs = m->stats().banks[b];
+      RunStats::MemBankStats out;
+      out.mem = static_cast<std::uint32_t>(mi);
+      out.bank = static_cast<std::uint32_t>(b);
+      out.row_hits = bs.row_hits.value();
+      out.row_misses = bs.row_misses.value();
+      out.busy_frac = rs.cycles > 0
+                          ? bs.busy_cycles / static_cast<double>(rs.cycles)
+                          : 0.0;
+      rs.mem_banks.push_back(out);
+    }
   }
+  const std::uint64_t row_total = rs.mem_row_hits + rs.mem_row_misses;
+  rs.mem_row_hit_rate =
+      row_total > 0 ? static_cast<double>(rs.mem_row_hits) /
+                          static_cast<double>(row_total)
+                    : 0.0;
+  rs.mem_queue_occupancy =
+      occupancy_weight > 0.0 ? occupancy_sum / occupancy_weight : 0.0;
   rs.mean_bandwidth_gbps =
       rs.seconds > 0.0
           ? static_cast<double>(rs.mem_bytes_served) / rs.seconds / 1e9

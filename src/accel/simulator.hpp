@@ -60,6 +60,23 @@ struct RunStats {
   double mean_bandwidth_gbps = 0.0;   // served bytes / runtime
   double bandwidth_utilization = 0.0; // vs aggregate peak (Fig 10 left)
 
+  // Memory-controller scheduling detail. The row/bank fields are all zero
+  // (and mem_banks empty) under the default in-order scheduler.
+  std::string mem_scheduler;          // "in_order" | "frfcfs"
+  std::uint64_t mem_row_hits = 0;
+  std::uint64_t mem_row_misses = 0;
+  double mem_row_hit_rate = 0.0;      // hits / (hits + misses), in [0,1]
+  double mem_queue_occupancy = 0.0;   // time-weighted mean queue depth
+  double mem_queue_occupancy_max = 0.0;
+  struct MemBankStats {
+    std::uint32_t mem = 0;   // controller index
+    std::uint32_t bank = 0;  // bank index within that controller
+    std::uint64_t row_hits = 0;
+    std::uint64_t row_misses = 0;
+    double busy_frac = 0.0;  // bank-active cycles / total run cycles
+  };
+  std::vector<MemBankStats> mem_banks;
+
   double dna_utilization = 0.0;  // fraction of time DNA busy (Fig 10 right)
   double gpe_utilization = 0.0;
   double agg_utilization = 0.0;

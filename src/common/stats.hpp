@@ -30,26 +30,42 @@ class Counter {
 /// formula catastrophically cancels for large-magnitude samples (e.g.
 /// cycle timestamps), where (sum_sq - sum^2/n) subtracts two nearly equal
 /// huge numbers and loses every significant digit of the variance.
+///
+/// Samples may carry a weight (add_weighted): mean()/stddev()/sum() are
+/// then weight-denominated, which turns a change-sampled series into a
+/// time-weighted one when the weight is "cycles spent at this value".
+/// add(x) is exactly add_weighted(x, 1.0) — for unit weights every result
+/// is bit-identical to the unweighted accumulator.
 class Accumulator {
  public:
-  constexpr void add(double x) {
-    sum_ += x;
+  constexpr void add(double x) { add_weighted(x, 1.0); }
+
+  /// Weighted sample. A zero (or negative) weight updates only the
+  /// min/max extrema and the sample count — useful to keep max() exact
+  /// for a change-sampled series whose final value never accrues time.
+  constexpr void add_weighted(double x, double w) {
     count_ += 1;
-    const double delta = x - mean_;
-    mean_ += delta / static_cast<double>(count_);
-    m2_ += delta * (x - mean_);
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
+    if (w <= 0.0) return;
+    sum_ += x * w;
+    wsum_ += w;
+    const double delta = x - mean_;
+    mean_ += delta * w / wsum_;
+    m2_ += w * delta * (x - mean_);
   }
 
   [[nodiscard]] constexpr std::uint64_t count() const { return count_; }
+  /// Total weight observed (== count() minus zero-weight samples when all
+  /// weights are 1.0).
+  [[nodiscard]] constexpr double weight() const { return wsum_; }
   [[nodiscard]] constexpr double sum() const { return sum_; }
   [[nodiscard]] constexpr double mean() const {
-    return count_ == 0 ? 0.0 : mean_;
+    return wsum_ == 0.0 ? 0.0 : mean_;
   }
   [[nodiscard]] double stddev() const {
-    if (count_ < 2) return 0.0;
-    const double var = m2_ / (static_cast<double>(count_) - 1.0);
+    if (wsum_ < 2.0) return 0.0;
+    const double var = m2_ / (wsum_ - 1.0);
     return var > 0.0 ? std::sqrt(var) : 0.0;
   }
   [[nodiscard]] constexpr double min() const {
@@ -65,6 +81,7 @@ class Accumulator {
   double sum_ = 0.0;
   double mean_ = 0.0;
   double m2_ = 0.0;  // sum of squared deviations from the running mean
+  double wsum_ = 0.0;
   std::uint64_t count_ = 0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();

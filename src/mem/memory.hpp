@@ -16,10 +16,29 @@
 // admitted from the NoC inbox only while fewer than `queue_entries` are in
 // service, so a full queue backpressures naturally — reads behind queued
 // writes stall exactly as the paper's in-order queue implies.
+//
+// Two schedulers share that admission/backpressure contract:
+//
+//  - kInOrder (default): the paper's model verbatim. One data bus; requests
+//    are scheduled at admission time by chaining fractional-cycle bus
+//    reservations, and retire strictly FIFO.
+//  - kFrFcfs: a banked, reordering controller (DESIGN.md §11). Addresses
+//    interleave across `banks` at `bank_interleave_bytes` stride; each bank
+//    keeps one open row of `row_bytes`. A request window of
+//    `window_entries` is scheduled first-ready-FCFS: ready row-hits issue
+//    before older row-misses (at `row_hit_ns` vs `row_miss_ns`), except
+//    that a request bypassed `starvation_cap` times is served next
+//    regardless. Responses may return out of request order; consumers
+//    match on the opaque tag `c`, never on FIFO position. With one bank
+//    and row_hit_ns == row_miss_ns the scheduler degenerates to FCFS and
+//    reproduces the in-order model's timing bit-identically.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <optional>
+#include <string_view>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -29,11 +48,55 @@
 
 namespace gnna::mem {
 
+/// Request scheduling policy.
+enum class MemScheduler : std::uint8_t {
+  kInOrder = 0,  // the paper's 32-entry in-order bandwidth-latency queue
+  kFrFcfs,       // banked open-row first-ready-FCFS controller
+};
+
+[[nodiscard]] constexpr const char* mem_scheduler_name(MemScheduler s) {
+  return s == MemScheduler::kFrFcfs ? "frfcfs" : "in_order";
+}
+
+/// Parse "in_order" | "frfcfs" (hyphen/underscore insensitive).
+[[nodiscard]] std::optional<MemScheduler> mem_scheduler_by_name(
+    std::string_view name);
+
+/// Largest request payload a response message can carry
+/// (noc::Message::payload_bytes is 32 bits). Oversized requests are
+/// rejected at admission with a diagnostic instead of being silently
+/// truncated into tiny response packets.
+inline constexpr std::uint64_t kMaxRequestBytes = 0xFFFFFFFFULL;
+
 struct MemParams {
   Bandwidth bandwidth = Bandwidth::gb_per_s(68.0);
-  double latency_ns = 20.0;  // fixed access latency (Section VI-A)
+  double latency_ns = 20.0;  // fixed access latency (Section VI-A, in-order)
   std::uint32_t queue_entries = 32;
   std::uint32_t access_granularity = 64;  // bytes
+
+  // --- FR-FCFS controller (used only when scheduler == kFrFcfs) ---
+  MemScheduler scheduler = MemScheduler::kInOrder;
+  std::uint32_t banks = 8;            // DRAM banks with open-row state
+  std::uint32_t row_bytes = 2048;     // open-row (page) size per bank
+  double row_hit_ns = 10.0;           // access latency when the row is open
+  double row_miss_ns = 30.0;          // precharge + activate + access
+  std::uint32_t window_entries = 16;  // scheduling window (replaces
+                                      // queue_entries for admission)
+  std::uint32_t starvation_cap = 16;  // max bypasses before forced service
+  std::uint32_t bank_interleave_bytes = 64;  // address-to-bank stride
+};
+
+/// Throws std::invalid_argument if the configuration is unusable (zero
+/// banks/window, interleave not dividing the row size, ...).
+void validate(const MemParams& p);
+
+/// Per-bank accounting (FR-FCFS scheduler only).
+struct BankStats {
+  Counter row_hits;
+  Counter row_misses;
+  // Cycles the bank was active (clamped to non-overlapping intervals, so
+  // busy_cycles / elapsed is a true utilization).
+  double busy_cycles = 0.0;
 };
 
 struct MemStats {
@@ -41,13 +104,20 @@ struct MemStats {
   Counter write_requests;
   Counter bytes_requested;  // payload bytes the components asked for
   Counter bytes_served;     // bytes the DRAM actually moved (64B granules)
-  Accumulator queue_depth;  // sampled at every depth change (max is exact)
+  /// Queue/window occupancy over time. Each sample is weighted by the
+  /// number of cycles the queue sat at that depth, so mean() is the
+  /// time-weighted average occupancy (not an average over depth *changes*,
+  /// which would overstate churny depths). max() is exact: every depth the
+  /// queue ever reached is recorded, the final one with zero weight.
+  Accumulator queue_depth;
+  std::vector<BankStats> banks;  // sized `banks` under FR-FCFS, else empty
 };
 
 class MemoryController {
  public:
   /// `clk` is the simulation (NoC) clock, used to convert the bandwidth and
-  /// latency configuration into cycles.
+  /// latency configuration into cycles. Throws std::invalid_argument on an
+  /// unusable configuration (see validate()).
   MemoryController(noc::MeshNetwork& net, EndpointId endpoint, MemParams params,
                    Frequency clk);
 
@@ -58,37 +128,73 @@ class MemoryController {
   }
 
   [[nodiscard]] EndpointId endpoint() const { return endpoint_; }
+  [[nodiscard]] const MemParams& params() const { return params_; }
   [[nodiscard]] const MemStats& stats() const { return stats_; }
+
+  /// Row-hit accounting summed over banks (zero under the in-order model).
+  [[nodiscard]] std::uint64_t row_hits() const;
+  [[nodiscard]] std::uint64_t row_misses() const;
+  /// Fraction of accesses that hit an open row, in [0,1]; 0 when no
+  /// accesses were issued.
+  [[nodiscard]] double row_hit_rate() const;
 
   /// Mean bandwidth actually delivered so far, in bytes/second.
   [[nodiscard]] double mean_bandwidth_bytes_per_s(Cycle elapsed) const;
 
-  /// Requests currently occupying in-order queue slots.
+  /// Requests currently occupying queue/window slots.
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
 
   /// Attach an event tracer (request admissions, DRAM bus occupancy,
-  /// responses). Disabled by default.
+  /// responses; under FR-FCFS also row_hit/row_miss instants and
+  /// window-occupancy / row-hit-rate counter tracks). Disabled by default.
   void set_tracer(trace::Tracer t) { tracer_ = t; }
 
-  /// Deadlock diagnostics: queue contents and inbox depth.
+  /// Deadlock diagnostics: queue contents, bank state, and inbox depth.
   void dump_state(std::ostream& os) const;
 
  private:
   struct InFlight {
     noc::Message request;
     double respond_at = 0.0;  // cycle (fractional) the slot frees up
-    bool is_write = false;    // writes retire silently, no response
+    std::uint64_t served_bytes = 0;  // whole 64B lines the bus must move
+    std::uint64_t row = 0;           // open-row id within the bank
+    std::uint32_t bank = 0;
+    std::uint32_t bypassed = 0;  // times a younger request issued first
+    bool is_write = false;       // writes retire silently, no response
+    bool issued = false;         // FR-FCFS: scheduler picked it already
   };
+
+  struct Bank {
+    bool open = false;          // any row open yet?
+    std::uint64_t row = 0;      // currently open row
+    double busy_until = 0.0;    // for non-overlapped busy accounting
+  };
+
+  void admit(double now);
+  void schedule_frfcfs(double now);
+  void retire(double now);
+  void sample_depth();
+  void respond(const InFlight& head);
 
   noc::MeshNetwork& net_;
   EndpointId endpoint_;
   MemParams params_;
   Frequency clk_;
+  bool frfcfs_;
   double bytes_per_cycle_;
   double latency_cycles_;
-  double dram_free_at_ = 0.0;  // when the data bus frees up
-  std::deque<InFlight> queue_;  // in-order service, <= queue_entries
-  std::size_t last_sampled_depth_ = static_cast<std::size_t>(-1);
+  double row_hit_cycles_ = 0.0;
+  double row_miss_cycles_ = 0.0;
+  // Row-hit preference only reorders when it buys latency; with equal
+  // hit/miss latencies FR-FCFS degenerates to pure FCFS (still counting
+  // hits/misses), which is what makes the in-order equivalence exact.
+  bool reorder_ = false;
+  std::uint64_t granules_per_row_ = 1;
+  double dram_free_at_ = 0.0;   // when the data bus frees up
+  std::deque<InFlight> queue_;  // admission-ordered, <= capacity
+  std::vector<Bank> banks_;     // FR-FCFS open-row state
+  std::size_t last_sampled_depth_ = 0;
+  Cycle last_depth_change_ = 0;
   MemStats stats_;
   trace::Tracer tracer_;
 };

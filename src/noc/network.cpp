@@ -1,5 +1,6 @@
 #include "noc/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdlib>
 #include <stdexcept>
@@ -46,6 +47,7 @@ Router::Router(std::uint32_t x, std::uint32_t y, std::uint32_t num_local_ports,
     : x_(x), y_(y), num_local_(num_local_ports), params_(params) {
   buffers_.resize(num_ports());
   outputs_.resize(num_ports());
+  input_moved_.resize(num_ports(), 0);
 }
 
 MeshNetwork::MeshNetwork(std::uint32_t width, std::uint32_t height,
@@ -229,6 +231,8 @@ void MeshNetwork::phase_route() {
     Router& r = routers_[ri];
     if (r.buffered_flits_ == 0) continue;  // nothing to arbitrate
     for (auto& out : r.outputs_) out.busy_this_cycle = false;
+    std::fill(r.input_moved_.begin(), r.input_moved_.end(),
+              static_cast<std::uint8_t>(0));
 
     // Gather head-of-line requests: input -> desired output.
     const std::uint32_t ports = r.num_ports();
@@ -236,23 +240,25 @@ void MeshNetwork::phase_route() {
       Router::OutputState& out = r.outputs_[o];
       if (out.busy_this_cycle) continue;
 
-      // Pick the winning input for output o.
+      // Pick the winning input for output o. An input that already
+      // forwarded a flit this cycle is out of the running: each input
+      // port drives one crossbar connection per cycle.
       int winner = -1;
       if (out.locked_input >= 0) {
         const auto i = static_cast<std::uint32_t>(out.locked_input);
-        if (!r.buffers_[i].empty() &&
+        if (r.input_moved_[i] == 0 && !r.buffers_[i].empty() &&
             route(r, r.buffers_[i].front().dst) == o) {
           winner = out.locked_input;
         }
       } else {
         for (std::uint32_t step = 0; step < ports; ++step) {
           const std::uint32_t i = (out.rr_next + step) % ports;
+          if (r.input_moved_[i] != 0) continue;
           if (r.buffers_[i].empty()) continue;
           const Flit& f = r.buffers_[i].front();
           if (!f.head) continue;  // body flits only follow a lock
           if (route(r, f.dst) != o) continue;
           winner = static_cast<int>(i);
-          out.rr_next = (i + 1) % ports;
           break;
         }
       }
@@ -263,20 +269,18 @@ void MeshNetwork::phase_route() {
 
       const bool is_mesh_out = o < kFirstLocalPort;
       if (is_mesh_out) {
-        if (out.credits == 0) {
-          // Keep the lock (if any) and stall.
-          if (f.head && out.locked_input < 0) {
-            // Not yet locked; try again next cycle.
-          }
-          continue;
-        }
+        if (out.credits == 0) continue;  // stall: keep lock and rr_next
         --out.credits;
       }
 
-      // Commit the move.
+      // Commit the move. The round-robin pointer advances only here — a
+      // grant that stalled on credits keeps its priority next cycle
+      // instead of silently rotating past a starved input.
       r.buffers_[wi].pop_front();
       --r.buffered_flits_;
       out.busy_this_cycle = true;
+      r.input_moved_[wi] = 1;
+      if (out.locked_input < 0) out.rr_next = (wi + 1) % ports;
       if (f.head) out.locked_input = winner;
       if (f.tail) out.locked_input = -1;
       return_credit_for_input(ri, wi);

@@ -100,6 +100,9 @@ class Router {
   std::uint32_t buffered_flits_ = 0;
   std::vector<std::deque<Flit>> buffers_;  // per input port
   std::vector<OutputState> outputs_;       // per output port
+  // Per-cycle crossbar scratch: an input port has one crossbar connection,
+  // so at most one flit may leave it per cycle. Cleared each phase_route.
+  std::vector<std::uint8_t> input_moved_;
 };
 
 }  // namespace gnna::noc

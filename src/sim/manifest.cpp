@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "mem/memory.hpp"
+
 namespace gnna::sim {
 namespace {
 
@@ -154,12 +156,60 @@ std::vector<RunRequest> parse_batch_manifest(std::istream& in,
                "repeat must be in [1, 100000], got '" + value + "'");
         }
         repeat = *r;
+      } else if (key == "mem_scheduler") {
+        // Memory keys override fields of req.config.mem_params; put them
+        // after any config= token on the line, since config= replaces the
+        // whole configuration (memory parameters included).
+        const auto s = mem::mem_scheduler_by_name(value);
+        if (!s) {
+          fail(source, lineno, "unknown mem_scheduler '" + value +
+                                   "' (in_order | frfcfs)");
+        }
+        req.config.mem_params.scheduler = *s;
+      } else if (key == "mem_banks") {
+        const auto n = parse_u64(value);
+        if (!n || *n == 0 || *n > 1024) {
+          fail(source, lineno,
+               "mem_banks must be in [1, 1024], got '" + value + "'");
+        }
+        req.config.mem_params.banks = static_cast<std::uint32_t>(*n);
+      } else if (key == "mem_row_bytes") {
+        const auto n = parse_u64(value);
+        if (!n || *n == 0 || *n > (1ULL << 30)) {
+          fail(source, lineno,
+               "mem_row_bytes must be in [1, 2^30], got '" + value + "'");
+        }
+        req.config.mem_params.row_bytes = static_cast<std::uint32_t>(*n);
+      } else if (key == "mem_row_hit_ns" || key == "mem_row_miss_ns") {
+        const auto ns = parse_f64(value);
+        if (!ns || *ns < 0.0) {
+          fail(source, lineno,
+               key + " must be a number >= 0, got '" + value + "'");
+        }
+        if (key == "mem_row_hit_ns") {
+          req.config.mem_params.row_hit_ns = *ns;
+        } else {
+          req.config.mem_params.row_miss_ns = *ns;
+        }
+      } else if (key == "mem_window") {
+        const auto n = parse_u64(value);
+        if (!n || *n == 0 || *n > 4096) {
+          fail(source, lineno,
+               "mem_window must be in [1, 4096], got '" + value + "'");
+        }
+        req.config.mem_params.window_entries =
+            static_cast<std::uint32_t>(*n);
       } else {
         fail(source, lineno, "unknown key '" + key + "'");
       }
     }
     if (!any) continue;  // blank or comment-only line
     if (!req.benchmark) fail(source, lineno, "line names no benchmark");
+    try {
+      mem::validate(req.config.mem_params);
+    } catch (const std::invalid_argument& e) {
+      fail(source, lineno, e.what());
+    }
     for (std::uint64_t r = 0; r < repeat; ++r) requests.push_back(req);
   }
   return requests;

@@ -162,6 +162,24 @@ void write_run_stats_json(std::ostream& os, const accel::RunStats& rs,
   w.num("mem_bytes_served", rs.mem_bytes_served);
   w.num("mean_bandwidth_gbps", rs.mean_bandwidth_gbps);
   w.num("bandwidth_utilization", rs.bandwidth_utilization);
+  w.str("mem_scheduler", rs.mem_scheduler);
+  w.num("mem_row_hits", rs.mem_row_hits);
+  w.num("mem_row_misses", rs.mem_row_misses);
+  w.num("mem_row_hit_rate", rs.mem_row_hit_rate);
+  w.num("mem_queue_occupancy", rs.mem_queue_occupancy);
+  w.num("mem_queue_occupancy_max", rs.mem_queue_occupancy_max);
+  std::string banks = "[";
+  for (std::size_t i = 0; i < rs.mem_banks.size(); ++i) {
+    const auto& b = rs.mem_banks[i];
+    if (i > 0) banks += ", ";
+    banks += "{\"mem\": " + std::to_string(b.mem) +
+             ", \"bank\": " + std::to_string(b.bank) +
+             ", \"row_hits\": " + std::to_string(b.row_hits) +
+             ", \"row_misses\": " + std::to_string(b.row_misses) +
+             ", \"busy_frac\": " + json_double(b.busy_frac) + "}";
+  }
+  banks += "]";
+  w.field("mem_banks", banks);
   w.num("dna_utilization", rs.dna_utilization);
   w.num("gpe_utilization", rs.gpe_utilization);
   w.num("agg_utilization", rs.agg_utilization);

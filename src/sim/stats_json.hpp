@@ -12,9 +12,12 @@ namespace gnna::sim {
 
 /// Version of the per-run JSON object emitted below. v1 had no version
 /// field; v2 added "schema_version" and the optional embedded "profile"
-/// block (see trace/profiler.hpp). Readers should treat a missing field
-/// as v1.
-inline constexpr int kStatsJsonSchemaVersion = 2;
+/// block (see trace/profiler.hpp); v3 added the memory-scheduler detail:
+/// "mem_scheduler", "mem_row_hits"/"mem_row_misses"/"mem_row_hit_rate",
+/// "mem_queue_occupancy"/"mem_queue_occupancy_max", and the per-bank
+/// "mem_banks" array (empty under the in-order scheduler). Readers should
+/// treat a missing field as v1.
+inline constexpr int kStatsJsonSchemaVersion = 3;
 
 /// One run as a JSON object (all counters, utilizations, and the per-phase
 /// breakdown). Doubles are emitted with round-trip precision.

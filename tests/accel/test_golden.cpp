@@ -21,9 +21,11 @@ TEST(Golden, GcnCoraCpuIsoBw) {
 TEST(Golden, GatCoraCpuIsoBw) {
   const RunStats rs = simulate_benchmark(gnn::Benchmark::kGatCora,
                                          AcceleratorConfig::cpu_iso_bw());
-  // Re-pinned for the write-queue fix (previously 1775033); the headline
-  // speedup below is unchanged to four significant digits.
-  EXPECT_EQ(rs.cycles, 1775055U);
+  // Re-pinned for the crossbar arbitration fixes: one flit per input per
+  // cycle, and the round-robin pointer no longer rotates past an input
+  // whose grant stalled on credits (previously 1775055). GCN/Cora above
+  // is contention-light enough that its pin did not move.
+  EXPECT_EQ(rs.cycles, 1775046U);
   // 18.39x over the paper's 13.60 ms CPU baseline (the headline claim).
   EXPECT_NEAR(13.60 / rs.millis, 18.39, 0.05);
 }

@@ -62,6 +62,44 @@ TEST(Accumulator, StddevStableUnderLargeOffset) {
   EXPECT_NEAR(a.stddev(), 1.0, 1e-3);
 }
 
+TEST(Accumulator, AddIsExactlyUnitWeight) {
+  // add(x) must stay bit-identical to add_weighted(x, 1.0): golden cycle
+  // pins depend on the unweighted path not changing.
+  Accumulator a;
+  Accumulator b;
+  for (double x : {3.0, 1.0, 1e9, -2.5, 0.0}) {
+    a.add(x);
+    b.add_weighted(x, 1.0);
+  }
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.stddev(), b.stddev());
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_DOUBLE_EQ(a.weight(), static_cast<double>(a.count()));
+}
+
+TEST(Accumulator, WeightedMeanIsWeightDenominated) {
+  // Three cycles at depth 1, one cycle at depth 5: the time-weighted mean
+  // is 2.0, not the change-weighted (1+5)/2 = 3.
+  Accumulator a;
+  a.add_weighted(1.0, 3.0);
+  a.add_weighted(5.0, 1.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 8.0);
+  EXPECT_DOUBLE_EQ(a.weight(), 4.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(Accumulator, ZeroWeightSampleOnlyUpdatesExtrema) {
+  Accumulator a;
+  a.add_weighted(2.0, 10.0);
+  a.add_weighted(7.0, 0.0);  // records the extremum, accrues no time
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 7.0);
+  EXPECT_DOUBLE_EQ(a.weight(), 10.0);
+  EXPECT_EQ(a.count(), 2U);
+}
+
 TEST(Accumulator, StddevMatchesBruteForce) {
   // Cross-check Welford against the two-pass definition on a spread-out
   // sample set with a large common offset.

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <sstream>
 
+#include "mem/memory.hpp"
 #include "sim/json.hpp"
 #include "sim/session.hpp"
 #include "sim/stats_json.hpp"
@@ -111,6 +112,59 @@ TEST(ProfileIntegration, StatsJsonEmbedsVersionedProfileThatRoundTrips) {
   EXPECT_DOUBLE_EQ(doc2.num_or("schema_version", 0.0),
                    kStatsJsonSchemaVersion);
   EXPECT_EQ(doc2.find("profile"), nullptr);
+}
+
+TEST(ProfileIntegration, FrfcfsRunEmitsSchemaV3MemFields) {
+  RunRequest req;
+  req.benchmark = gnn::Benchmark::kGcnCora;
+  req.config = accel::AcceleratorConfig::cpu_iso_bw();
+  req.config.mem_params.scheduler = mem::MemScheduler::kFrFcfs;
+  const accel::RunStats rs = Session::global().run(req);
+
+  EXPECT_EQ(rs.mem_scheduler, "frfcfs");
+  EXPECT_GT(rs.mem_row_hits, 0U);
+  EXPECT_GT(rs.mem_row_misses, 0U);
+  EXPECT_GT(rs.mem_row_hit_rate, 0.0);
+  EXPECT_LT(rs.mem_row_hit_rate, 1.0);
+  ASSERT_FALSE(rs.mem_banks.empty());
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (const auto& b : rs.mem_banks) {
+    EXPECT_LT(b.bank, rs.mem_banks.size());
+    EXPECT_GE(b.busy_frac, 0.0);
+    EXPECT_LE(b.busy_frac, 1.0);
+    hits += b.row_hits;
+    misses += b.row_misses;
+  }
+  EXPECT_EQ(hits, rs.mem_row_hits);
+  EXPECT_EQ(misses, rs.mem_row_misses);
+
+  std::ostringstream os;
+  write_run_stats_json(os, rs);
+  const json::Value doc = json::Value::parse(os.str());
+  EXPECT_DOUBLE_EQ(doc.num_or("schema_version", 0.0), 3.0);
+  EXPECT_EQ(doc.find("mem_scheduler")->as_string(), "frfcfs");
+  EXPECT_GT(doc.num_or("mem_row_hit_rate", 0.0), 0.0);
+  EXPECT_GT(doc.num_or("mem_queue_occupancy", 0.0), 0.0);
+  const json::Value* banks = doc.find("mem_banks");
+  ASSERT_NE(banks, nullptr);
+  ASSERT_EQ(banks->size(), rs.mem_banks.size());
+  for (const json::Value& b : banks->items()) {
+    EXPECT_GE(b.num_or("busy_frac", -1.0), 0.0);
+  }
+
+  // The default in-order scheduler reports its name and an empty bank
+  // array (the field is always present so consumers need no existence
+  // check).
+  const accel::RunStats plain = run_gcn_cora(false);
+  EXPECT_EQ(plain.mem_scheduler, "in_order");
+  EXPECT_TRUE(plain.mem_banks.empty());
+  std::ostringstream os2;
+  write_run_stats_json(os2, plain);
+  const json::Value doc2 = json::Value::parse(os2.str());
+  const json::Value* banks2 = doc2.find("mem_banks");
+  ASSERT_NE(banks2, nullptr);
+  EXPECT_EQ(banks2->size(), 0U);
 }
 
 }  // namespace

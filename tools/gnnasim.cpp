@@ -25,6 +25,7 @@
 #include "accel/energy.hpp"
 #include "baseline/baselines.hpp"
 #include "common/table.hpp"
+#include "mem/memory.hpp"
 #include "sim/batch_runner.hpp"
 #include "sim/manifest.hpp"
 #include "sim/session.hpp"
@@ -72,6 +73,17 @@ void usage(std::ostream& os) {
         "  --verify / --no-verify     static program verification before\n"
         "                             simulating (default on; lint errors\n"
         "                             abort the run — see gnnaverify)\n"
+        "  --mem-scheduler <name>     in_order (default; the paper's model)\n"
+        "                             | frfcfs (banked open-row reordering\n"
+        "                             controller, DESIGN.md §11)\n"
+        "  --mem-banks <n>            FR-FCFS: DRAM banks (default 8)\n"
+        "  --mem-row-bytes <n>        FR-FCFS: open-row size (default 2048)\n"
+        "  --mem-row-hit-ns <ns>      FR-FCFS: open-row access latency\n"
+        "                             (default 10)\n"
+        "  --mem-row-miss-ns <ns>     FR-FCFS: closed-row access latency\n"
+        "                             (default 30)\n"
+        "  --mem-window <n>           FR-FCFS: scheduling-window entries\n"
+        "                             (default 16)\n"
         "  --help                     this text\n";
 }
 
@@ -81,7 +93,11 @@ void usage_batch(std::ostream& os) {
         "      partition=block seed=7 repeat=4 verify=0\n"
         "`benchmark' is required per line; other keys default to the CLI\n"
         "flags; `repeat=N' expands the line into N identical runs;\n"
-        "`verify=0|1' toggles static program verification per line.\n";
+        "`verify=0|1' toggles static program verification per line.\n"
+        "Memory keys mem_scheduler=in_order|frfcfs, mem_banks=N,\n"
+        "mem_row_bytes=N, mem_row_hit_ns=X, mem_row_miss_ns=X, mem_window=N\n"
+        "override the line's configuration; put them after any config=\n"
+        "token (config= replaces the whole configuration).\n";
 }
 
 /// "t.json" -> "t.run3.json" (suffix before the extension, if any).
@@ -150,6 +166,12 @@ void print_single_run_report(const accel::RunStats& rs, gnn::Benchmark b,
   t.add_row({"mean memory bandwidth",
              format_double(rs.mean_bandwidth_gbps, 1) + " GB/s (" +
                  format_percent(rs.bandwidth_utilization) + " of peak)"});
+  if (rs.mem_scheduler == "frfcfs") {
+    t.add_row({"mem scheduler",
+               "frfcfs (row-hit rate " + format_percent(rs.mem_row_hit_rate) +
+                   ", mean window occupancy " +
+                   format_double(rs.mem_queue_occupancy, 1) + ")"});
+  }
   t.add_row({"DNA utilization", format_percent(rs.dna_utilization)});
   t.add_row({"GPE utilization", format_percent(rs.gpe_utilization)});
   t.add_row({"AGG utilization", format_percent(rs.agg_utilization)});
@@ -225,6 +247,12 @@ int main(int argc, char** argv) {
   Cycle sample_every = 0;
   std::optional<Cycle> watchdog;
   bool verify = true;
+  std::optional<mem::MemScheduler> mem_scheduler;
+  std::optional<std::uint32_t> mem_banks;
+  std::optional<std::uint32_t> mem_row_bytes;
+  std::optional<double> mem_row_hit_ns;
+  std::optional<double> mem_row_miss_ns;
+  std::optional<std::uint32_t> mem_window;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -375,11 +403,70 @@ int main(int argc, char** argv) {
       verify = true;
     } else if (arg == "--no-verify") {
       verify = false;
+    } else if (arg == "--mem-scheduler") {
+      const auto v = next();
+      const auto s = v ? mem::mem_scheduler_by_name(*v) : std::nullopt;
+      if (!s) {
+        std::cerr << "error: --mem-scheduler needs in_order | frfcfs\n";
+        return 2;
+      }
+      mem_scheduler = *s;
+    } else if (arg == "--mem-banks") {
+      const auto v = next();
+      const auto parsed = v ? sim::parse_u64(*v) : std::nullopt;
+      if (!parsed || *parsed == 0 || *parsed > 1024) {
+        std::cerr << "error: --mem-banks needs a count in [1, 1024]\n";
+        return 2;
+      }
+      mem_banks = static_cast<std::uint32_t>(*parsed);
+    } else if (arg == "--mem-row-bytes") {
+      const auto v = next();
+      const auto parsed = v ? sim::parse_u64(*v) : std::nullopt;
+      if (!parsed || *parsed == 0 || *parsed > (1ULL << 30)) {
+        std::cerr << "error: --mem-row-bytes needs a size in [1, 2^30]\n";
+        return 2;
+      }
+      mem_row_bytes = static_cast<std::uint32_t>(*parsed);
+    } else if (arg == "--mem-row-hit-ns" || arg == "--mem-row-miss-ns") {
+      const auto v = next();
+      const auto parsed = v ? sim::parse_f64(*v) : std::nullopt;
+      if (!parsed || *parsed < 0.0) {
+        std::cerr << "error: " << arg << " needs a latency >= 0 (ns)\n";
+        return 2;
+      }
+      if (arg == "--mem-row-hit-ns") {
+        mem_row_hit_ns = *parsed;
+      } else {
+        mem_row_miss_ns = *parsed;
+      }
+    } else if (arg == "--mem-window") {
+      const auto v = next();
+      const auto parsed = v ? sim::parse_u64(*v) : std::nullopt;
+      if (!parsed || *parsed == 0 || *parsed > 4096) {
+        std::cerr << "error: --mem-window needs a count in [1, 4096]\n";
+        return 2;
+      }
+      mem_window = static_cast<std::uint32_t>(*parsed);
     } else {
       std::cerr << "error: unknown option " << arg << "\n";
       usage(std::cerr);
       return 2;
     }
+  }
+
+  // Memory overrides apply on top of whichever --config was chosen
+  // (flag order doesn't matter).
+  if (mem_scheduler) cfg.mem_params.scheduler = *mem_scheduler;
+  if (mem_banks) cfg.mem_params.banks = *mem_banks;
+  if (mem_row_bytes) cfg.mem_params.row_bytes = *mem_row_bytes;
+  if (mem_row_hit_ns) cfg.mem_params.row_hit_ns = *mem_row_hit_ns;
+  if (mem_row_miss_ns) cfg.mem_params.row_miss_ns = *mem_row_miss_ns;
+  if (mem_window) cfg.mem_params.window_entries = *mem_window;
+  try {
+    mem::validate(cfg.mem_params);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
   }
 
   sim::Session& session = sim::Session::global();
