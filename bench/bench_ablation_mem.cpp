@@ -25,6 +25,7 @@ struct Variant {
   std::string label;
   gnna::mem::MemScheduler scheduler;
   std::uint32_t banks;
+  bool bank_xor = false;
 };
 
 void sweep(gnna::sim::Session& session,
@@ -40,6 +41,7 @@ void sweep(gnna::sim::Session& session,
       {"FR-FCFS /4 banks", mem::MemScheduler::kFrFcfs, 4U},
       {"FR-FCFS /8 banks", mem::MemScheduler::kFrFcfs, 8U},
       {"FR-FCFS /16 banks", mem::MemScheduler::kFrFcfs, 16U},
+      {"FR-FCFS /16 banks +XOR", mem::MemScheduler::kFrFcfs, 16U, true},
   };
   std::vector<sim::RunRequest> requests;
   for (const Variant& v : variants) {
@@ -49,6 +51,7 @@ void sweep(gnna::sim::Session& session,
     req.config = accel::AcceleratorConfig::cpu_iso_bw();
     req.config.mem_params.scheduler = v.scheduler;
     req.config.mem_params.banks = v.banks;
+    req.config.mem_params.bank_xor = v.bank_xor;
     req.trace = env_trace.options();
     requests.push_back(std::move(req));
   }
@@ -101,6 +104,9 @@ int main() {
   std::cout << "Expected shape: with few banks the 64B interleave spreads "
                "consecutive lines across\nbanks and row reuse is poor; more "
                "banks keep more rows open, the hit rate climbs,\nand FR-FCFS "
-               "approaches (or beats) the fixed-latency in-order model.\n";
+               "approaches (or beats) the fixed-latency in-order model.\n"
+               "The +XOR row swizzles the bank with the row index "
+               "(mem_bank_xor=1): it matters\nonly when the access stream "
+               "strides by whole rows and camps on one bank.\n";
   return 0;
 }

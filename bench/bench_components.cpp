@@ -104,7 +104,7 @@ void BM_SimulatedCyclesPerSecond(benchmark::State& state) {
   std::uint64_t cycles = 0;
   for (auto _ : state) {
     accel::AcceleratorSim sim(accel::AcceleratorConfig::cpu_iso_bw());
-    const accel::RunStats rs = sim.run(prog);
+    const accel::RunStats rs = sim.run(prog, ds);
     cycles += rs.cycles;
   }
   state.counters["sim_cycles_per_s"] = benchmark::Counter(

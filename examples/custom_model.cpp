@@ -64,7 +64,7 @@ int main() {
   const accel::CompiledProgram prog =
       accel::ProgramCompiler{}.compile(sage, social);
   accel::AcceleratorSim sim(cfg);
-  const accel::RunStats rs = sim.run(prog);
+  const accel::RunStats rs = sim.run(prog, social);
 
   Table t({"Metric", "Value"});
   t.add_row({"latency", format_double(rs.millis, 3) + " ms"});

@@ -56,7 +56,7 @@ int main() {
     std::cerr << "simulating " << tiles << " tiles / " << mems
               << " memory nodes...\n";
     accel::AcceleratorSim sim(make_config(tiles, mems));
-    runs.push_back(sim.run(prog));
+    runs.push_back(sim.run(prog, cora));
   }
   accel::write_csv(std::cout, runs);
 

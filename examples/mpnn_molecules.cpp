@@ -54,7 +54,7 @@ int main() {
   const accel::CompiledProgram prog =
       accel::ProgramCompiler{}.compile(mpnn, mols);
   accel::AcceleratorSim sim(accel::AcceleratorConfig::cpu_iso_bw());
-  const accel::RunStats rs = sim.run(prog);
+  const accel::RunStats rs = sim.run(prog, mols);
 
   std::cout << "simulated latency on CPU iso-BW @ 2.4 GHz: "
             << format_double(rs.millis, 3) << " ms\n";

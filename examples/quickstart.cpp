@@ -39,7 +39,7 @@ int main() {
             << prog.memmap.total_bytes() / 1024 << " KiB footprint\n";
 
   accel::AcceleratorSim sim(accel::AcceleratorConfig::cpu_iso_bw());
-  const accel::RunStats rs = sim.run(prog);
+  const accel::RunStats rs = sim.run(prog, cora);
 
   std::printf("\nsimulated on %s @ %.1f GHz\n", rs.config_name.c_str(),
               rs.core_clock_ghz);

@@ -58,7 +58,6 @@ CompiledProgram ProgramCompiler::compile(const gnn::ModelSpec& model,
                                          const graph::Dataset& ds) const {
   CompiledProgram prog;
   prog.name = model.name + " on " + ds.spec.name;
-  prog.dataset = &ds;
 
   // --- Topology regions (traversal reads the symmetrized graphs). ---
   NodeId node_off = 0;
@@ -68,6 +67,8 @@ CompiledProgram ProgramCompiler::compile(const gnn::ModelSpec& model,
     GraphLayout gl;
     gl.node_offset = node_off;
     gl.edge_offset = edge_off;
+    gl.num_nodes = sym.num_nodes();
+    gl.num_edges = sym.num_edges();
     gl.row_ptr = prog.memmap.add_region(
         "rowptr" + std::to_string(gi),
         (static_cast<std::uint64_t>(sym.num_nodes()) + 1) * kWord,

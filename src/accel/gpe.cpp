@@ -17,10 +17,12 @@ Gpe::Gpe(const TileParams& params, noc::MeshNetwork& net, EndpointId ep_gpe,
   threads_.resize(params.gpe_threads);
 }
 
-void Gpe::begin_phase(const CompiledProgram& prog, const PhaseSpec& phase,
+void Gpe::begin_phase(const CompiledProgram& prog, const graph::Dataset& ds,
+                      const PhaseSpec& phase,
                       std::vector<std::uint32_t> work) {
   assert(idle() && "begin_phase on a busy GPE");
   prog_ = &prog;
+  ds_ = &ds;
   phase_ = &phase;
   work_ = std::move(work);
   next_work_ = 0;
@@ -539,7 +541,7 @@ double Gpe::step_graph_readout(Thread& t, Agg& agg, Dnq& dnq) {
   // graph's vertex block is contiguous in the gather buffer.
   if (t.stage == 0) {
     t.graph_idx = t.work;
-    t.n_contrib = prog_->dataset->graphs[t.graph_idx].num_nodes();
+    t.n_contrib = prog_->graphs[t.graph_idx].num_nodes;
     t.stage = 2;
     return params_.cost_loop_iter;
   }

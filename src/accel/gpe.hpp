@@ -28,6 +28,7 @@
 #include "accel/dnq.hpp"
 #include "accel/program.hpp"
 #include "common/stats.hpp"
+#include "graph/dataset.hpp"
 #include "noc/network.hpp"
 #include "trace/trace.hpp"
 
@@ -49,10 +50,11 @@ class Gpe {
       EndpointId ep_agg, EndpointId ep_dnq, const AddressMap& addr_map,
       double core_scale);
 
-  /// Start a phase: `work` lists this tile's work items (global vertex ids,
-  /// or graph ids for per-graph phases).
-  void begin_phase(const CompiledProgram& prog, const PhaseSpec& phase,
-                   std::vector<std::uint32_t> work);
+  /// Start a phase: `ds` is the dataset whose symmetrized graphs the
+  /// traversal walks; `work` lists this tile's work items (global vertex
+  /// ids, or graph ids for per-graph phases).
+  void begin_phase(const CompiledProgram& prog, const graph::Dataset& ds,
+                   const PhaseSpec& phase, std::vector<std::uint32_t> work);
 
   void tick(Agg& agg, Dnq& dnq);
 
@@ -124,7 +126,7 @@ class Gpe {
   [[nodiscard]] const char* body_span_name() const;
 
   [[nodiscard]] const graph::Graph& task_graph(const Thread& t) const {
-    return prog_->dataset->undirected[t.graph_idx];
+    return ds_->undirected[t.graph_idx];
   }
   [[nodiscard]] Addr vertex_addr(const BufferRef& buf, NodeId global_v) const {
     return prog_->memmap.addr(buf.region, std::uint64_t{global_v} *
@@ -140,6 +142,7 @@ class Gpe {
   double scale_;
 
   const CompiledProgram* prog_ = nullptr;
+  const graph::Dataset* ds_ = nullptr;
   const PhaseSpec* phase_ = nullptr;
   std::vector<std::uint32_t> work_;
   std::size_t next_work_ = 0;

@@ -18,7 +18,6 @@
 #include "common/fixed_point.hpp"
 #include "common/types.hpp"
 #include "dataflow/spatial.hpp"
-#include "graph/dataset.hpp"
 
 namespace gnna::accel {
 
@@ -183,25 +182,34 @@ struct PhaseSpec {
   [[nodiscard]] bool has_agg() const { return agg_width_words > 0; }
 };
 
-/// Per-graph topology placement in the address space.
+/// Per-graph topology placement in the address space. The vertex/edge
+/// counts are the *symmetrized* CSR counts the runtime iterates (an
+/// undirected edge appears once per direction), recorded here so a
+/// program is self-describing — sizes and extents never require the
+/// dataset the compiler happened to see.
 struct GraphLayout {
   RegionId row_ptr = 0;
   RegionId col_idx = 0;
   NodeId node_offset = 0;  // first global vertex id of this graph
   EdgeId edge_offset = 0;  // first global edge id (symmetrized CSR order)
+  NodeId num_nodes = 0;    // vertices in this graph
+  EdgeId num_edges = 0;    // symmetrized (directed) edge count
 };
 
-/// A fully lowered program: what the runtime executes.
+/// A fully lowered program: what the runtime executes. Programs are
+/// dataset-independent — the graph topology itself is bound at run time
+/// (AcceleratorSim::run takes the dataset alongside the program), which
+/// is what lets a program round-trip through the GNNA-IR text format
+/// (accel/ir.hpp) and be cached by content hash.
 struct CompiledProgram {
   std::string name;
   std::vector<PhaseSpec> phases;
   MemoryMap memmap;
   std::vector<GraphLayout> graphs;
-  const graph::Dataset* dataset = nullptr;  // non-owning
 
   [[nodiscard]] NodeId total_vertices() const {
     NodeId n = 0;
-    for (const auto& g : dataset->graphs) n += g.num_nodes();
+    for (const auto& g : graphs) n += g.num_nodes;
     return n;
   }
 

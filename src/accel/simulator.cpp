@@ -192,14 +192,16 @@ std::uint64_t AcceleratorSim::progress_signature() const {
   return sig;
 }
 
-RunStats AcceleratorSim::run(const CompiledProgram& prog) {
+RunStats AcceleratorSim::run(const CompiledProgram& prog,
+                             const graph::Dataset& ds) {
   if (used_) throw std::logic_error("AcceleratorSim::run: already used");
   used_ = true;
   // Static verification before any hardware is built: a program that
   // cannot execute (oversized entries, bad models, unwritten buffers)
   // fails here with structured diagnostics instead of deadlocking into
-  // the watchdog.
-  if (verify_) verify_or_throw(prog, cfg_.tile_params);
+  // the watchdog. The bound dataset enables the topology-dependent
+  // checks (walk-tree recomputation, layout/dataset agreement).
+  if (verify_) verify_or_throw(prog, cfg_.tile_params, &ds);
   build();
   attach_tracers();
   begin_sampling();
@@ -217,7 +219,7 @@ RunStats AcceleratorSim::run(const CompiledProgram& prog) {
     // Work distribution (the shared in-memory work queues of Algorithm 1,
     // realized as a static round-robin split across GPEs).
     const std::uint32_t num_items =
-        phase.per_graph ? static_cast<std::uint32_t>(prog.dataset->graphs.size())
+        phase.per_graph ? static_cast<std::uint32_t>(prog.graphs.size())
                         : prog.total_vertices();
     std::vector<std::vector<std::uint32_t>> work(num_tiles);
     if (partition_ == graph::PartitionPolicy::kBlock) {
@@ -239,7 +241,7 @@ RunStats AcceleratorSim::run(const CompiledProgram& prog) {
                          static_cast<double>(phase_start));
     }
     for (std::uint32_t t = 0; t < num_tiles; ++t) {
-      tiles_[t]->begin_phase(prog, phase, std::move(work[t]));
+      tiles_[t]->begin_phase(prog, ds, phase, std::move(work[t]));
     }
 
     // Run to the global barrier.

@@ -10,6 +10,7 @@
 #include "accel/config.hpp"
 #include "accel/program.hpp"
 #include "accel/tile.hpp"
+#include "graph/dataset.hpp"
 #include "graph/partition.hpp"
 #include "mem/memory.hpp"
 #include "noc/network.hpp"
@@ -50,6 +51,15 @@ struct RunStats {
   std::string config_name;
   std::string program_name;
   double core_clock_ghz = 0.0;
+
+  // Program provenance (filled by the session layer, src/sim): the GNNA-IR
+  // content hash of the executed program and where it came from — "miss"
+  // (freshly compiled), "hit" (memoized by (benchmark, seed)), "dedupe"
+  // (compiled, then matched an identical cached program by hash), "file"
+  // (loaded from a .gnna program file), or "given" (caller-supplied).
+  // Empty / zero when the simulator is driven directly.
+  std::uint64_t program_hash = 0;
+  std::string program_cache;
 
   Cycle cycles = 0;  // NoC-clock cycles end to end
   double seconds = 0.0;
@@ -108,9 +118,14 @@ class AcceleratorSim {
       AcceleratorConfig cfg,
       graph::PartitionPolicy partition = graph::PartitionPolicy::kRoundRobin);
 
-  /// Execute `prog` to completion and report timing/utilization. A fresh
+  /// Execute `prog` against dataset `ds` to completion and report
+  /// timing/utilization. Programs are dataset-independent artifacts
+  /// (compiled or loaded from GNNA-IR text); the dataset supplies the
+  /// graph topology the traversal walks and must match the program's
+  /// graph-layout table (accel::verify checks this, GV012). A fresh
   /// simulator instance is required per run.
-  [[nodiscard]] RunStats run(const CompiledProgram& prog);
+  [[nodiscard]] RunStats run(const CompiledProgram& prog,
+                             const graph::Dataset& ds);
 
   /// Progress watchdog threshold (cycles without any progress).
   void set_watchdog_cycles(Cycle c) { watchdog_cycles_ = c; }

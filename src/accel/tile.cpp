@@ -17,7 +17,8 @@ Tile::Tile(const AcceleratorConfig& cfg, noc::MeshNetwork& net,
       dna_(cfg.tile_params, net, ep_dnq, addr_map, scale_),
       gpe_(cfg.tile_params, net, ep_gpe, ep_agg, ep_dnq, addr_map, scale_) {}
 
-void Tile::begin_phase(const CompiledProgram& prog, const PhaseSpec& phase,
+void Tile::begin_phase(const CompiledProgram& prog, const graph::Dataset& ds,
+                       const PhaseSpec& phase,
                        std::vector<std::uint32_t> work) {
   assert(idle() && "begin_phase on a busy tile");
 
@@ -75,7 +76,7 @@ void Tile::begin_phase(const CompiledProgram& prog, const PhaseSpec& phase,
         });
   }
 
-  gpe_.begin_phase(prog, phase, std::move(work));
+  gpe_.begin_phase(prog, ds, phase, std::move(work));
 }
 
 void Tile::set_tracing(trace::TraceSink* sink, std::uint32_t index) {

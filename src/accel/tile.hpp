@@ -25,9 +25,11 @@ class Tile {
        EndpointId ep_agg, EndpointId ep_dnq, const AddressMap& addr_map);
 
   /// Configure all modules for `phase` and kick off the weight streams
-  /// (Algorithm 1 line 14). `work` is this tile's share of the work queue.
-  void begin_phase(const CompiledProgram& prog, const PhaseSpec& phase,
-                   std::vector<std::uint32_t> work);
+  /// (Algorithm 1 line 14). `ds` is the dataset the program runs against
+  /// (graph topology for traversal); `work` is this tile's share of the
+  /// work queue.
+  void begin_phase(const CompiledProgram& prog, const graph::Dataset& ds,
+                   const PhaseSpec& phase, std::vector<std::uint32_t> work);
 
   void tick();
 

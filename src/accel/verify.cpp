@@ -51,21 +51,26 @@ std::optional<std::vector<std::uint64_t>> recompute_walk_counts(
 /// Collects diagnostics while walking the program.
 class Linter {
  public:
-  Linter(const CompiledProgram& prog, const TileParams& params)
-      : prog_(prog), params_(params) {
+  Linter(const CompiledProgram& prog, const TileParams& params,
+         const graph::Dataset* ds)
+      : prog_(prog), params_(params), ds_(ds) {
     report_.program_name = prog.name;
   }
 
   VerifyReport run() {
     check_tile_params();
     check_memory_map();
-    const bool have_dataset = prog_.dataset != nullptr;
-    if (!have_dataset) {
-      add(LintCode::kBadBufferRef, -1,
-          "program has no dataset attached; extent checks skipped");
+    check_graph_layouts();
+    if (ds_ != nullptr) {
+      check_dataset_match();
+    } else {
+      add(LintCode::kNoDatasetBound, -1,
+          "no dataset bound: topology-dependent checks (walk-tree "
+          "recomputation, degree comparison, layout/dataset agreement) "
+          "skipped");
     }
     for (std::size_t i = 0; i < prog_.phases.size(); ++i) {
-      check_phase(static_cast<int>(i), prog_.phases[i], have_dataset);
+      check_phase(static_cast<int>(i), prog_.phases[i]);
     }
     check_dataflow();
     return std::move(report_);
@@ -153,14 +158,92 @@ class Linter {
     }
   }
 
+  // ---- GV011: graph-layout table well-formedness ----
+  //
+  // The compiler always emits a contiguous, correctly-sized table, so any
+  // finding here marks a hand-written or hand-edited .gnna file.
+  void check_graph_layouts() {
+    if (prog_.graphs.empty()) {
+      add(LintCode::kBadGraphLayout, -1,
+          "program has no graph layouts: there is no work to run");
+      return;
+    }
+    NodeId want_node = 0;
+    EdgeId want_edge = 0;
+    for (std::size_t gi = 0; gi < prog_.graphs.size(); ++gi) {
+      const GraphLayout& g = prog_.graphs[gi];
+      const std::string tag = "graph " + std::to_string(gi);
+      if (g.num_nodes == 0) {
+        add(LintCode::kBadGraphLayout, -1, tag + " has zero vertices");
+      }
+      if (g.node_offset != want_node || g.edge_offset != want_edge) {
+        add(LintCode::kBadGraphLayout, -1,
+            tag + " offsets (node=" + std::to_string(g.node_offset) +
+                ", edge=" + std::to_string(g.edge_offset) +
+                ") are not contiguous with the preceding graphs (want "
+                "node=" +
+                std::to_string(want_node) +
+                ", edge=" + std::to_string(want_edge) + ")");
+      }
+      want_node += g.num_nodes;
+      want_edge += g.num_edges;
+      // Topology regions must exist and hold the CSR arrays the traversal
+      // reads: (num_nodes + 1) row pointers, num_edges (id, weight) pairs.
+      check_topo_region(tag + " rowptr", g.row_ptr,
+                        (std::uint64_t{g.num_nodes} + 1) * kWordBytes);
+      check_topo_region(tag + " colidx", g.col_idx,
+                        std::uint64_t{g.num_edges} * 2 * kWordBytes);
+    }
+  }
+
+  void check_topo_region(const std::string& what, RegionId id,
+                         std::uint64_t need_bytes) {
+    if (id >= prog_.memmap.num_regions()) {
+      add(LintCode::kBadGraphLayout, -1,
+          what + " region id " + std::to_string(id) + " out of range");
+      return;
+    }
+    const Region& r = prog_.memmap.region(id);
+    if (r.bytes < need_bytes) {
+      add(LintCode::kBadGraphLayout, -1,
+          what + " region '" + r.name + "' (" + std::to_string(r.bytes) +
+              "B) too small for its topology (" +
+              std::to_string(need_bytes) + "B)");
+    }
+  }
+
+  // ---- GV012: graph layouts vs the bound dataset ----
+  void check_dataset_match() {
+    if (prog_.graphs.size() != ds_->graphs.size()) {
+      add(LintCode::kDatasetMismatch, -1,
+          "program has " + std::to_string(prog_.graphs.size()) +
+              " graph layouts but the bound dataset has " +
+              std::to_string(ds_->graphs.size()) + " graphs");
+      return;
+    }
+    for (std::size_t gi = 0; gi < prog_.graphs.size(); ++gi) {
+      const GraphLayout& g = prog_.graphs[gi];
+      const graph::Graph& sym = ds_->undirected[gi];
+      if (g.num_nodes != sym.num_nodes() || g.num_edges != sym.num_edges()) {
+        add(LintCode::kDatasetMismatch, -1,
+            "graph " + std::to_string(gi) + " layout (" +
+                std::to_string(g.num_nodes) + " vertices, " +
+                std::to_string(g.num_edges) +
+                " symmetrized edges) disagrees with the bound dataset (" +
+                std::to_string(sym.num_nodes()) + " vertices, " +
+                std::to_string(sym.num_edges()) + " edges)");
+      }
+    }
+  }
+
   // ---- per-phase checks ----
-  void check_phase(int pi, const PhaseSpec& ph, bool have_dataset) {
+  void check_phase(int pi, const PhaseSpec& ph) {
     check_phase_combo(pi, ph);
     check_dnq_footprint(pi, ph);
     check_agg(pi, ph);
     check_dna_models(pi, ph);
-    if (have_dataset) check_buffers(pi, ph);
-    if (have_dataset) check_contribs(pi, ph);
+    check_buffers(pi, ph);
+    check_contribs(pi, ph);
   }
 
   // GV009: field combinations the runtime cannot execute.
@@ -350,13 +433,14 @@ class Linter {
            std::to_string(s.n);
   }
 
-  // GV004: region ids, widths, indexed extents, width consistency.
+  // GV004: region ids, widths, indexed extents, width consistency. All
+  // extents derive from the program's own graph-layout table, so this
+  // check runs with or without a bound dataset.
   void check_buffers(int pi, const PhaseSpec& ph) {
     const std::uint64_t n_vertices = prog_.total_vertices();
-    const std::uint64_t n_graphs = prog_.dataset->graphs.size();
+    const std::uint64_t n_graphs = prog_.graphs.size();
     std::uint64_t n_sym_edges = 0;
-    for (const auto& g : prog_.dataset->undirected)
-      n_sym_edges += g.num_edges();
+    for (const auto& g : prog_.graphs) n_sym_edges += g.num_edges;
 
     const bool reads_gather = ph.kind != PhaseKind::kProject;
     if (reads_gather) {
@@ -444,10 +528,12 @@ class Linter {
     }
   }
 
-  // GV006/GV104: expected_contribs vs an independent walk-tree count.
+  // GV006/GV104: expected_contribs vs an independent walk-tree count. The
+  // size check is layout-derived; the truth comparison needs the bound
+  // dataset's topology and is skipped (GV107) without one.
   void check_contribs(int pi, const PhaseSpec& ph) {
     if (ph.walk_len <= 1) {
-      if (ph.expected_contribs.empty()) return;
+      if (ph.expected_contribs.empty() || ds_ == nullptr) return;
       // A 1-hop phase ignores expected_contribs (the runtime counts direct
       // degrees), so redundant-but-correct counts are harmless — PGNN's
       // first A^1 hop ships them. Warn only when they disagree with what
@@ -469,7 +555,8 @@ class Linter {
               " entries for " + std::to_string(n_vertices) + " vertices");
       return;
     }
-    const auto truth = recompute_walk_counts(*prog_.dataset, ph.walk_len);
+    if (ds_ == nullptr) return;
+    const auto truth = recompute_walk_counts(*ds_, ph.walk_len);
     if (!truth.has_value()) {
       add(LintCode::kBadExpectedContribs, pi,
           "walk tree of length " + std::to_string(ph.walk_len) +
@@ -491,7 +578,7 @@ class Linter {
   [[nodiscard]] bool contribs_match_degrees(const PhaseSpec& ph) const {
     const std::uint64_t self = ph.include_self ? 1 : 0;
     std::uint64_t v = 0;
-    for (const auto& g : prog_.dataset->undirected) {
+    for (const auto& g : ds_->undirected) {
       for (NodeId lv = 0; lv < g.num_nodes(); ++lv, ++v) {
         if (v >= ph.expected_contribs.size() ||
             ph.expected_contribs[v] != g.out_degree(lv) + self) {
@@ -559,6 +646,7 @@ class Linter {
 
   const CompiledProgram& prog_;
   const TileParams& params_;
+  const graph::Dataset* ds_;
   VerifyReport report_;
   bool split_valid_ = true;
 };
@@ -566,8 +654,9 @@ class Linter {
 }  // namespace
 
 VerifyReport verify_program(const CompiledProgram& prog,
-                            const TileParams& params) {
-  return Linter(prog, params).run();
+                            const TileParams& params,
+                            const graph::Dataset* ds) {
+  return Linter(prog, params, ds).run();
 }
 
 std::size_t VerifyReport::num_errors() const {
@@ -611,8 +700,9 @@ ProgramVerifyError::ProgramVerifyError(VerifyReport report)
     : std::runtime_error(report.to_string()), report_(std::move(report)) {}
 
 VerifyReport verify_or_throw(const CompiledProgram& prog,
-                             const TileParams& params) {
-  VerifyReport report = verify_program(prog, params);
+                             const TileParams& params,
+                             const graph::Dataset* ds) {
+  VerifyReport report = verify_program(prog, params, ds);
   if (!report.ok()) throw ProgramVerifyError(std::move(report));
   return report;
 }
@@ -640,6 +730,10 @@ constexpr LintCodeInfo kLintTable[] = {
      "illegal phase-field combination"},
     {LintCode::kBadTileParams, Severity::kError, "GV010",
      "unusable TileParams (zero resources or bad queue split)"},
+    {LintCode::kBadGraphLayout, Severity::kError, "GV011",
+     "malformed graph-layout table (offsets, counts, or topology regions)"},
+    {LintCode::kDatasetMismatch, Severity::kError, "GV012",
+     "graph-layout table disagrees with the bound dataset"},
     {LintCode::kAggLowConcurrency, Severity::kWarning, "GV101",
      "AGG scratchpad admits < 2 concurrent aggregations"},
     {LintCode::kDnqLowConcurrency, Severity::kWarning, "GV102",
@@ -652,6 +746,8 @@ constexpr LintCodeInfo kLintTable[] = {
      "weight_bytes > 0 on a phase with no DNA model"},
     {LintCode::kOutputClobbersPreload, Severity::kWarning, "GV106",
      "phase output overwrites a preloaded region"},
+    {LintCode::kNoDatasetBound, Severity::kWarning, "GV107",
+     "no dataset bound: topology-dependent checks skipped"},
 };
 
 }  // namespace

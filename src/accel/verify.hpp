@@ -24,12 +24,24 @@
 //   GV008  buffer read before any phase writes it
 //   GV009  illegal phase-field combination
 //   GV010  unusable TileParams (zero ALUs/threads/scratchpads, bad split)
+//   GV011  malformed graph-layout table (empty, zero-vertex graph,
+//          non-contiguous node/edge offsets, bad or undersized
+//          rowptr/colidx regions) — parse-level defects a hand-written
+//          .gnna file can carry but the compiler can never emit
+//   GV012  graph-layout table disagrees with the bound dataset
 //   GV101  AGG scratchpad admits < 2 concurrent entries (serialized aggs)
 //   GV102  DNQ virtual queue admits < 2 concurrent entries
 //   GV103  dead store: phase output never read and not the program result
 //   GV104  expected_contribs supplied but unused (walk_len == 1)
 //   GV105  weight_bytes > 0 on a phase with no DNA model
 //   GV106  phase output overwrites a preloaded region
+//   GV107  no dataset bound: topology-dependent checks skipped
+//
+// Programs are dataset-independent, so most checks run from the program's
+// own graph-layout table alone. Passing the dataset the program will run
+// against enables the topology-dependent checks (GV006 walk-tree
+// recomputation, GV104 degree comparison, GV012 layout agreement);
+// without one, those are skipped and GV107 notes it.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +52,7 @@
 
 #include "accel/config.hpp"
 #include "accel/program.hpp"
+#include "graph/dataset.hpp"
 
 namespace gnna::accel {
 
@@ -55,6 +68,8 @@ enum class LintCode : std::uint16_t {
   kReadBeforeWrite = 8,
   kIllegalPhaseCombo = 9,
   kBadTileParams = 10,
+  kBadGraphLayout = 11,
+  kDatasetMismatch = 12,
   // Warnings: legal but probably not what the author intended.
   kAggLowConcurrency = 101,
   kDnqLowConcurrency = 102,
@@ -62,6 +77,7 @@ enum class LintCode : std::uint16_t {
   kUnusedExpectedContribs = 104,
   kWeightsWithoutDna = 105,
   kOutputClobbersPreload = 106,
+  kNoDatasetBound = 107,
 };
 
 enum class Severity : std::uint8_t { kWarning, kError };
@@ -98,10 +114,13 @@ struct VerifyReport {
   [[nodiscard]] std::string to_string() const;
 };
 
-/// Run every check against `prog` under tile parameters `params`. Never
-/// throws on program defects — they all land in the report.
+/// Run every check against `prog` under tile parameters `params`. `ds`
+/// (optional) is the dataset the program will run against; it enables the
+/// topology-dependent checks (see the header comment). Never throws on
+/// program defects — they all land in the report.
 [[nodiscard]] VerifyReport verify_program(const CompiledProgram& prog,
-                                          const TileParams& params);
+                                          const TileParams& params,
+                                          const graph::Dataset* ds = nullptr);
 
 /// Thrown by verify_or_throw; carries the full report.
 class ProgramVerifyError : public std::runtime_error {
@@ -116,7 +135,8 @@ class ProgramVerifyError : public std::runtime_error {
 /// verify_program + throw ProgramVerifyError if any *error* diagnostics
 /// were produced (warnings never throw). Returns the report otherwise.
 VerifyReport verify_or_throw(const CompiledProgram& prog,
-                             const TileParams& params);
+                             const TileParams& params,
+                             const graph::Dataset* ds = nullptr);
 
 /// The full lint-code catalog, for `gnnaverify --list-codes` and docs.
 struct LintCodeInfo {

@@ -130,6 +130,14 @@ void MemoryController::admit(double now) {
       const std::uint64_t granule = addr / params_.bank_interleave_bytes;
       inf.bank = static_cast<std::uint32_t>(granule % params_.banks);
       inf.row = (granule / params_.banks) / granules_per_row_;
+      if (params_.bank_xor) {
+        // XOR-permute the bank with the row index so row-stride access
+        // patterns rotate across banks instead of camping on one. The
+        // double modulo keeps the permutation a bijection on [0, banks)
+        // for non-power-of-two bank counts too.
+        inf.bank = static_cast<std::uint32_t>(
+            (inf.bank ^ (inf.row % params_.banks)) % params_.banks);
+      }
       // Scheduling happens in schedule_frfcfs(); the request just joins
       // the window here.
     } else {

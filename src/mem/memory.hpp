@@ -84,6 +84,12 @@ struct MemParams {
                                       // queue_entries for admission)
   std::uint32_t starvation_cap = 16;  // max bypasses before forced service
   std::uint32_t bank_interleave_bytes = 64;  // address-to-bank stride
+  // Bank-interleaved XOR address mapping: permute the bank index with the
+  // row index (bank ^= row mod banks) so strided access patterns that
+  // would camp on one bank under plain modulo interleaving spread across
+  // all banks. Row selection is unchanged — only the bank permutation
+  // within each row stripe differs.
+  bool bank_xor = false;
 };
 
 /// Throws std::invalid_argument if the configuration is unusable (zero

@@ -87,6 +87,7 @@ std::vector<RunRequest> parse_batch_manifest(std::istream& in,
     RunRequest req = defaults;
     req.benchmark.reset();
     req.program.reset();
+    req.program_file.clear();
     req.model.reset();
     req.dataset.reset();
     std::uint64_t repeat = 1;
@@ -108,6 +109,15 @@ std::vector<RunRequest> parse_batch_manifest(std::istream& in,
           fail(source, lineno,
                "unknown benchmark '" + value + "' (try gnnasim --list)");
         }
+      } else if (key == "program") {
+        // A GNNA-IR .gnna file to load instead of compiling. The line still
+        // needs benchmark= — it names the dataset the program runs against
+        // (and the label in reports). Paths cannot contain whitespace
+        // (tokens are whitespace-separated).
+        if (value.empty()) {
+          fail(source, lineno, "program needs a file path");
+        }
+        req.program_file = value;
       } else if (key == "config") {
         const auto cfg = config_by_name(value);
         if (!cfg) {
@@ -199,12 +209,27 @@ std::vector<RunRequest> parse_batch_manifest(std::istream& in,
         }
         req.config.mem_params.window_entries =
             static_cast<std::uint32_t>(*n);
+      } else if (key == "mem_bank_xor") {
+        if (value == "1") {
+          req.config.mem_params.bank_xor = true;
+        } else if (value == "0") {
+          req.config.mem_params.bank_xor = false;
+        } else {
+          fail(source, lineno,
+               "mem_bank_xor must be 0 or 1, got '" + value + "'");
+        }
       } else {
         fail(source, lineno, "unknown key '" + key + "'");
       }
     }
     if (!any) continue;  // blank or comment-only line
-    if (!req.benchmark) fail(source, lineno, "line names no benchmark");
+    if (!req.benchmark) {
+      fail(source, lineno,
+           req.program_file.empty()
+               ? "line names no benchmark"
+               : "program= also needs benchmark= (it names the dataset "
+                 "the program runs against)");
+    }
     try {
       mem::validate(req.config.mem_params);
     } catch (const std::invalid_argument& e) {

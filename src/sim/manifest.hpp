@@ -6,6 +6,7 @@
 //   benchmark=GCN/Cora config=gpu-iso-bw clock=1.2 threads=32
 //   benchmark=GAT/Cora partition=block seed=7 repeat=4 verify=0
 //   benchmark=GCN/Cora mem_scheduler=frfcfs mem_banks=8 mem_row_bytes=2048
+//   benchmark=GCN/Cora program=progs/gcn_cora.gnna
 //
 // `benchmark` is required; every other key defaults to the CLI-level
 // default passed in (so `gnnasim --batch runs.txt --config gpu-iso-bw`
@@ -13,10 +14,15 @@
 // into N identical runs. Unknown keys, malformed values, and unknown names
 // are hard errors with the line number in the message.
 //
+// `program=<file>` loads a GNNA-IR .gnna program instead of compiling; the
+// benchmark still supplies the dataset (and the seed still selects its
+// variant), and the loaded program runs through accel::verify before
+// simulation.
+//
 // Memory-controller keys (mem_scheduler, mem_banks, mem_row_bytes,
-// mem_row_hit_ns, mem_row_miss_ns, mem_window) override fields of the
-// line's configuration; since `config=` replaces the whole configuration,
-// put it before any mem_* token on the same line.
+// mem_row_hit_ns, mem_row_miss_ns, mem_window, mem_bank_xor) override
+// fields of the line's configuration; since `config=` replaces the whole
+// configuration, put it before any mem_* token on the same line.
 #pragma once
 
 #include <istream>

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "accel/compiler.hpp"
+#include "accel/ir.hpp"
 
 namespace gnna::sim {
 
@@ -22,6 +23,8 @@ Session::Resolved Session::compile(
   r.dataset = std::move(dataset);
   r.program = std::make_shared<const accel::CompiledProgram>(
       accel::ProgramCompiler{}.compile(model, *r.dataset));
+  r.hash = accel::ir::content_hash(*r.program);
+  r.source = "adhoc";
   return r;
 }
 
@@ -29,34 +32,70 @@ Session::Resolved Session::resolve(const RunRequest& req) {
   if (req.program) {
     if (!req.dataset) {
       throw std::invalid_argument(
-          "RunRequest: a pre-compiled program needs its dataset");
+          "RunRequest: a pre-compiled program needs a dataset to run "
+          "against");
     }
-    return Resolved{req.dataset, req.program};
+    return Resolved{req.dataset, req.program,
+                    accel::ir::content_hash(*req.program), "given"};
+  }
+  if (!req.program_file.empty()) {
+    std::shared_ptr<const graph::Dataset> ds = req.dataset;
+    if (!ds && req.benchmark) {
+      ds = dataset(gnn::benchmark_dataset(*req.benchmark), req.seed);
+    }
+    if (!ds) {
+      throw std::invalid_argument(
+          "RunRequest: program_file needs a dataset (set `dataset` or "
+          "`benchmark` to derive one)");
+    }
+    auto prog = std::make_shared<const accel::CompiledProgram>(
+        accel::ir::load_file(req.program_file));
+    const std::uint64_t h = accel::ir::content_hash(*prog);
+    std::lock_guard<std::mutex> lock(mu_);
+    // Enter the hash store so repeated loads (and identical compiled
+    // programs) share one instance; file loads keep their own provenance
+    // label and don't perturb the hit/miss/dedupe counters.
+    const auto it = store_.emplace(h, std::move(prog)).first;
+    return Resolved{std::move(ds), it->second, h, "file"};
   }
   if (req.benchmark) {
-    const ProgramKey key{*req.benchmark, req.seed};
+    auto ds = dataset(gnn::benchmark_dataset(*req.benchmark), req.seed);
+    const MemoKey key{*req.benchmark, req.seed};
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (const auto it = programs_.find(key); it != programs_.end()) {
+      if (const auto it = memo_.find(key); it != memo_.end()) {
         ++program_hits_;
-        return it->second;
+        return Resolved{std::move(ds), store_.at(it->second), it->second,
+                        "hit"};
       }
     }
-    // Compile outside the program-cache lock: the dataset cache has its
-    // own, and two threads racing on one key just do the work twice — the
-    // results are identical and first-insert wins.
-    Resolved r = compile(gnn::make_benchmark_model(*req.benchmark),
-                         dataset(gnn::benchmark_dataset(*req.benchmark),
-                                 req.seed));
+    // Compile outside the lock: the dataset cache has its own, and two
+    // threads racing on one key just do the work twice — the results are
+    // identical and first-insert wins.
+    auto prog = std::make_shared<const accel::CompiledProgram>(
+        accel::ProgramCompiler{}.compile(gnn::make_benchmark_model(
+                                             *req.benchmark),
+                                         *ds));
+    const std::uint64_t h = accel::ir::content_hash(*prog);
     std::lock_guard<std::mutex> lock(mu_);
-    ++program_misses_;
-    return programs_.emplace(key, std::move(r)).first->second;
+    memo_[key] = h;
+    auto [it, inserted] = store_.emplace(h, std::move(prog));
+    if (inserted) {
+      ++program_misses_;
+      return Resolved{std::move(ds), it->second, h, "miss"};
+    }
+    // An identical program (same IR text, so same behavior) was already
+    // cached — typically the same benchmark under a different seed whose
+    // generated topology came out identical.
+    ++program_dedupes_;
+    return Resolved{std::move(ds), it->second, h, "dedupe"};
   }
   if (req.model && req.dataset) {
     return compile(*req.model, req.dataset);
   }
   throw std::invalid_argument(
-      "RunRequest: set a benchmark, a program, or a (model, dataset) pair");
+      "RunRequest: set a benchmark, a program, a program_file, or a "
+      "(model, dataset) pair");
 }
 
 accel::RunStats Session::run(const RunRequest& req) {
@@ -71,7 +110,9 @@ accel::RunStats Session::run(const RunRequest& req) {
   sim.set_verify(req.verify);
   sim.set_trace(req.trace);
 
-  accel::RunStats rs = sim.run(*r.program);
+  accel::RunStats rs = sim.run(*r.program, *r.dataset);
+  rs.program_hash = r.hash;
+  rs.program_cache = r.source;
   if (req.benchmark) rs.program_name = gnn::benchmark_name(*req.benchmark);
   if (!req.label.empty()) rs.program_name = req.label;
   return rs;
@@ -84,6 +125,7 @@ Session::CacheCounters Session::cache_counters() const {
   std::lock_guard<std::mutex> lock(mu_);
   c.program_hits = program_hits_;
   c.program_misses = program_misses_;
+  c.program_dedupes = program_dedupes_;
   return c;
 }
 

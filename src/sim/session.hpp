@@ -35,13 +35,18 @@ namespace gnna::sim {
 /// plus the per-run knobs (how to run it). Copyable and cheap — custom
 /// datasets and pre-compiled programs are carried by shared_ptr.
 struct RunRequest {
-  // -- Workload. Exactly one of the three forms must be set; precedence is
-  //    program > benchmark > (model, dataset).
+  // -- Workload. Exactly one of the four forms must be set; precedence is
+  //    program > program_file > benchmark > (model, dataset).
   /// A Table VII benchmark, resolved through the session caches.
   std::optional<gnn::Benchmark> benchmark;
   /// A pre-compiled program (from Session::compile). `dataset` must be the
-  /// dataset it was compiled against (the program references it).
+  /// dataset it will run against (programs are dataset-independent, but
+  /// their graph-layout table must match — accel::verify checks, GV012).
   std::shared_ptr<const accel::CompiledProgram> program;
+  /// A GNNA-IR program file (.gnna) loaded instead of compiling. The
+  /// dataset comes from `dataset` if set, else from `benchmark` + `seed`;
+  /// the loaded program runs through accel::verify before simulation.
+  std::string program_file;
   /// An explicit model over an explicit dataset (custom sweeps).
   std::optional<gnn::ModelSpec> model;
   std::shared_ptr<const graph::Dataset> dataset;
@@ -69,19 +74,29 @@ struct RunRequest {
 
 class Session {
  public:
-  /// A resolved workload: the program plus the dataset keeping it alive
-  /// (CompiledProgram holds a non-owning dataset pointer).
+  /// A resolved workload: the program, the dataset it runs against, and
+  /// cache provenance (the program's GNNA-IR content hash plus where it
+  /// came from — "hit", "dedupe", "miss", "file", "adhoc", or "given";
+  /// see RunStats::program_cache).
   struct Resolved {
     std::shared_ptr<const graph::Dataset> dataset;
     std::shared_ptr<const accel::CompiledProgram> program;
+    std::uint64_t hash = 0;
+    std::string source;
   };
 
   /// Cache-hit accounting (for tests and cache-effectiveness reports).
+  /// The program cache is two-level: a (benchmark, seed) memo in front of
+  /// a content-hash store. `program_hits` counts memo hits (no compile),
+  /// `program_dedupes` counts compiles whose IR hash matched an existing
+  /// program (compiled, then shared), `program_misses` counts fresh
+  /// inserts.
   struct CacheCounters {
     std::uint64_t dataset_hits = 0;
     std::uint64_t dataset_misses = 0;
     std::uint64_t program_hits = 0;
     std::uint64_t program_misses = 0;
+    std::uint64_t program_dedupes = 0;
   };
 
   Session() = default;
@@ -99,10 +114,11 @@ class Session {
                                  std::shared_ptr<const graph::Dataset> dataset);
 
   /// Resolve the workload of `req` against the caches. Benchmark programs
-  /// are cached by (benchmark, seed) — the dataset is determined by the
-  /// benchmark plus the seed and the model by the benchmark alone, so the
-  /// key is content-complete. Throws std::invalid_argument if the request
-  /// names no workload.
+  /// go through a (benchmark, seed) memo in front of a store keyed by
+  /// GNNA-IR content hash, so identical programs compiled from different
+  /// (benchmark, seed) pairs dedupe to one shared instance. Programs
+  /// loaded from .gnna files enter the same hash store. Throws
+  /// std::invalid_argument if the request names no workload.
   [[nodiscard]] Resolved resolve(const RunRequest& req);
 
   /// Resolve and execute one run on a fresh single-use AcceleratorSim.
@@ -116,14 +132,21 @@ class Session {
   [[nodiscard]] static Session& global();
 
  private:
-  using ProgramKey = std::pair<gnn::Benchmark, std::uint64_t>;
+  using MemoKey = std::pair<gnn::Benchmark, std::uint64_t>;
 
   graph::DatasetCache datasets_;
 
   mutable std::mutex mu_;
-  std::map<ProgramKey, Resolved> programs_;
+  /// (benchmark, seed) -> IR content hash: answers "have we compiled this
+  /// request before" without recompiling.
+  std::map<MemoKey, std::uint64_t> memo_;
+  /// IR content hash -> the one shared program instance. Entries come from
+  /// benchmark compiles and .gnna file loads alike.
+  std::map<std::uint64_t, std::shared_ptr<const accel::CompiledProgram>>
+      store_;
   std::uint64_t program_hits_ = 0;
   std::uint64_t program_misses_ = 0;
+  std::uint64_t program_dedupes_ = 0;
 };
 
 }  // namespace gnna::sim

@@ -153,6 +153,15 @@ void write_run_stats_json(std::ostream& os, const accel::RunStats& rs,
   ObjectWriter w(os, indent);
   w.num("schema_version", std::uint64_t{kStatsJsonSchemaVersion});
   w.str("program", rs.program_name);
+  // GNNA-IR content hash (hex) and cache provenance of the executed
+  // program; empty/absent when the simulator was driven directly.
+  if (!rs.program_cache.empty()) {
+    char hash_buf[32];
+    std::snprintf(hash_buf, sizeof hash_buf, "%016llx",
+                  static_cast<unsigned long long>(rs.program_hash));
+    w.str("program_hash", hash_buf);
+    w.str("program_cache", rs.program_cache);
+  }
   w.str("config", rs.config_name);
   w.num("core_clock_ghz", rs.core_clock_ghz);
   w.num("cycles", rs.cycles);

@@ -15,9 +15,12 @@ namespace gnna::sim {
 /// block (see trace/profiler.hpp); v3 added the memory-scheduler detail:
 /// "mem_scheduler", "mem_row_hits"/"mem_row_misses"/"mem_row_hit_rate",
 /// "mem_queue_occupancy"/"mem_queue_occupancy_max", and the per-bank
-/// "mem_banks" array (empty under the in-order scheduler). Readers should
-/// treat a missing field as v1.
-inline constexpr int kStatsJsonSchemaVersion = 3;
+/// "mem_banks" array (empty under the in-order scheduler); v4 added the
+/// program-provenance pair "program_hash" (GNNA-IR content hash, 16 hex
+/// digits) and "program_cache" (hit | dedupe | miss | file | adhoc |
+/// given), present when the run went through the session layer. Readers
+/// should treat a missing field as v1.
+inline constexpr int kStatsJsonSchemaVersion = 4;
 
 /// One run as a JSON object (all counters, utilizations, and the per-phase
 /// breakdown). Doubles are emitted with round-trip precision.

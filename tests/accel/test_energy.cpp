@@ -85,7 +85,7 @@ TEST(Energy, EndToEndCountersArePopulated) {
   const auto prog =
       ProgramCompiler{}.compile(gnn::make_gcn(8, 3, 4), ds);
   AcceleratorSim sim(AcceleratorConfig::cpu_iso_bw());
-  const RunStats rs = sim.run(prog);
+  const RunStats rs = sim.run(prog, ds);
   EXPECT_GT(rs.dna_macs, 0U);
   EXPECT_GT(rs.agg_words_reduced, 0U);
   EXPECT_GT(rs.dnq_words, 0U);

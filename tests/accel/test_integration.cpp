@@ -30,7 +30,7 @@ RunStats run(const gnn::ModelSpec& model, const graph::Dataset& ds,
              AcceleratorConfig cfg = AcceleratorConfig::cpu_iso_bw()) {
   const auto prog = ProgramCompiler{}.compile(model, ds);
   AcceleratorSim sim(cfg);
-  return sim.run(prog);
+  return sim.run(prog, ds);
 }
 
 TEST(Integration, GatherTrafficMatchesDegreeSumExactly) {
@@ -95,7 +95,7 @@ TEST(Integration, RequestsSpreadAcrossMemoryControllers) {
   // Footprint must span several 4 KiB pages for the test to be meaningful.
   ASSERT_GT(prog.memmap.total_bytes(), 8U * 4096U);
   AcceleratorSim sim(AcceleratorConfig::gpu_iso_bw());
-  const RunStats rs = sim.run(prog);
+  const RunStats rs = sim.run(prog, ds);
   EXPECT_EQ(rs.tasks_completed, 512U);
   // Mean bandwidth above one controller's peak proves multi-controller use.
   EXPECT_GT(rs.mem_bytes_served, 0U);
@@ -107,7 +107,7 @@ TEST(Integration, EdgePhaseEntriesEqualDirectedEdgesPlusSelf) {
   const gnn::ModelSpec gat = gnn::make_gat(8, 2, 2, 4);
   const auto prog = ProgramCompiler{}.compile(gat, ds);
   AcceleratorSim sim(AcceleratorConfig::cpu_iso_bw());
-  const RunStats rs = sim.run(prog);
+  const RunStats rs = sim.run(prog, ds);
   // Attention phases process one DNQ entry per (edge + self); projection
   // phases one per vertex. All of them produce exactly one DNA result.
   const std::uint64_t sym_edges = ds.undirected[0].num_edges();
@@ -176,7 +176,7 @@ TEST(Integration, BlockPartitionAlsoCompletes) {
   const auto prog = ProgramCompiler{}.compile(gnn::make_gcn(8, 3, 4), ds);
   AcceleratorSim sim(AcceleratorConfig::gpu_iso_bw(),
                      graph::PartitionPolicy::kBlock);
-  EXPECT_EQ(sim.run(prog).tasks_completed, 200U);
+  EXPECT_EQ(sim.run(prog, ds).tasks_completed, 200U);
 }
 
 TEST(Integration, PgnnWalkLoadsAreDependent) {
@@ -187,7 +187,7 @@ TEST(Integration, PgnnWalkLoadsAreDependent) {
   const gnn::ModelSpec pg = gnn::make_pgnn(1, 2, 2, /*hops=*/2, /*layers=*/1);
   const auto prog = ProgramCompiler{}.compile(pg, ds);
   AcceleratorSim sim(AcceleratorConfig::cpu_iso_bw());
-  const RunStats rs = sim.run(prog);
+  const RunStats rs = sim.run(prog, ds);
   // Phases: A1 walk (len 1), A2 walk (len 2), projection. Every vertex
   // completes each phase.
   EXPECT_EQ(rs.tasks_completed, 3U * n);

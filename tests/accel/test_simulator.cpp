@@ -44,7 +44,7 @@ RunStats run_model(const gnn::ModelSpec& model, const graph::Dataset& ds,
                    const AcceleratorConfig& cfg) {
   const auto prog = ProgramCompiler{}.compile(model, ds);
   AcceleratorSim sim(cfg);
-  return sim.run(prog);
+  return sim.run(prog, ds);
 }
 
 TEST(Simulator, GcnCompletesAllVertices) {
@@ -145,8 +145,8 @@ TEST(Simulator, RunTwiceThrows) {
   const auto ds = small_dataset();
   const auto prog = ProgramCompiler{}.compile(gnn::make_gcn(8, 3, 4), ds);
   AcceleratorSim sim(AcceleratorConfig::cpu_iso_bw());
-  (void)sim.run(prog);
-  EXPECT_THROW((void)sim.run(prog), std::logic_error);
+  (void)sim.run(prog, ds);
+  EXPECT_THROW((void)sim.run(prog, ds), std::logic_error);
 }
 
 TEST(Simulator, DeterministicCycleCounts) {
@@ -154,7 +154,7 @@ TEST(Simulator, DeterministicCycleCounts) {
   const auto prog = ProgramCompiler{}.compile(gnn::make_gcn(8, 3, 4), ds);
   AcceleratorSim a(AcceleratorConfig::cpu_iso_bw());
   AcceleratorSim b(AcceleratorConfig::cpu_iso_bw());
-  EXPECT_EQ(a.run(prog).cycles, b.run(prog).cycles);
+  EXPECT_EQ(a.run(prog, ds).cycles, b.run(prog, ds).cycles);
 }
 
 TEST(Simulator, PhaseCyclesSumToTotal) {
@@ -192,7 +192,7 @@ TEST(Simulator, WatchdogReportsDiagnostics) {
   topts.deadlock_report_path = ::testing::TempDir() + "watchdog_report.txt";
   sim.set_trace(topts);
   try {
-    (void)sim.run(prog);
+    (void)sim.run(prog, ds);
     FAIL() << "expected the watchdog to fire";
   } catch (const std::runtime_error& e) {
     const std::string msg = e.what();
@@ -221,7 +221,7 @@ TEST(Simulator, SamplerEmitsCsvRows) {
   topts.sample_every = 500;
   topts.sample_out = &csv;
   sim.set_trace(topts);
-  const RunStats rs = sim.run(prog);
+  const RunStats rs = sim.run(prog, ds);
   ASSERT_GT(rs.cycles, 1000U);  // enough for at least two samples
   std::istringstream in(csv.str());
   std::string line;
@@ -238,7 +238,7 @@ TEST(Simulator, TracingDoesNotChangeTiming) {
   const auto ds = small_dataset();
   const auto prog = ProgramCompiler{}.compile(gnn::make_gcn(8, 3, 4), ds);
   AcceleratorSim plain(AcceleratorConfig::cpu_iso_bw());
-  const Cycle baseline = plain.run(prog).cycles;
+  const Cycle baseline = plain.run(prog, ds).cycles;
 
   std::ostringstream json;
   std::ostringstream csv;
@@ -249,7 +249,7 @@ TEST(Simulator, TracingDoesNotChangeTiming) {
   topts.sample_every = 1000;
   topts.sample_out = &csv;
   traced.set_trace(topts);
-  EXPECT_EQ(traced.run(prog).cycles, baseline);
+  EXPECT_EQ(traced.run(prog, ds).cycles, baseline);
   EXPECT_GT(sink.events_written(), 0U);
 }
 

@@ -50,7 +50,7 @@ Compiled gcn() { return compile(gnn::make_gcn(6, 3, 4), tiny_dataset()); }
 TEST(Verify, CleanModelFamiliesProduceNoDiagnostics) {
   const TileParams params;
   const auto check = [&](const Compiled& c) {
-    const VerifyReport r = verify_program(c.prog, params);
+    const VerifyReport r = verify_program(c.prog, params, c.ds.get());
     EXPECT_TRUE(r.ok()) << r.to_string();
     EXPECT_TRUE(r.diagnostics.empty()) << r.to_string();
   };
@@ -66,8 +66,8 @@ TEST(Verify, AllShippedBenchmarksVerifyClean) {
     sim::RunRequest req;
     req.benchmark = b;
     const auto resolved = session.resolve(req);
-    const VerifyReport r =
-        verify_program(*resolved.program, req.config.tile_params);
+    const VerifyReport r = verify_program(
+        *resolved.program, req.config.tile_params, resolved.dataset.get());
     EXPECT_TRUE(r.diagnostics.empty())
         << gnn::benchmark_name(b) << ":\n" << r.to_string();
   }
@@ -186,7 +186,7 @@ TEST(Verify, WrongWalkCountIsError) {
   auto c = compile(gnn::make_pgnn(1, 3, 4, 2, 1), tiny_dataset(1));
   ASSERT_GT(c.prog.phases[1].walk_len, 1U);
   c.prog.phases[1].expected_contribs[0] += 1;
-  const VerifyReport r = verify_program(c.prog, TileParams{});
+  const VerifyReport r = verify_program(c.prog, TileParams{}, c.ds.get());
   EXPECT_FALSE(r.ok());
   EXPECT_TRUE(r.has(LintCode::kBadExpectedContribs)) << r.to_string();
 }
@@ -304,7 +304,7 @@ TEST(Verify, MismatchedUnusedContribsWarn) {
   ASSERT_EQ(c.prog.phases[0].walk_len, 1U);
   ASSERT_FALSE(c.prog.phases[0].expected_contribs.empty());
   c.prog.phases[0].expected_contribs[0] += 5;
-  const VerifyReport r = verify_program(c.prog, TileParams{});
+  const VerifyReport r = verify_program(c.prog, TileParams{}, c.ds.get());
   EXPECT_TRUE(r.ok()) << r.to_string();
   EXPECT_TRUE(r.has(LintCode::kUnusedExpectedContribs)) << r.to_string();
 }
@@ -328,6 +328,64 @@ TEST(Verify, OutputClobberingPreloadWarns) {
   }
   const VerifyReport r = verify_program(c.prog, TileParams{});
   EXPECT_TRUE(r.has(LintCode::kOutputClobbersPreload)) << r.to_string();
+}
+
+// ---- GV011: malformed graph-layout tables ----
+
+TEST(Verify, EmptyGraphLayoutTableIsError) {
+  auto c = gcn();
+  c.prog.graphs.clear();
+  const VerifyReport r = verify_program(c.prog, TileParams{});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.has(LintCode::kBadGraphLayout)) << r.to_string();
+}
+
+TEST(Verify, NonContiguousLayoutOffsetsAreError) {
+  auto c = gcn();
+  c.prog.graphs[0].node_offset = 7;
+  const VerifyReport r = verify_program(c.prog, TileParams{});
+  EXPECT_TRUE(r.has(LintCode::kBadGraphLayout)) << r.to_string();
+}
+
+TEST(Verify, UndersizedRowPtrRegionIsError) {
+  auto c = gcn();
+  // Claim more vertices than the rowptr region (and dataset) hold.
+  c.prog.graphs[0].num_nodes += 100;
+  const VerifyReport r = verify_program(c.prog, TileParams{});
+  EXPECT_TRUE(r.has(LintCode::kBadGraphLayout)) << r.to_string();
+}
+
+// ---- GV012: layout table vs the bound dataset ----
+
+TEST(Verify, LayoutDatasetEdgeCountMismatchIsError) {
+  auto c = gcn();
+  // Shrink the claimed edge count: the topology regions still cover it,
+  // so only the dataset comparison can catch the lie.
+  c.prog.graphs[0].num_edges -= 2;
+  const VerifyReport r = verify_program(c.prog, TileParams{}, c.ds.get());
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.has(LintCode::kDatasetMismatch)) << r.to_string();
+}
+
+TEST(Verify, LayoutGraphCountMismatchIsError) {
+  auto c = gcn();
+  c.prog.graphs.push_back(c.prog.graphs[0]);  // one more than the dataset
+  const VerifyReport r = verify_program(c.prog, TileParams{}, c.ds.get());
+  EXPECT_TRUE(r.has(LintCode::kDatasetMismatch)) << r.to_string();
+}
+
+// ---- GV107: no dataset bound ----
+
+TEST(Verify, NoDatasetBoundWarnsOnce) {
+  const auto c = gcn();
+  const VerifyReport r = verify_program(c.prog, TileParams{});
+  EXPECT_TRUE(r.ok()) << r.to_string();  // warning only
+  EXPECT_TRUE(r.has(LintCode::kNoDatasetBound)) << r.to_string();
+  std::size_t n = 0;
+  for (const auto& d : r.diagnostics) {
+    if (d.code == LintCode::kNoDatasetBound) ++n;
+  }
+  EXPECT_EQ(n, 1U);
 }
 
 // ---- report plumbing ----
@@ -365,7 +423,7 @@ TEST(Verify, ReportPrintsCodeAndPhaseProvenance) {
 
 TEST(Verify, LintCodeTableIsCompleteAndStable) {
   const auto table = lint_code_table();
-  EXPECT_EQ(table.size(), 16U);
+  EXPECT_EQ(table.size(), 19U);
   EXPECT_STREQ(lint_code_name(LintCode::kDnqEntryTooLarge), "GV001");
   EXPECT_STREQ(lint_code_name(LintCode::kOutputClobbersPreload), "GV106");
   for (const auto& e : table) {

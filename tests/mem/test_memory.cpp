@@ -423,6 +423,88 @@ TEST(Memory, FrfcfsDegeneratesBitIdenticallyToInOrder) {
   EXPECT_EQ(in_order.mem->row_hits() + in_order.mem->row_misses(), 0U);
 }
 
+TEST(Memory, BankXorSpreadsRowStridedCampingAcrossBanks) {
+  // Addresses k * (banks * row_bytes) all map to bank 0 under the plain
+  // interleave (granule % banks == 0) while walking a new row each time —
+  // the camping pattern. The XOR permutation folds the row index into the
+  // bank, rotating the stream across all four banks.
+  MemParams plain = frfcfs_params();
+  plain.banks = 4;
+  MemParams permuted = plain;
+  permuted.bank_xor = true;
+  const Addr stride = 4ULL * plain.row_bytes;  // banks * row_bytes
+
+  Rig camp(plain);
+  Rig spread(permuted);
+  for (auto* rig : {&camp, &spread}) {
+    for (std::uint64_t k = 0; k < 4; ++k) {
+      rig->send_read(k * stride, 64, k);
+    }
+    ASSERT_EQ(rig->collect(4).size(), 4U);
+  }
+
+  // Without XOR: all four requests (four distinct rows) hammer bank 0.
+  EXPECT_EQ(camp.mem->stats().banks[0].row_misses.value(), 4U);
+  for (int b = 1; b < 4; ++b) {
+    EXPECT_EQ(camp.mem->stats().banks[b].row_misses.value(), 0U) << b;
+  }
+  // With XOR: one request (and one row miss) per bank.
+  for (int b = 0; b < 4; ++b) {
+    EXPECT_EQ(spread.mem->stats().banks[b].row_misses.value(), 1U) << b;
+  }
+  // The permutation only relabels banks; every byte is still served.
+  EXPECT_EQ(camp.mem->stats().bytes_served.value(),
+            spread.mem->stats().bytes_served.value());
+}
+
+TEST(Memory, BankXorIsDeterministic) {
+  // Same config, same traffic, two independent controllers: response
+  // order and delivery cycles must match exactly (the mapping is a pure
+  // function of the address, no hidden state).
+  MemParams p = frfcfs_params();
+  p.banks = 8;
+  p.bank_xor = true;
+  auto drive = [&]() {
+    Rig rig(p);
+    for (int i = 0; i < 32; ++i) {
+      if (i % 7 == 3) {
+        rig.send_write(static_cast<Addr>(i) * 1024 + 32, 96);
+      } else {
+        rig.send_read(static_cast<Addr>(i) * 2048, 64 + (i % 3) * 64,
+                      static_cast<std::uint64_t>(i));
+      }
+    }
+    return rig.collect(32 - 5, 1'000'000);  // 27 reads expected back
+  };
+  const auto a = drive();
+  const auto b = drive();
+  ASSERT_EQ(a.size(), 27U);
+  ASSERT_EQ(b.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].c, b[i].c) << i;
+    EXPECT_EQ(a[i].delivered_at, b[i].delivered_at) << i;
+  }
+}
+
+TEST(Memory, BankXorWithNonPowerOfTwoBanksStaysInRange) {
+  // The double modulo keeps the permuted bank inside [0, banks) for a
+  // non-power-of-two bank count; per-bank stats account every request.
+  MemParams p = frfcfs_params();
+  p.banks = 3;
+  p.bank_xor = true;
+  Rig rig(p);
+  for (std::uint64_t k = 0; k < 12; ++k) {
+    rig.send_read(k * 64 * 37, 64, k);  // scattered granules and rows
+  }
+  ASSERT_EQ(rig.collect(12).size(), 12U);
+  ASSERT_EQ(rig.mem->stats().banks.size(), 3U);
+  std::uint64_t accounted = 0;
+  for (const auto& b : rig.mem->stats().banks) {
+    accounted += b.row_hits.value() + b.row_misses.value();
+  }
+  EXPECT_EQ(accounted, 12U);
+}
+
 TEST(Memory, FrfcfsWindowBackpressuresLikeInOrderQueue) {
   MemParams p = frfcfs_params();
   p.window_entries = 4;

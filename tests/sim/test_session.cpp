@@ -3,9 +3,17 @@
 // hit on repeated resolution.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <sstream>
+
 #include "accel/compiler.hpp"
+#include "accel/ir.hpp"
 #include "graph/dataset_cache.hpp"
+#include "sim/batch_runner.hpp"
+#include "sim/json.hpp"
+#include "sim/manifest.hpp"
 #include "sim/session.hpp"
+#include "sim/stats_json.hpp"
 
 namespace gnna::sim {
 namespace {
@@ -100,7 +108,7 @@ TEST(Session, MatchesHandRolledPipeline) {
   const accel::CompiledProgram prog =
       accel::ProgramCompiler{}.compile(model, ds);
   accel::AcceleratorSim sim(accel::AcceleratorConfig::cpu_iso_bw());
-  const accel::RunStats manual = sim.run(prog);
+  const accel::RunStats manual = sim.run(prog, ds);
 
   Session session;
   RunRequest req;
@@ -144,6 +152,109 @@ TEST(Session, ClockAndThreadOverridesApply) {
   // A 4-thread 1.2 GHz run cannot tie the 16-thread 2.4 GHz default in
   // wall time (cycle counts aren't comparable across clocks).
   EXPECT_GT(rs.millis, def.millis);
+}
+
+TEST(Session, RunStatsCarryProgramHashAndCacheSource) {
+  Session session;
+  RunRequest req;
+  req.benchmark = kSmall;
+
+  const accel::RunStats cold = session.run(req);
+  EXPECT_EQ(cold.program_cache, "miss");
+  EXPECT_EQ(cold.program_hash,
+            accel::ir::content_hash(*session.resolve(req).program));
+
+  const accel::RunStats warm = session.run(req);
+  EXPECT_EQ(warm.program_cache, "hit");
+  EXPECT_EQ(warm.program_hash, cold.program_hash);
+
+  // The provenance pair lands in the stats JSON (schema v4) so cache
+  // behavior is observable from --json output alone.
+  std::ostringstream os;
+  write_run_stats_json(os, warm);
+  const json::Value doc = json::Value::parse(os.str());
+  EXPECT_EQ(doc.str_or("program_cache", ""), "hit");
+  char hash_buf[32];
+  std::snprintf(hash_buf, sizeof hash_buf, "%016llx",
+                static_cast<unsigned long long>(warm.program_hash));
+  EXPECT_EQ(doc.str_or("program_hash", ""), hash_buf);
+}
+
+TEST(Session, FileLoadedProgramDedupesAgainstLaterCompile) {
+  // Save GCN/Cora's program from one session, load it as a .gnna file in
+  // another: the later benchmark compile must hash-match the file-loaded
+  // program and share its instance (source "dedupe"), not insert a copy.
+  const std::string path = ::testing::TempDir() + "dedupe.gnna";
+  {
+    Session donor;
+    RunRequest req;
+    req.benchmark = kSmall;
+    accel::ir::save_file(*donor.resolve(req).program, path);
+  }
+
+  Session session;
+  RunRequest from_file;
+  from_file.benchmark = kSmall;  // names the dataset to run against
+  from_file.program_file = path;
+  const Session::Resolved file = session.resolve(from_file);
+  EXPECT_EQ(file.source, "file");
+  // File loads keep their own provenance and don't touch the counters.
+  EXPECT_EQ(session.cache_counters().program_misses, 0U);
+
+  RunRequest compiled;
+  compiled.benchmark = kSmall;
+  const Session::Resolved dedupe = session.resolve(compiled);
+  EXPECT_EQ(dedupe.source, "dedupe");
+  EXPECT_EQ(dedupe.hash, file.hash);
+  EXPECT_EQ(dedupe.program.get(), file.program.get());
+
+  const Session::Resolved memo = session.resolve(compiled);
+  EXPECT_EQ(memo.source, "hit");
+
+  const auto cc = session.cache_counters();
+  EXPECT_EQ(cc.program_hits, 1U);
+  EXPECT_EQ(cc.program_dedupes, 1U);
+  EXPECT_EQ(cc.program_misses, 0U);
+}
+
+TEST(Session, BatchManifestRepeatingBenchmarkReportsCacheInStatsJson) {
+  // The ISSUE's observability contract end to end: a --batch manifest that
+  // repeats a benchmark and varies the seed, run serially through one
+  // session, must show the hit/miss split in the per-run stats JSON.
+  std::istringstream manifest(
+      "benchmark=GCN/Cora repeat=2\n"
+      "benchmark=GCN/Cora seed=99\n");
+  const std::vector<RunRequest> reqs =
+      parse_batch_manifest(manifest, RunRequest{}, "cache.txt");
+  ASSERT_EQ(reqs.size(), 3U);
+
+  Session session;
+  BatchRunner runner(session, 1);  // jobs=1 keeps hit/miss order exact
+  const std::vector<RunResult> results = runner.run(reqs);
+  ASSERT_EQ(results.size(), 3U);
+  for (const RunResult& r : results) ASSERT_TRUE(r.ok()) << r.error;
+
+  std::ostringstream os;
+  write_batch_json(os, results);
+  const json::Value doc = json::Value::parse(os.str());
+  ASSERT_EQ(doc.size(), 3U);
+  const json::Value& first = doc.items()[0];
+  const json::Value& second = doc.items()[1];
+  const json::Value& third = doc.items()[2];
+  EXPECT_EQ(first.str_or("program_cache", ""), "miss");
+  EXPECT_EQ(second.str_or("program_cache", ""), "hit");
+  // Seed 99 regenerates Cora with a different topology, so its program is
+  // a genuinely new entry, not a dedupe of the seed-2020 program.
+  EXPECT_EQ(third.str_or("program_cache", ""), "miss");
+  EXPECT_EQ(first.str_or("program_hash", "a"),
+            second.str_or("program_hash", "b"));
+  EXPECT_NE(first.str_or("program_hash", ""),
+            third.str_or("program_hash", ""));
+
+  const auto cc = session.cache_counters();
+  EXPECT_EQ(cc.program_hits, 1U);
+  EXPECT_EQ(cc.program_misses, 2U);
+  EXPECT_EQ(cc.program_dedupes, 0U);
 }
 
 TEST(Session, EmptyRequestIsRejected) {

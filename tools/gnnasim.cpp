@@ -12,6 +12,7 @@
 // --jobs worker threads, and reports per-run latencies (machine-readable
 // with --json).
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -23,6 +24,7 @@
 #include <vector>
 
 #include "accel/energy.hpp"
+#include "accel/ir.hpp"
 #include "baseline/baselines.hpp"
 #include "common/table.hpp"
 #include "mem/memory.hpp"
@@ -42,6 +44,11 @@ void usage(std::ostream& os) {
         "  --list                     list benchmarks and configurations\n"
         "  --benchmark <name>         e.g. GCN/Cora (required unless --list"
         " or --batch)\n"
+        "  --program <file>           run a GNNA-IR .gnna program instead of\n"
+        "                             compiling; --benchmark still names the\n"
+        "                             dataset it runs against\n"
+        "  --emit-program <file>      compile the benchmark, write it as\n"
+        "                             GNNA-IR text, and exit (no simulation)\n"
         "  --config <name>            cpu-iso-bw | gpu-iso-bw | gpu-iso-flops"
         " (default cpu-iso-bw)\n"
         "  --clock <ghz>              core clock in GHz (default 2.4)\n"
@@ -84,6 +91,9 @@ void usage(std::ostream& os) {
         "                             (default 30)\n"
         "  --mem-window <n>           FR-FCFS: scheduling-window entries\n"
         "                             (default 16)\n"
+        "  --mem-bank-xor             FR-FCFS: XOR-permute the bank index\n"
+        "                             with the row index so strided access\n"
+        "                             patterns spread across banks\n"
         "  --help                     this text\n";
 }
 
@@ -93,11 +103,13 @@ void usage_batch(std::ostream& os) {
         "      partition=block seed=7 repeat=4 verify=0\n"
         "`benchmark' is required per line; other keys default to the CLI\n"
         "flags; `repeat=N' expands the line into N identical runs;\n"
-        "`verify=0|1' toggles static program verification per line.\n"
+        "`verify=0|1' toggles static program verification per line;\n"
+        "`program=<file>' loads a GNNA-IR .gnna program instead of\n"
+        "compiling (benchmark= still names the dataset).\n"
         "Memory keys mem_scheduler=in_order|frfcfs, mem_banks=N,\n"
-        "mem_row_bytes=N, mem_row_hit_ns=X, mem_row_miss_ns=X, mem_window=N\n"
-        "override the line's configuration; put them after any config=\n"
-        "token (config= replaces the whole configuration).\n";
+        "mem_row_bytes=N, mem_row_hit_ns=X, mem_row_miss_ns=X, mem_window=N,\n"
+        "mem_bank_xor=0|1 override the line's configuration; put them after\n"
+        "any config= token (config= replaces the whole configuration).\n";
 }
 
 /// "t.json" -> "t.run3.json" (suffix before the extension, if any).
@@ -253,6 +265,9 @@ int main(int argc, char** argv) {
   std::optional<double> mem_row_hit_ns;
   std::optional<double> mem_row_miss_ns;
   std::optional<std::uint32_t> mem_window;
+  bool mem_bank_xor = false;
+  std::string program_path;
+  std::string emit_program_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -447,6 +462,22 @@ int main(int argc, char** argv) {
         return 2;
       }
       mem_window = static_cast<std::uint32_t>(*parsed);
+    } else if (arg == "--mem-bank-xor") {
+      mem_bank_xor = true;
+    } else if (arg == "--program") {
+      const auto v = next();
+      if (!v || v->empty()) {
+        std::cerr << "error: --program needs a .gnna file\n";
+        return 2;
+      }
+      program_path = *v;
+    } else if (arg == "--emit-program") {
+      const auto v = next();
+      if (!v || v->empty()) {
+        std::cerr << "error: --emit-program needs an output file\n";
+        return 2;
+      }
+      emit_program_path = *v;
     } else {
       std::cerr << "error: unknown option " << arg << "\n";
       usage(std::cerr);
@@ -462,6 +493,7 @@ int main(int argc, char** argv) {
   if (mem_row_hit_ns) cfg.mem_params.row_hit_ns = *mem_row_hit_ns;
   if (mem_row_miss_ns) cfg.mem_params.row_miss_ns = *mem_row_miss_ns;
   if (mem_window) cfg.mem_params.window_entries = *mem_window;
+  if (mem_bank_xor) cfg.mem_params.bank_xor = true;
   try {
     mem::validate(cfg.mem_params);
   } catch (const std::invalid_argument& e) {
@@ -471,8 +503,43 @@ int main(int argc, char** argv) {
 
   sim::Session& session = sim::Session::global();
 
+  // ---- Compile-only mode: emit the benchmark's program as GNNA-IR text.
+  if (!emit_program_path.empty()) {
+    if (!benchmark) {
+      std::cerr << "error: --emit-program needs --benchmark\n";
+      return 2;
+    }
+    if (!batch_path.empty() || !program_path.empty()) {
+      std::cerr << "error: --emit-program excludes --batch and --program\n";
+      return 2;
+    }
+    sim::RunRequest req;
+    req.benchmark = benchmark;
+    req.config = cfg.with_core_clock(clock_ghz);
+    req.partition = partition;
+    req.seed = seed;
+    try {
+      const sim::Session::Resolved r = session.resolve(req);
+      accel::ir::save_file(*r.program, emit_program_path);
+      char hash_buf[32];
+      std::snprintf(hash_buf, sizeof hash_buf, "%016llx",
+                    static_cast<unsigned long long>(r.hash));
+      std::cout << "wrote " << emit_program_path << " ("
+                << r.program->name << ", hash " << hash_buf << ")\n";
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 1;
+    }
+    return 0;
+  }
+
   // ---- Batch mode: manifest -> BatchRunner -> summary table / JSON.
   if (!batch_path.empty()) {
+    if (!program_path.empty()) {
+      std::cerr << "error: --program is single-run only; use program= "
+                   "manifest tokens in --batch mode\n";
+      return 2;
+    }
     std::ifstream manifest(batch_path);
     if (!manifest) {
       std::cerr << "error: cannot open manifest " << batch_path << '\n';
@@ -560,7 +627,9 @@ int main(int argc, char** argv) {
     std::cout << "\ncache     : " << cc.dataset_hits << '/'
               << cc.dataset_hits + cc.dataset_misses << " dataset hits, "
               << cc.program_hits << '/'
-              << cc.program_hits + cc.program_misses << " program hits\n";
+              << cc.program_hits + cc.program_misses + cc.program_dedupes
+              << " program hits, " << cc.program_dedupes
+              << " deduped by IR hash\n";
 
     if (!json_path.empty() &&
         !write_json_file(json_path, [&](std::ostream& os) {
@@ -584,6 +653,11 @@ int main(int argc, char** argv) {
 
   // ---- Single-run mode.
   if (!benchmark) {
+    if (!program_path.empty()) {
+      std::cerr << "error: --program also needs --benchmark (it names the "
+                   "dataset the program runs against)\n";
+      return 2;
+    }
     usage(std::cerr);
     return 2;
   }
@@ -593,6 +667,7 @@ int main(int argc, char** argv) {
 
   sim::RunRequest req;
   req.benchmark = benchmark;
+  req.program_file = program_path;
   req.config = cfg;
   req.partition = partition;
   req.seed = seed;

@@ -1,13 +1,16 @@
 // gnnatrace — offline profile viewer and A/B regression differ.
 //
-//   gnnatrace report <run.json> [--run N] [--top N]
+//   gnnatrace report <run.json> [--run N] [--top N] [--collapsed]
 //   gnnatrace diff <a.json> <b.json> [--run N] [--threshold PCT] [--top N]
 //
 // Inputs are `gnnasim --json` outputs (a single run object or a batch
 // array; `--run` selects the array element). `report` prints the embedded
-// per-phase/per-unit profile; `diff` lines two runs up phase by phase and
-// unit by unit, prints absolute and percentage deltas, and exits 1 when
-// the total-cycle regression exceeds `--threshold` — the CI gate.
+// per-phase/per-unit profile — or, with --collapsed, the GPE flame rollup
+// in collapsed-stack format ("a;b;c N", one line per path, feedable to
+// flamegraph.pl and friends). `diff` lines two runs up phase by phase and
+// unit by unit, prints absolute and percentage deltas, flags phases that
+// exist in only one run, and exits 1 when the total-cycle regression
+// exceeds `--threshold` or a phase appears/disappears — the CI gate.
 //
 // Exit codes: 0 ok, 1 regression beyond threshold, 2 usage/parse error.
 #include <cmath>
@@ -38,15 +41,20 @@ using gnna::trace::PhaseProfile;
 using gnna::trace::ProfileReport;
 
 void usage(std::ostream& os) {
-  os << "usage: gnnatrace report <run.json> [--run N] [--top N]\n"
+  os << "usage: gnnatrace report <run.json> [--run N] [--top N]"
+        " [--collapsed]\n"
         "       gnnatrace diff <a.json> <b.json> [--run N] [--threshold PCT]"
         " [--top N]\n"
         "\n"
         "Reads gnnasim --json output (single run or batch array).\n"
         "  --run N         batch array element to use (default 0)\n"
         "  --top N         flame paths to show in report (default 12)\n"
+        "  --collapsed     report: print the flame rollup as collapsed\n"
+        "                  stacks (`a;b;c N', flamegraph.pl input) instead\n"
+        "                  of tables\n"
         "  --threshold PCT diff: exit 1 if total cycles regress by more\n"
-        "                  than PCT percent (default: report only)\n";
+        "                  than PCT percent, or if any phase exists in\n"
+        "                  only one run (default: report only)\n";
 }
 
 /// One loaded run: the raw JSON object plus the decoded profile (empty
@@ -181,6 +189,26 @@ std::string pct_cell(double a, double b) {
   return (pct >= 0 ? "+" : "") + format_double(pct, 2) + "%";
 }
 
+/// Collapsed-stack emission: one `a;b;c N` line per merged flame path,
+/// weighted by self cycles (the standard flamegraph.pl input, where the
+/// tools re-derive inclusive totals by summing descendants).
+int cmd_report_collapsed(const LoadedRun& run) {
+  if (!run.has_profile) {
+    std::cerr << "error: " << run.path << " has no embedded profile "
+                 "(rerun gnnasim with --profile)\n";
+    return 2;
+  }
+  for (const FlameNode& f : run.profile.merged_flame()) {
+    std::string path = f.path;
+    for (char& c : path) {
+      if (c == '/') c = ';';
+    }
+    const auto weight = static_cast<std::uint64_t>(std::llround(f.self));
+    std::cout << path << ' ' << weight << '\n';
+  }
+  return 0;
+}
+
 int cmd_report(const LoadedRun& run, std::size_t top_n) {
   std::cout << "run: " << run.program << " on " << run.config << " ("
             << format_double(run.cycles, 0) << " cycles)\n";
@@ -213,12 +241,15 @@ int cmd_diff(const LoadedRun& a, const LoadedRun& b,
   std::map<std::string, std::vector<double>> b_by_name;
   for (const auto& [name, cycles] : pb) b_by_name[name].push_back(cycles);
   std::map<std::string, std::size_t> seen;
+  std::size_t one_sided = 0;
   Table phases({"Phase", "A cycles", "B cycles", "Delta", "Delta %"});
   for (const auto& [name, cycles_a] : pa) {
     const std::size_t occurrence = seen[name]++;
     const auto it = b_by_name.find(name);
     if (it == b_by_name.end() || occurrence >= it->second.size()) {
-      phases.add_row({name, format_double(cycles_a, 0), "-", "-", "-"});
+      phases.add_row({name + " (A only)", format_double(cycles_a, 0), "-",
+                      "-", "-"});
+      ++one_sided;
       continue;
     }
     const double cycles_b = it->second[occurrence];
@@ -231,6 +262,7 @@ int cmd_diff(const LoadedRun& a, const LoadedRun& b,
     for (std::size_t i = matched; i < cycles_list.size(); ++i) {
       phases.add_row({name + " (B only)", "-",
                       format_double(cycles_list[i], 0), "-", "-"});
+      ++one_sided;
     }
   }
   phases.add_row({"total", format_double(a.cycles, 0),
@@ -259,6 +291,13 @@ int cmd_diff(const LoadedRun& a, const LoadedRun& b,
   const double pct =
       a.cycles != 0.0 ? (b.cycles - a.cycles) / a.cycles * 100.0 : 0.0;
   if (threshold) {
+    // A phase that appears or disappears is a structural change no cycle
+    // percentage can summarize — the gate fails regardless of the total.
+    if (one_sided > 0) {
+      std::cout << "\nREGRESSION: " << one_sided
+                << " phase(s) present in only one run\n";
+      return 1;
+    }
     if (pct > *threshold) {
       std::cout << "\nREGRESSION: total cycles "
                 << (pct >= 0 ? "+" : "") << format_double(pct, 2)
@@ -288,6 +327,7 @@ int main(int argc, char** argv) {
   std::size_t run_index = 0;
   std::size_t top_n = 12;
   std::optional<double> threshold;
+  bool collapsed = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -321,6 +361,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       threshold = t;
+    } else if (arg == "--collapsed") {
+      collapsed = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "error: unknown flag " << arg << "\n";
       usage(std::cerr);
@@ -341,7 +383,8 @@ int main(int argc, char** argv) {
         std::cerr << "error: report needs exactly one input file\n";
         return 2;
       }
-      return cmd_report(load_run(positional[1], run_index), top_n);
+      const LoadedRun run = load_run(positional[1], run_index);
+      return collapsed ? cmd_report_collapsed(run) : cmd_report(run, top_n);
     }
     if (cmd == "diff") {
       if (positional.size() != 3) {

@@ -9,7 +9,14 @@
 //   gnnaverify --all                      # lint every Table VII benchmark
 //   gnnaverify --benchmark GCN/Cora       # lint one benchmark
 //   gnnaverify runs.txt sweeps.txt        # lint every manifest line
+//   gnnaverify prog.gnna                  # lint a GNNA-IR program file
+//   gnnaverify --bind GCN/Cora prog.gnna  # ... with topology checks too
 //   gnnaverify --list-codes               # print the lint-code catalog
+//
+// Positional files ending in ".gnna" are parsed as GNNA-IR programs and
+// linted directly; parse errors count as lint errors. Without --bind the
+// dataset-dependent checks are skipped and GV107 reports that (which
+// --werror escalates), so CI pipelines should bind the matching benchmark.
 
 #include <fstream>
 #include <iostream>
@@ -18,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "accel/ir.hpp"
 #include "accel/verify.hpp"
 #include "sim/manifest.hpp"
 #include "sim/session.hpp"
@@ -27,10 +35,15 @@ namespace {
 using namespace gnna;
 
 void usage(std::ostream& os) {
-  os << "usage: gnnaverify [options] [manifest...]\n"
+  os << "usage: gnnaverify [options] [manifest|file.gnna ...]\n"
         "  manifest...           batch manifests (gnnasim --batch format);\n"
         "                        every line's program is linted, none are\n"
         "                        simulated\n"
+        "  file.gnna...          GNNA-IR program files, parsed and linted\n"
+        "                        directly (parse errors are lint errors)\n"
+        "  --bind <benchmark>    dataset the .gnna files are checked\n"
+        "                        against; without it the topology checks\n"
+        "                        are skipped and GV107 warns\n"
         "  --benchmark <name>    lint one benchmark (repeatable)\n"
         "  --all                 lint every built-in benchmark\n"
         "  --config <name>       cpu-iso-bw | gpu-iso-bw | gpu-iso-flops\n"
@@ -56,17 +69,26 @@ void print_codes(std::ostream& os) {
 /// produce the same report (repeat=N manifest lines collapse to one lint).
 std::string request_key(const sim::RunRequest& req) {
   std::string k = req.benchmark ? gnn::benchmark_name(*req.benchmark) : "?";
+  if (!req.program_file.empty()) k += "|program=" + req.program_file;
   k += "|seed=" + std::to_string(req.seed);
   k += "|config=" + req.config.name;
   if (req.threads) k += "|threads=" + std::to_string(*req.threads);
   return k;
 }
 
+[[nodiscard]] bool has_gnna_extension(const std::string& path) {
+  const std::string ext = accel::ir::kIrExtension;
+  return path.size() > ext.size() &&
+         path.compare(path.size() - ext.size(), ext.size(), ext) == 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> manifests;
+  std::vector<std::string> program_files;
   std::vector<gnn::Benchmark> benchmarks;
+  std::optional<gnn::Benchmark> bind;
   accel::AcceleratorConfig cfg = accel::AcceleratorConfig::cpu_iso_bw();
   std::optional<std::uint32_t> threads;
   std::uint64_t seed = 2020;
@@ -96,6 +118,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       benchmarks.push_back(*b);
+    } else if (arg == "--bind") {
+      const auto v = next();
+      const auto b = v ? sim::benchmark_by_name(*v) : std::nullopt;
+      if (!b) {
+        std::cerr << "error: --bind needs a known benchmark name (try"
+                     " gnnasim --list)\n";
+        return 2;
+      }
+      bind = *b;
     } else if (arg == "--all") {
       for (const gnn::Benchmark b : gnn::kAllBenchmarks) {
         benchmarks.push_back(b);
@@ -133,6 +164,8 @@ int main(int argc, char** argv) {
       std::cerr << "error: unknown option " << arg << '\n';
       usage(std::cerr);
       return 2;
+    } else if (has_gnna_extension(arg)) {
+      program_files.push_back(arg);
     } else {
       manifests.push_back(arg);
     }
@@ -163,7 +196,7 @@ int main(int argc, char** argv) {
     req.benchmark = b;
     requests.push_back(req);
   }
-  if (requests.empty()) {
+  if (requests.empty() && program_files.empty()) {
     usage(std::cerr);
     return 2;
   }
@@ -186,9 +219,36 @@ int main(int argc, char** argv) {
     }
     accel::TileParams params = req.config.tile_params;
     if (req.threads) params.gpe_threads = *req.threads;
-    const accel::VerifyReport report =
-        accel::verify_program(*resolved.program, params);
+    const accel::VerifyReport report = accel::verify_program(
+        *resolved.program, params, resolved.dataset.get());
     ++programs;
+    errors += report.num_errors();
+    warnings += report.num_warnings();
+    if (!quiet || !report.diagnostics.empty()) report.print(std::cout);
+  }
+
+  // Direct GNNA-IR files: parse, then lint (against the --bind dataset's
+  // topology if given).
+  std::shared_ptr<const graph::Dataset> bound;
+  if (bind && !program_files.empty()) {
+    bound = session.dataset(gnn::benchmark_dataset(*bind), seed);
+  }
+  accel::TileParams file_params = cfg.tile_params;
+  if (threads) file_params.gpe_threads = *threads;
+  for (const std::string& path : program_files) {
+    ++programs;
+    accel::CompiledProgram prog;
+    try {
+      prog = accel::ir::load_file(path);
+    } catch (const std::exception& e) {
+      // Parse/IO failures are findings the compiler can never emit; they
+      // only exist at the file level, so report them here.
+      std::cout << path << ": parse failed: " << e.what() << '\n';
+      ++errors;
+      continue;
+    }
+    const accel::VerifyReport report =
+        accel::verify_program(prog, file_params, bound.get());
     errors += report.num_errors();
     warnings += report.num_warnings();
     if (!quiet || !report.diagnostics.empty()) report.print(std::cout);
