@@ -1,0 +1,168 @@
+// Ablation: partition policy — profile-guided two-pass rebalancing.
+//
+// The static policies spread vertices across tiles blindly: round-robin
+// by id, or contiguous blocks. Profile-guided partitioning closes the
+// loop instead. Pass 1 runs round-robin with the attribution sink on and
+// the hotspot table sized to the whole graph, so every vertex's measured
+// GPE cycles are exact. Pass 2 feeds those loads to
+// graph::make_profile_partition (LPT greedy: heaviest vertex onto the
+// lightest tile) and reruns with the explicit assignment. The sweep
+// prints total cycles and the attribution imbalance metrics for every
+// policy, per workload — the two-pass win shows up as a busy max/mean
+// near 1.000 and a lower cycle count than round-robin wherever the
+// baseline was skewed.
+//
+// This is the in-process version of the CLI recipe (EXPERIMENTS.md):
+//   gnnasim --benchmark X --attribution=p1.json --attribution-top-k 4096
+//   gnnasim --benchmark X --partition profile-guided --attribution-from p1.json
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "gnn/model.hpp"
+#include "graph/partition.hpp"
+
+namespace {
+
+using namespace gnna;
+
+/// Hub-dominated citation graph: Zipf destination sampling with a steep
+/// exponent concentrates a large fraction of the edges on a handful of
+/// vertices, so per-vertex gather work is strongly skewed — the regime
+/// static splits handle worst.
+graph::Dataset make_citation_hub(NodeId nodes, EdgeId edges, double alpha,
+                                 std::uint32_t feats,
+                                 std::uint64_t seed = 17) {
+  Rng rng(seed);
+  graph::Dataset ds;
+  ds.spec = {"CITE_hub", 1, nodes, edges, feats, 0, 7};
+  ds.graphs.push_back(
+      graph::generate_citation_graph(rng, nodes, edges, alpha));
+  ds.undirected.push_back(ds.graphs[0].symmetrized());
+  std::vector<float> nf(std::size_t{nodes} * feats);
+  for (auto& x : nf) x = rng.next_float(0.0F, 1.0F);
+  ds.node_features.push_back(std::move(nf));
+  ds.edge_features.emplace_back();
+  return ds;
+}
+
+struct PolicyResult {
+  std::string label;
+  accel::RunStats stats;
+};
+
+/// One simulation with attribution always on (needed by pass 1 to measure
+/// and by every pass to report imbalance).
+accel::RunStats run_once(const sim::Session::Resolved& prog,
+                         const accel::AcceleratorConfig& cfg,
+                         graph::PartitionPolicy policy,
+                         const std::vector<TileId>* owners,
+                         const benchutil::EnvTrace& env_trace,
+                         NodeId total_vertices) {
+  accel::AcceleratorSim sim(cfg, policy);
+  accel::TraceOptions opts = env_trace.options();
+  opts.attribution = true;
+  // Bound the hotspot table by the graph itself: every vertex is tracked
+  // exactly, so the measured loads (and the LPT split built from them)
+  // carry no sketch approximation.
+  opts.attribution_top_k = total_vertices;
+  sim.set_trace(opts);
+  if (owners != nullptr) sim.set_work_owners(*owners);
+  return sim.run(*prog.program, *prog.dataset);
+}
+
+void sweep(const sim::Session::Resolved& prog,
+           const accel::AcceleratorConfig& cfg,
+           const benchutil::EnvTrace& env_trace, const std::string& label) {
+  std::cout << "--- " << label << " (" << cfg.num_tiles() << " tiles) ---\n";
+
+  NodeId total_vertices = 0;
+  for (const auto& g : prog.dataset->graphs) total_vertices += g.num_nodes();
+
+  std::vector<PolicyResult> results;
+  results.push_back({"round-robin",
+                     run_once(prog, cfg, graph::PartitionPolicy::kRoundRobin,
+                              nullptr, env_trace, total_vertices)});
+  results.push_back({"block",
+                     run_once(prog, cfg, graph::PartitionPolicy::kBlock,
+                              nullptr, env_trace, total_vertices)});
+
+  // Two-pass: measured per-vertex GPE cycles from the round-robin run
+  // drive the LPT rebalance of the rerun.
+  const trace::AttributionReport& pass1 = *results[0].stats.attribution;
+  std::vector<double> loads(total_vertices, 0.0);
+  for (const auto& v : pass1.vertices) {
+    if (v.vertex < loads.size()) loads[v.vertex] = v.busy;
+  }
+  const graph::Partition part = graph::make_profile_partition(
+      total_vertices, static_cast<TileId>(cfg.num_tiles()), loads);
+  std::vector<TileId> owners(total_vertices, 0);
+  for (NodeId v = 0; v < total_vertices; ++v) owners[v] = part.owner(v);
+  results.push_back({"profile-guided",
+                     run_once(prog, cfg, graph::PartitionPolicy::kRoundRobin,
+                              &owners, env_trace, total_vertices)});
+
+  const auto base = static_cast<double>(results[0].stats.cycles);
+  Table t({"Policy", "Cycles", "vs round-robin", "Busy max/mean",
+           "Flit gini"});
+  for (const PolicyResult& r : results) {
+    const trace::AttributionReport& ar = *r.stats.attribution;
+    t.add_row({r.label, std::to_string(r.stats.cycles),
+               format_double(base / static_cast<double>(r.stats.cycles), 3) +
+                   "x",
+               format_double(ar.busy_max_mean(), 3),
+               format_double(ar.flit_gini(), 3)});
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: partition policy (two-pass profile-guided "
+               "rebalance) ===\n\n";
+
+  const benchutil::EnvTrace env_trace;
+  sim::Session session;
+
+  const std::shared_ptr<const graph::Dataset> cora =
+      session.dataset(graph::DatasetId::kCora);
+  sweep(session.compile(gnn::make_gcn(cora->spec.vertex_features,
+                                      cora->spec.output_features),
+                        cora),
+        accel::AcceleratorConfig::gpu_iso_bw(), env_trace, "GCN / Cora");
+  sweep(session.compile(gnn::make_gat(cora->spec.vertex_features,
+                                      cora->spec.output_features),
+                        cora),
+        accel::AcceleratorConfig::gpu_iso_bw(), env_trace, "GAT / Cora");
+
+  // Skewed citation graph: a few Zipf hubs own a large share of the
+  // edges, so blind splits leave the hub tiles as barrier stragglers —
+  // the regime where the measured rebalance pays off.
+  // GAT is compute-bound on this config (GPE ~80% utilized, memory ~50%),
+  // so the hub tiles' GPE queues are the critical path — exactly what the
+  // rebalance removes. GCN at the same shape stays memory-bandwidth-bound
+  // and is insensitive to GPE balance (see the Cora rows above).
+  auto cite = std::make_shared<const graph::Dataset>(
+      make_citation_hub(2048, 32768, 1.5, 64));
+  sweep(session.compile(
+            gnn::make_gat(cite->spec.vertex_features,
+                          cite->spec.output_features),
+            cite),
+        accel::AcceleratorConfig::gpu_iso_bw(), env_trace,
+        "GAT / citation-hub-2k");
+
+  std::cout << "Expected shape: on the memory-bandwidth-bound Cora runs "
+               "(GCN streams the whole\nfeature matrix) cycle counts are "
+               "insensitive to GPE balance and the policies\ntie within "
+               "noise. On the compute-bound skewed pair the hub tiles are "
+               "the\nbarrier-limited stragglers: profile-guided LPT packs "
+               "the measured loads to a\nbusy max/mean near 1.00 and beats "
+               "round-robin outright, while block\npartitioning "
+               "concentrates the hubs and loses ground.\n";
+  return 0;
+}

@@ -16,7 +16,8 @@ Agg::Agg(const TileParams& params, noc::MeshNetwork& net, EndpointId endpoint,
 
 std::optional<AggHandle> Agg::allocate(std::uint32_t width_words,
                                        std::uint64_t expected_words,
-                                       ReduceOp op, Dest dest) {
+                                       ReduceOp op, Dest dest,
+                                       std::uint32_t owner) {
   // Malformed requests are program bugs, not transient resource pressure:
   // report them explicitly instead of returning nullopt (which the GPE
   // treats as "retry next cycle" — an infinite retry loop for these).
@@ -57,6 +58,7 @@ std::optional<AggHandle> Agg::allocate(std::uint32_t width_words,
   e.width_words = width_words;
   e.expected_words = expected_words;
   e.received_words = 0;
+  e.owner = owner;
   e.op = op;
   e.dest = dest;
   e.values.assign(width_words, reduce_identity(op));
@@ -111,6 +113,7 @@ void Agg::complete(AggHandle h) {
             m.dst = mem_ep;
             m.kind = noc::MsgKind::kMemWriteReq;
             m.payload_bytes = static_cast<std::uint32_t>(seg_bytes);
+            m.owner = e.owner;
             m.a = addr;
             m.b = seg_bytes;
             net_.send(m);
@@ -122,6 +125,7 @@ void Agg::complete(AggHandle h) {
       m.dst = e.dest.ep;
       m.kind = noc::MsgKind::kDnqWrite;
       m.payload_bytes = bytes;
+      m.owner = e.owner;
       m.a = e.dest.handle;
       net_.send(m);
       break;
@@ -132,6 +136,7 @@ void Agg::complete(AggHandle h) {
       m.dst = e.dest.ep;
       m.kind = noc::MsgKind::kAggWrite;
       m.payload_bytes = bytes;
+      m.owner = e.owner;
       m.a = e.dest.handle;
       net_.send(m);
       break;
@@ -235,6 +240,8 @@ void Agg::tick() {
     stats_.words_reduced.add(words);
     if (tracer_.enabled()) {
       tracer_.complete("reduce", start, cycles * scale_, h, words);
+      // Attribution: the entry's owner paid for this ALU occupancy.
+      tracer_.charge(e.owner, cycles * scale_);
     }
     e.received_words += words;
     if (e.received_words >= e.expected_words) complete(h);

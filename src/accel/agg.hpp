@@ -51,11 +51,12 @@ class Agg {
 
   /// Allocation-bus interface (same-tile GPE). `expected_words` is the
   /// total number of 4B elements that will arrive before the aggregation
-  /// completes (the per-aggregation count of Fig 7). Returns nullopt when
-  /// the data or control scratchpad is full.
-  [[nodiscard]] std::optional<AggHandle> allocate(std::uint32_t width_words,
-                                                  std::uint64_t expected_words,
-                                                  ReduceOp op, Dest dest);
+  /// completes (the per-aggregation count of Fig 7). `owner` is the work
+  /// item the aggregation computes (attribution only). Returns nullopt
+  /// when the data or control scratchpad is full.
+  [[nodiscard]] std::optional<AggHandle> allocate(
+      std::uint32_t width_words, std::uint64_t expected_words, ReduceOp op,
+      Dest dest, std::uint32_t owner = noc::kNoOwner);
 
   /// NoC delivery (kMemReadResp / kAggWrite with a = handle).
   void on_message(const noc::Message& msg);
@@ -92,6 +93,7 @@ class Agg {
     std::uint32_t width_words = 0;
     std::uint64_t expected_words = 0;
     std::uint64_t received_words = 0;
+    std::uint32_t owner = noc::kNoOwner;  // attribution only
     ReduceOp op = ReduceOp::kSum;
     Dest dest;
     std::vector<Fixed32> values;  // width_words, identity-initialized

@@ -40,6 +40,7 @@ void Dna::emit(const PendingResult& r) {
             m.dst = mem_ep;
             m.kind = noc::MsgKind::kMemWriteReq;
             m.payload_bytes = static_cast<std::uint32_t>(seg_bytes);
+            m.owner = r.owner;
             m.a = addr;
             m.b = seg_bytes;
             net_.send(m);
@@ -51,6 +52,7 @@ void Dna::emit(const PendingResult& r) {
       m.dst = r.dest.ep;
       m.kind = noc::MsgKind::kDnqWrite;
       m.payload_bytes = bytes;
+      m.owner = r.owner;
       m.a = r.dest.handle;
       net_.send(m);
       break;
@@ -61,6 +63,7 @@ void Dna::emit(const PendingResult& r) {
       m.dst = r.dest.ep;
       m.kind = noc::MsgKind::kAggWrite;
       m.payload_bytes = bytes;
+      m.owner = r.owner;
       m.a = r.dest.handle;
       net_.send(m);
       break;
@@ -124,6 +127,7 @@ void Dna::tick(Dnq& dnq) {
   PendingResult r;
   r.ready_at = array_free_at_ + params_.dna_pipeline_latency * scale_;
   r.out_words = model.out_words;
+  r.owner = entry->owner;
   r.dest = entry->dest;
   results_.push_back(r);
 }

@@ -69,6 +69,7 @@ class Dna {
   struct PendingResult {
     double ready_at = 0.0;
     std::uint32_t out_words = 0;
+    std::uint32_t owner = noc::kNoOwner;  // attribution only
     Dest dest;
   };
 

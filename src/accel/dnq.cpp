@@ -44,7 +44,8 @@ void Dnq::configure(std::uint32_t queue0_bytes, std::uint32_t queue1_bytes) {
 }
 
 std::optional<DnqHandle> Dnq::allocate(std::uint8_t queue,
-                                       std::uint32_t width_words, Dest dest) {
+                                       std::uint32_t width_words, Dest dest,
+                                       std::uint32_t owner) {
   if (queue >= 2) {
     throw std::invalid_argument("Dnq::allocate: virtual queue " +
                                 std::to_string(queue) + " out of range");
@@ -78,6 +79,7 @@ std::optional<DnqHandle> Dnq::allocate(std::uint8_t queue,
   e.active = true;
   e.queue = queue;
   e.width_words = width_words;
+  e.owner = owner;
   e.received_bytes = 0;
   e.dest = dest;
   bytes_used_[queue] += bytes;
@@ -114,6 +116,7 @@ DnqEntry Dnq::pop_head(std::uint8_t q) {
   DnqEntry out;
   out.queue = q;
   out.width_words = e.width_words;
+  out.owner = e.owner;
   out.dest = e.dest;
   bytes_used_[q] -= std::uint64_t{e.width_words} * 4;
   e.active = false;

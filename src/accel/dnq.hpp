@@ -44,6 +44,7 @@ struct DnqStats {
 struct DnqEntry {
   std::uint8_t queue = 0;
   std::uint32_t width_words = 0;
+  std::uint32_t owner = noc::kNoOwner;  // attribution only
   Dest dest;
 };
 
@@ -62,11 +63,12 @@ class Dnq {
   void configure(std::uint32_t queue0_bytes, std::uint32_t queue1_bytes);
 
   /// Delayed enqueue: reserve space in virtual queue `queue` for an entry
-  /// of `width_words`, recording the result destination. nullopt when the
+  /// of `width_words`, recording the result destination. `owner` is the
+  /// work item the entry computes (attribution only). nullopt when the
   /// data or destination scratchpad is full.
-  [[nodiscard]] std::optional<DnqHandle> allocate(std::uint8_t queue,
-                                                  std::uint32_t width_words,
-                                                  Dest dest);
+  [[nodiscard]] std::optional<DnqHandle> allocate(
+      std::uint8_t queue, std::uint32_t width_words, Dest dest,
+      std::uint32_t owner = noc::kNoOwner);
 
   /// Data arrival (kMemReadResp / kDnqWrite with a = handle).
   void on_message(const noc::Message& msg);
@@ -98,6 +100,7 @@ class Dnq {
     bool active = false;
     std::uint8_t queue = 0;
     std::uint32_t width_words = 0;
+    std::uint32_t owner = noc::kNoOwner;  // attribution only
     std::uint64_t received_bytes = 0;
     Dest dest;
 

@@ -39,7 +39,8 @@ bool Gpe::idle() const {
 }
 
 std::uint32_t Gpe::issue_load(Addr addr, std::uint64_t bytes,
-                              EndpointId reply_to, std::uint64_t tag) {
+                              EndpointId reply_to, std::uint64_t tag,
+                              std::uint32_t owner) {
   std::uint32_t segments = 0;
   addr_map_.for_each_segment(
       addr, bytes, [&](EndpointId mem_ep, Addr a, std::uint64_t seg) {
@@ -49,6 +50,7 @@ std::uint32_t Gpe::issue_load(Addr addr, std::uint64_t bytes,
         m.reply_to = reply_to;
         m.kind = noc::MsgKind::kMemReadReq;
         m.payload_bytes = 0;  // request header: one flit
+        m.owner = owner;
         m.a = a;
         m.b = seg;
         m.c = tag;
@@ -60,12 +62,13 @@ std::uint32_t Gpe::issue_load(Addr addr, std::uint64_t bytes,
   return segments;
 }
 
-void Gpe::send_to_dnq(DnqHandle h, std::uint32_t words) {
+void Gpe::send_to_dnq(DnqHandle h, std::uint32_t words, std::uint32_t owner) {
   noc::Message m;
   m.src = ep_gpe_;
   m.dst = ep_dnq_;
   m.kind = noc::MsgKind::kDnqWrite;
   m.payload_bytes = words * kWordBytes;
+  m.owner = owner;
   m.a = h;
   net_.send(m);
 }
@@ -212,7 +215,8 @@ double Gpe::step(Thread& t, Agg& agg, Dnq& dnq) {
                                       std::uint64_t{t.local_v} * kWordBytes);
     t.pending_responses = issue_load(a, 2 * kWordBytes, ep_gpe_,
                                      static_cast<std::uint64_t>(
-                                         &t - threads_.data()));
+                                         &t - threads_.data()),
+                                     t.work);
     t.state = Thread::State::kWaitMem;
     t.stage = 1;
     return params_.cost_issue_load;
@@ -236,7 +240,8 @@ double Gpe::step(Thread& t, Agg& agg, Dnq& dnq) {
         std::uint64_t{deg} * (ph.weighted_edges ? 2 * kWordBytes : kWordBytes);
     t.pending_responses = issue_load(a, bytes, ep_gpe_,
                                      static_cast<std::uint64_t>(
-                                         &t - threads_.data()));
+                                         &t - threads_.data()),
+                                     t.work);
     t.state = Thread::State::kWaitMem;
     return params_.cost_issue_load;
   }
@@ -265,7 +270,7 @@ double Gpe::step_gather_aggregate(Thread& t, Agg& agg, Dnq& dnq) {
     Dest dest;
     dest.kind = Dest::Kind::kMemWrite;
     dest.addr = out_addr;
-    auto h = dnq.allocate(0, ph.agg_width_words, dest);
+    auto h = dnq.allocate(0, ph.agg_width_words, dest, t.work);
     if (!h.has_value()) {
       stall(t);
       return params_.cost_alloc;
@@ -289,7 +294,8 @@ double Gpe::step_gather_aggregate(Thread& t, Agg& agg, Dnq& dnq) {
     const std::uint64_t contribs =
         ph.walk_len > 1 ? ph.expected_contribs[t.work] : t.n_contrib;
     auto h = agg.allocate(ph.agg_width_words,
-                          contribs * ph.agg_width_words, ph.agg_op, dest);
+                          contribs * ph.agg_width_words, ph.agg_op, dest,
+                          t.work);
     if (!h.has_value()) {
       stall(t);
       return params_.cost_alloc;
@@ -318,7 +324,7 @@ double Gpe::step_gather_aggregate(Thread& t, Agg& agg, Dnq& dnq) {
       prog_->graphs[t.graph_idx].node_offset + u_local;
   issue_load(vertex_addr(ph.gather, u_global),
              std::uint64_t{ph.gather.width_words} * kWordBytes, ep_agg_,
-             t.agg_h);
+             t.agg_h, t.work);
   ++t.loop_i;
   if (t.loop_i >= t.n_contrib) finish_task(t);
   return params_.cost_loop_iter + params_.cost_issue_load;
@@ -341,7 +347,8 @@ double Gpe::step_walk(Thread& t) {
     f.row_state = 1;
     const Addr a =
         prog_->memmap.addr(gl.row_ptr, std::uint64_t{f.node} * kWordBytes);
-    t.pending_responses = issue_load(a, 2 * kWordBytes, ep_gpe_, thread_tag);
+    t.pending_responses =
+        issue_load(a, 2 * kWordBytes, ep_gpe_, thread_tag, t.work);
     t.state = Thread::State::kWaitMem;
     return params_.cost_issue_load;
   }
@@ -351,8 +358,8 @@ double Gpe::step_walk(Thread& t) {
     if (deg == 0) return params_.cost_loop_iter;
     const Addr a = prog_->memmap.addr(
         gl.col_idx, std::uint64_t{g.edge_index(f.node, 0)} * 2 * kWordBytes);
-    t.pending_responses =
-        issue_load(a, std::uint64_t{deg} * kWordBytes, ep_gpe_, thread_tag);
+    t.pending_responses = issue_load(a, std::uint64_t{deg} * kWordBytes,
+                                     ep_gpe_, thread_tag, t.work);
     t.state = Thread::State::kWaitMem;
     return params_.cost_issue_load;
   }
@@ -369,7 +376,7 @@ double Gpe::step_walk(Thread& t) {
     const NodeId w_global = gl.node_offset + w;
     issue_load(vertex_addr(ph.gather, w_global),
                std::uint64_t{ph.gather.width_words} * kWordBytes, ep_agg_,
-               t.agg_h);
+               t.agg_h, t.work);
     return params_.cost_loop_iter + params_.cost_issue_load;
   }
   // Interior: descend.
@@ -385,7 +392,7 @@ double Gpe::step_project(Thread& t, Dnq& dnq) {
     Dest dest;
     dest.kind = Dest::Kind::kMemWrite;
     dest.addr = vertex_addr(ph.output, t.work);
-    auto h = dnq.allocate(0, width, dest);
+    auto h = dnq.allocate(0, width, dest, t.work);
     if (!h.has_value()) {
       stall(t);
       return params_.cost_alloc;
@@ -399,7 +406,7 @@ double Gpe::step_project(Thread& t, Dnq& dnq) {
   const BufferRef& b = ph.extra_inputs[t.loop_i];
   issue_load(vertex_addr(b, t.work),
              std::uint64_t{b.width_words} * kWordBytes, ep_dnq_,
-             t.cur_dnq0_h);
+             t.cur_dnq0_h, t.work);
   ++t.loop_i;
   if (t.loop_i >= ph.extra_inputs.size()) finish_task(t);
   return params_.cost_loop_iter + params_.cost_issue_load;
@@ -417,7 +424,7 @@ double Gpe::step_edge_dna_aggregate(Thread& t, Agg& agg, Dnq& dnq) {
     t.pending_responses = issue_load(
         vertex_addr(ph.gather, t.work),
         std::uint64_t{ph.gather.width_words} * kWordBytes, ep_gpe_,
-        static_cast<std::uint64_t>(&t - threads_.data()));
+        static_cast<std::uint64_t>(&t - threads_.data()), t.work);
     t.state = Thread::State::kWaitMem;
     return params_.cost_issue_load;
   }
@@ -429,8 +436,8 @@ double Gpe::step_edge_dna_aggregate(Thread& t, Agg& agg, Dnq& dnq) {
     Dest dest;
     dest.kind = Dest::Kind::kMemWrite;
     dest.addr = out_addr;
-    auto h =
-        dnq.allocate(1, ph.agg_width_words + ph.dna2_gpe_words, dest);
+    auto h = dnq.allocate(1, ph.agg_width_words + ph.dna2_gpe_words, dest,
+                          t.work);
     if (!h.has_value()) {
       stall(t);
       return params_.cost_alloc;
@@ -451,7 +458,7 @@ double Gpe::step_edge_dna_aggregate(Thread& t, Agg& agg, Dnq& dnq) {
     }
     auto h = agg.allocate(ph.agg_width_words,
                           std::uint64_t{t.n_contrib} * ph.agg_width_words,
-                          ph.agg_op, dest);
+                          ph.agg_op, dest, t.work);
     if (!h.has_value()) {
       stall(t);
       return params_.cost_alloc;
@@ -468,7 +475,7 @@ double Gpe::step_edge_dna_aggregate(Thread& t, Agg& agg, Dnq& dnq) {
       if (t.n_contrib == 0) finish_task(t);
       return params_.cost_loop_iter;
     }
-    send_to_dnq(t.dnq1_h, ph.dna2_gpe_words);
+    send_to_dnq(t.dnq1_h, ph.dna2_gpe_words, t.work);
     if (t.n_contrib == 0) finish_task(t);
     return params_.cost_send;
   }
@@ -488,7 +495,7 @@ double Gpe::step_edge_dna_aggregate(Thread& t, Agg& agg, Dnq& dnq) {
     dest.kind = Dest::Kind::kAggEntry;
     dest.ep = ep_agg_;
     dest.handle = t.agg_h;
-    auto h = dnq.allocate(0, width, dest);
+    auto h = dnq.allocate(0, width, dest, t.work);
     if (!h.has_value()) {
       stall(t);
       return params_.cost_alloc;
@@ -504,7 +511,7 @@ double Gpe::step_edge_dna_aggregate(Thread& t, Agg& agg, Dnq& dnq) {
         prog_->graphs[t.graph_idx].node_offset + u_local;
     issue_load(vertex_addr(ph.gather, u_global),
                std::uint64_t{ph.gather.width_words} * kWordBytes, ep_dnq_,
-               t.cur_dnq0_h);
+               t.cur_dnq0_h, t.work);
     t.loop_sub = 2;
     return params_.cost_loop_iter + params_.cost_issue_load;
   }
@@ -520,13 +527,13 @@ double Gpe::step_edge_dna_aggregate(Thread& t, Agg& agg, Dnq& dnq) {
     issue_load(prog_->memmap.addr(b.region,
                                   index * b.width_words * kWordBytes),
                std::uint64_t{b.width_words} * kWordBytes, ep_dnq_,
-               t.cur_dnq0_h);
+               t.cur_dnq0_h, t.work);
     t.loop_sub = 3;
     return params_.cost_loop_iter + params_.cost_issue_load;
   }
   // Final sub-step: GPE copy of p_v / advance to next edge.
   if (ph.gpe_words_per_entry > 0) {
-    send_to_dnq(t.cur_dnq0_h, ph.gpe_words_per_entry);
+    send_to_dnq(t.cur_dnq0_h, ph.gpe_words_per_entry, t.work);
   }
   ++t.loop_i;
   t.loop_sub = 0;
@@ -556,7 +563,7 @@ double Gpe::step_graph_readout(Thread& t, Agg& agg, Dnq& dnq) {
     Dest dest;
     dest.kind = Dest::Kind::kMemWrite;
     dest.addr = out_addr;
-    auto h = dnq.allocate(0, ph.agg_width_words, dest);
+    auto h = dnq.allocate(0, ph.agg_width_words, dest, t.work);
     if (!h.has_value()) {
       stall(t);
       return params_.cost_alloc;
@@ -577,7 +584,8 @@ double Gpe::step_graph_readout(Thread& t, Agg& agg, Dnq& dnq) {
     }
     auto h = agg.allocate(
         ph.agg_width_words,
-        std::uint64_t{t.n_contrib} * ph.gather.width_words, ph.agg_op, dest);
+        std::uint64_t{t.n_contrib} * ph.gather.width_words, ph.agg_op, dest,
+        t.work);
     if (!h.has_value()) {
       stall(t);
       return params_.cost_alloc;
@@ -590,7 +598,7 @@ double Gpe::step_graph_readout(Thread& t, Agg& agg, Dnq& dnq) {
   const NodeId first_global = prog_->graphs[t.graph_idx].node_offset;
   issue_load(vertex_addr(ph.gather, first_global),
              std::uint64_t{t.n_contrib} * ph.gather.width_words * kWordBytes,
-             ep_agg_, t.agg_h);
+             ep_agg_, t.agg_h, t.work);
   finish_task(t);
   return params_.cost_issue_load;
 }

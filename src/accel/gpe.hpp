@@ -111,12 +111,14 @@ class Gpe {
   double step_graph_readout(Thread& t, Agg& agg, Dnq& dnq);
 
   /// Issue a logical load of [addr, addr+bytes) whose response(s) go to
-  /// `reply_to` tagged `tag`. Returns the number of request messages sent.
+  /// `reply_to` tagged `tag`, on behalf of work item `owner` (attribution
+  /// only). Returns the number of request messages sent.
   std::uint32_t issue_load(Addr addr, std::uint64_t bytes,
-                           EndpointId reply_to, std::uint64_t tag);
+                           EndpointId reply_to, std::uint64_t tag,
+                           std::uint32_t owner);
 
   /// Send `words` of GPE scratchpad data to a DNQ entry.
-  void send_to_dnq(DnqHandle h, std::uint32_t words);
+  void send_to_dnq(DnqHandle h, std::uint32_t words, std::uint32_t owner);
 
   void finish_task(Thread& t);
   void stall(Thread& t);

@@ -25,17 +25,21 @@ void AcceleratorSim::build() {
   };
   std::vector<TileEps> tile_eps;
   tile_eps.reserve(cfg_.tile_coords.size());
+  ep_to_tile_.clear();
   for (const auto& [x, y] : cfg_.tile_coords) {
     TileEps eps{};
     eps.gpe = net_->add_endpoint(x, y);
     eps.agg = net_->add_endpoint(x, y);
     eps.dnq = net_->add_endpoint(x, y);
+    const auto tile = static_cast<std::uint32_t>(tile_eps.size());
+    ep_to_tile_.insert(ep_to_tile_.end(), 3, tile);
     tile_eps.push_back(eps);
   }
   std::vector<EndpointId> mem_eps;
   mem_eps.reserve(cfg_.mem_coords.size());
   for (const auto& [x, y] : cfg_.mem_coords) {
     mem_eps.push_back(net_->add_endpoint(x, y));
+    ep_to_tile_.push_back(trace::Attribution::kNoTile);
   }
   net_->finalize();
 
@@ -54,15 +58,24 @@ void AcceleratorSim::attach_tracers() {
   sink_ = trace_.sink;
   if (trace_.profile) {
     profiler_ = std::make_unique<trace::Profiler>();
-    if (sink_ != nullptr) {
-      tee_.add(sink_);
-      tee_.add(profiler_.get());
-      sink_ = &tee_;
-    } else {
-      sink_ = profiler_.get();
-    }
   }
-  if (sink_ == nullptr) return;
+  if (trace_.attribution) {
+    attribution_ = std::make_unique<trace::Attribution>(
+        static_cast<std::uint32_t>(tiles_.size()), ep_to_tile_,
+        trace_.attribution_top_k);
+  }
+  // Compose whatever is attached; a single consumer skips the tee.
+  std::vector<trace::TraceSink*> sinks;
+  if (sink_ != nullptr) sinks.push_back(sink_);
+  if (profiler_) sinks.push_back(profiler_.get());
+  if (attribution_) sinks.push_back(attribution_.get());
+  if (sinks.empty()) return;
+  if (sinks.size() == 1) {
+    sink_ = sinks.front();
+  } else {
+    for (trace::TraceSink* s : sinks) tee_.add(s);
+    sink_ = &tee_;
+  }
   const Cycle* clock = net_->now_ptr();
   net_->set_tracer({sink_, clock, trace::Category::kNoc, 0});
   for (std::size_t i = 0; i < mems_.size(); ++i) {
@@ -201,7 +214,7 @@ RunStats AcceleratorSim::run(const CompiledProgram& prog,
   // fails here with structured diagnostics instead of deadlocking into
   // the watchdog. The bound dataset enables the topology-dependent
   // checks (walk-tree recomputation, layout/dataset agreement).
-  if (verify_) verify_or_throw(prog, cfg_.tile_params, &ds);
+  if (verify_) verify_or_throw(prog, cfg_.tile_params, &ds, &cfg_);
   build();
   attach_tracers();
   begin_sampling();
@@ -222,7 +235,12 @@ RunStats AcceleratorSim::run(const CompiledProgram& prog,
         phase.per_graph ? static_cast<std::uint32_t>(prog.graphs.size())
                         : prog.total_vertices();
     std::vector<std::vector<std::uint32_t>> work(num_tiles);
-    if (partition_ == graph::PartitionPolicy::kBlock) {
+    if (!phase.per_graph && work_owners_.size() == num_items) {
+      // Explicit profile-guided assignment: owners[v] names the tile.
+      for (std::uint32_t i = 0; i < num_items; ++i) {
+        work[work_owners_[i] % num_tiles].push_back(i);
+      }
+    } else if (partition_ == graph::PartitionPolicy::kBlock) {
       const std::uint32_t per = (num_items + num_tiles - 1) / num_tiles;
       for (std::uint32_t i = 0; i < num_items; ++i) {
         work[per == 0 ? 0 : i / per].push_back(i);
@@ -359,6 +377,10 @@ RunStats AcceleratorSim::run(const CompiledProgram& prog,
   if (profiler_) {
     rs.profile =
         std::make_shared<const trace::ProfileReport>(profiler_->report());
+  }
+  if (attribution_) {
+    rs.attribution = std::make_shared<const trace::AttributionReport>(
+        attribution_->report());
   }
   return rs;
 }

@@ -14,6 +14,7 @@
 #include "graph/partition.hpp"
 #include "mem/memory.hpp"
 #include "noc/network.hpp"
+#include "trace/attribution.hpp"
 #include "trace/profiler.hpp"
 #include "trace/trace.hpp"
 
@@ -36,6 +37,14 @@ struct TraceOptions {
   /// When the progress watchdog fires, also write the diagnostics report
   /// to this path (the exception message carries it regardless).
   std::string deadlock_report_path;
+  /// Aggregate per-vertex/per-tile work attribution into a
+  /// trace::AttributionReport (attached to RunStats::attribution).
+  /// Composes with `sink` and `profile` through the same tee. Pure
+  /// observation — cycle counts are unchanged.
+  bool attribution = false;
+  /// Hotspot-table bound for the attribution sink (count-min + space-
+  /// saving top-K; memory stays O(top_k) regardless of graph size).
+  std::size_t attribution_top_k = 64;
 };
 
 /// Per-phase slice of a run.
@@ -110,6 +119,10 @@ struct RunStats {
   /// Per-phase/per-unit profile; set when TraceOptions::profile was on
   /// (shared so RunStats stays cheap to copy through batch result slots).
   std::shared_ptr<const trace::ProfileReport> profile;
+
+  /// Per-vertex/per-tile attribution; set when TraceOptions::attribution
+  /// was on.
+  std::shared_ptr<const trace::AttributionReport> attribution;
 };
 
 class AcceleratorSim {
@@ -138,6 +151,15 @@ class AcceleratorSim {
   /// Attach observability outputs; must be called before run().
   void set_trace(TraceOptions opts) { trace_ = std::move(opts); }
 
+  /// Explicit per-vertex tile assignment (profile-guided partitioning):
+  /// `owners[v]` is the tile that runs vertex v. Applied to per-vertex
+  /// phases whose work-item count equals owners.size(); per-graph phases
+  /// keep their round-robin distribution. Overrides the policy passed to
+  /// the constructor for matching phases.
+  void set_work_owners(std::vector<TileId> owners) {
+    work_owners_ = std::move(owners);
+  }
+
   /// Full simulator state snapshot (every tile's unit state, memory queue
   /// contents, in-flight NoC packets). Used by the watchdog; callable any
   /// time after run() has started building.
@@ -158,10 +180,18 @@ class AcceleratorSim {
   Cycle watchdog_cycles_ = 2'000'000;
   TraceOptions trace_;
 
-  // Effective event sink: trace_.sink, the profiler, or a tee of both.
+  // Effective event sink: trace_.sink, the profiler, the attribution
+  // sink, or a tee of those attached.
   trace::TraceSink* sink_ = nullptr;
   std::unique_ptr<trace::Profiler> profiler_;
+  std::unique_ptr<trace::Attribution> attribution_;
   trace::TeeSink tee_;
+
+  // NoC endpoint id -> owning tile (trace::Attribution::kNoTile for
+  // memory endpoints); filled by build().
+  std::vector<std::uint32_t> ep_to_tile_;
+  // Optional explicit vertex->tile assignment (set_work_owners).
+  std::vector<TileId> work_owners_;
 
   // Periodic-sampler state (valid during run()).
   Cycle next_sample_ = 0;

@@ -52,8 +52,8 @@ std::optional<std::vector<std::uint64_t>> recompute_walk_counts(
 class Linter {
  public:
   Linter(const CompiledProgram& prog, const TileParams& params,
-         const graph::Dataset* ds)
-      : prog_(prog), params_(params), ds_(ds) {
+         const graph::Dataset* ds, const AcceleratorConfig* cfg)
+      : prog_(prog), params_(params), ds_(ds), cfg_(cfg) {
     report_.program_name = prog.name;
   }
 
@@ -61,6 +61,7 @@ class Linter {
     check_tile_params();
     check_memory_map();
     check_graph_layouts();
+    check_noc_bisection();
     if (ds_ != nullptr) {
       check_dataset_match();
     } else {
@@ -589,6 +590,71 @@ class Linter {
     return v == ph.expected_contribs.size();
   }
 
+  // ---- GV108: NoC bisection vs aggregate memory bandwidth ----
+  //
+  // A W x H mesh's bisection (cut across the longer dimension) is crossed
+  // by min(W, H) bidirectional 64B links. Memory pages are interleaved
+  // uniformly across the controllers, so with tiles spread over the mesh
+  // roughly half of all memory traffic crosses the bisection. When half
+  // the aggregate memory bandwidth (in bytes per NoC cycle) exceeds what
+  // those links can carry, every data-moving phase is NoC-bound: the
+  // config cannot reach its nominal memory bandwidth no matter the
+  // program. Estimated per-phase traffic (gather reads from the layout's
+  // contribution counts, extra inputs, output writes, weight streams)
+  // identifies which phases actually move data; zero-traffic phases are
+  // exempt.
+  void check_noc_bisection() {
+    if (cfg_ == nullptr) return;
+    const double bisection_bpc =
+        2.0 * std::min(cfg_->mesh_width, cfg_->mesh_height) * kFlitBytes;
+    const double mem_bpc =
+        cfg_->mem_params.bandwidth.bytes_per_cycle(cfg_->noc_clock) *
+        cfg_->num_mem_nodes();
+    const double crossing_bpc = mem_bpc / 2.0;
+    if (crossing_bpc <= bisection_bpc) return;
+    for (std::size_t i = 0; i < prog_.phases.size(); ++i) {
+      const std::uint64_t traffic = phase_traffic_bytes(prog_.phases[i]);
+      if (traffic == 0) continue;
+      std::ostringstream os;
+      os << "estimated phase traffic (" << traffic
+         << "B) at aggregate memory bandwidth (" << mem_bpc
+         << " B/cycle) implies ~" << crossing_bpc
+         << " B/cycle crossing the " << cfg_->mesh_width << "x"
+         << cfg_->mesh_height << " mesh bisection, which carries at most "
+         << bisection_bpc << " B/cycle: the NoC, not memory, bounds this "
+         << "phase";
+      add(LintCode::kNocBisectionSaturated, static_cast<int>(i), os.str());
+    }
+  }
+
+  /// Rough bytes-moved estimate for one phase: gathered neighbor vectors,
+  /// per-vertex/per-edge extra inputs, the output buffer, and the weight
+  /// stream. All derived from the program's own layout table.
+  [[nodiscard]] std::uint64_t phase_traffic_bytes(const PhaseSpec& ph) const {
+    const std::uint64_t n_vertices = prog_.total_vertices();
+    const std::uint64_t n_graphs = prog_.graphs.size();
+    std::uint64_t n_sym_edges = 0;
+    for (const auto& g : prog_.graphs) n_sym_edges += g.num_edges;
+
+    std::uint64_t words = 0;
+    if (ph.kind != PhaseKind::kProject) {
+      std::uint64_t contribs = n_sym_edges;
+      if (!ph.expected_contribs.empty()) {
+        contribs = 0;
+        for (const std::uint64_t c : ph.expected_contribs) contribs += c;
+      } else if (ph.include_self) {
+        contribs += n_vertices;
+      }
+      words += contribs * ph.gather.width_words;
+    }
+    for (const auto& b : ph.extra_inputs) {
+      words += (ph.extra_inputs_per_edge ? n_sym_edges : n_vertices) *
+               b.width_words;
+    }
+    words += (ph.per_graph ? n_graphs : n_vertices) * ph.output.width_words;
+    return words * kWordBytes + ph.weight_bytes;
+  }
+
   // ---- GV008/GV103/GV106: cross-phase def-use dataflow ----
   void check_dataflow() {
     const std::size_t n = prog_.memmap.num_regions();
@@ -647,6 +713,7 @@ class Linter {
   const CompiledProgram& prog_;
   const TileParams& params_;
   const graph::Dataset* ds_;
+  const AcceleratorConfig* cfg_;
   VerifyReport report_;
   bool split_valid_ = true;
 };
@@ -655,8 +722,9 @@ class Linter {
 
 VerifyReport verify_program(const CompiledProgram& prog,
                             const TileParams& params,
-                            const graph::Dataset* ds) {
-  return Linter(prog, params, ds).run();
+                            const graph::Dataset* ds,
+                            const AcceleratorConfig* cfg) {
+  return Linter(prog, params, ds, cfg).run();
 }
 
 std::size_t VerifyReport::num_errors() const {
@@ -701,8 +769,9 @@ ProgramVerifyError::ProgramVerifyError(VerifyReport report)
 
 VerifyReport verify_or_throw(const CompiledProgram& prog,
                              const TileParams& params,
-                             const graph::Dataset* ds) {
-  VerifyReport report = verify_program(prog, params, ds);
+                             const graph::Dataset* ds,
+                             const AcceleratorConfig* cfg) {
+  VerifyReport report = verify_program(prog, params, ds, cfg);
   if (!report.ok()) throw ProgramVerifyError(std::move(report));
   return report;
 }
@@ -748,6 +817,8 @@ constexpr LintCodeInfo kLintTable[] = {
      "phase output overwrites a preloaded region"},
     {LintCode::kNoDatasetBound, Severity::kWarning, "GV107",
      "no dataset bound: topology-dependent checks skipped"},
+    {LintCode::kNocBisectionSaturated, Severity::kWarning, "GV108",
+     "estimated NoC traffic saturates the mesh bisection bandwidth"},
 };
 
 }  // namespace

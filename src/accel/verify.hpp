@@ -36,6 +36,11 @@
 //   GV105  weight_bytes > 0 on a phase with no DNA model
 //   GV106  phase output overwrites a preloaded region
 //   GV107  no dataset bound: topology-dependent checks skipped
+//   GV108  estimated NoC traffic saturates the mesh bisection: aggregate
+//          memory bandwidth implies more bytes/cycle crossing the mesh
+//          bisection than its links can carry, so the NoC (not memory)
+//          bounds every data-moving phase. Needs the accelerator config;
+//          skipped without one.
 //
 // Programs are dataset-independent, so most checks run from the program's
 // own graph-layout table alone. Passing the dataset the program will run
@@ -78,6 +83,7 @@ enum class LintCode : std::uint16_t {
   kWeightsWithoutDna = 105,
   kOutputClobbersPreload = 106,
   kNoDatasetBound = 107,
+  kNocBisectionSaturated = 108,
 };
 
 enum class Severity : std::uint8_t { kWarning, kError };
@@ -116,11 +122,16 @@ struct VerifyReport {
 
 /// Run every check against `prog` under tile parameters `params`. `ds`
 /// (optional) is the dataset the program will run against; it enables the
-/// topology-dependent checks (see the header comment). Never throws on
-/// program defects — they all land in the report.
+/// topology-dependent checks (see the header comment). `cfg` (optional) is
+/// the full accelerator configuration; it enables the config-dependent
+/// checks (GV108 bisection saturation) — pass the same config the program
+/// will execute on. Never throws on program defects — they all land in the
+/// report.
 [[nodiscard]] VerifyReport verify_program(const CompiledProgram& prog,
                                           const TileParams& params,
-                                          const graph::Dataset* ds = nullptr);
+                                          const graph::Dataset* ds = nullptr,
+                                          const AcceleratorConfig* cfg =
+                                              nullptr);
 
 /// Thrown by verify_or_throw; carries the full report.
 class ProgramVerifyError : public std::runtime_error {
@@ -136,7 +147,8 @@ class ProgramVerifyError : public std::runtime_error {
 /// were produced (warnings never throw). Returns the report otherwise.
 VerifyReport verify_or_throw(const CompiledProgram& prog,
                              const TileParams& params,
-                             const graph::Dataset* ds = nullptr);
+                             const graph::Dataset* ds = nullptr,
+                             const AcceleratorConfig* cfg = nullptr);
 
 /// The full lint-code catalog, for `gnnaverify --list-codes` and docs.
 struct LintCodeInfo {

@@ -18,9 +18,10 @@
 namespace gnna::graph {
 
 enum class PartitionPolicy : std::uint8_t {
-  kRoundRobin,   // vertex v -> tile v % T
-  kBlock,        // contiguous ranges of ~N/T vertices
-  kDegreeGreedy  // heaviest-degree-first onto the lightest tile
+  kRoundRobin,    // vertex v -> tile v % T
+  kBlock,         // contiguous ranges of ~N/T vertices
+  kDegreeGreedy,  // heaviest-degree-first onto the lightest tile
+  kProfileGuided  // rebalance from a prior run's measured per-vertex load
 };
 
 /// Assignment of every vertex to a tile.
@@ -69,8 +70,15 @@ class Partition {
     case PartitionPolicy::kDegreeGreedy: {
       std::vector<NodeId> order(n);
       std::iota(order.begin(), order.end(), NodeId{0});
+      // Deterministic ordering: equal degrees break ties by lowest vertex
+      // id, and std::min_element's first-minimum scan gives equal loads to
+      // the lowest tile id. The assignment is therefore a pure function of
+      // the degree sequence — identical across platforms and libstdc++
+      // sort implementations.
       std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
-        return g.out_degree(a) > g.out_degree(b);
+        const auto da = g.out_degree(a);
+        const auto db = g.out_degree(b);
+        return da != db ? da > db : a < b;
       });
       std::vector<std::uint64_t> load(num_tiles, 0);
       for (const NodeId v : order) {
@@ -81,6 +89,50 @@ class Partition {
       }
       break;
     }
+    case PartitionPolicy::kProfileGuided:
+      // Needs measured per-vertex loads — use make_profile_partition().
+      // Without a profile there is nothing to guide; fall back to the
+      // round-robin baseline the profiling pass itself uses.
+      for (NodeId v = 0; v < n; ++v) {
+        owner[v] = static_cast<TileId>(v % num_tiles);
+      }
+      break;
+  }
+  return {std::move(owner), num_tiles};
+}
+
+/// Profile-guided partition: `loads[v]` is vertex v's measured cost from a
+/// prior run's attribution block (e.g. GPE busy cycles). Heaviest vertex
+/// first onto the currently-lightest tile (LPT greedy), ties broken
+/// deterministically (equal loads: lowest vertex id first; equal tile
+/// loads: lowest tile id). Vertices missing from the profile (loads
+/// shorter than `n`, or zero entries — e.g. nodes added since the
+/// profiling run, or vertices evicted from the bounded top-K table) fall
+/// back to round-robin over the tiles so they stay evenly spread.
+[[nodiscard]] inline Partition make_profile_partition(
+    NodeId n, TileId num_tiles, const std::vector<double>& loads) {
+  if (num_tiles == 0) throw std::invalid_argument("num_tiles must be >= 1");
+  std::vector<TileId> owner(n, 0);
+  std::vector<NodeId> profiled;
+  profiled.reserve(std::min<std::size_t>(n, loads.size()));
+  for (NodeId v = 0; v < n; ++v) {
+    if (v < loads.size() && loads[v] > 0.0) profiled.push_back(v);
+  }
+  std::sort(profiled.begin(), profiled.end(), [&](NodeId a, NodeId b) {
+    return loads[a] != loads[b] ? loads[a] > loads[b] : a < b;
+  });
+  std::vector<double> load(num_tiles, 0.0);
+  for (const NodeId v : profiled) {
+    const auto lightest = static_cast<TileId>(std::distance(
+        load.begin(), std::min_element(load.begin(), load.end())));
+    owner[v] = lightest;
+    load[lightest] += loads[v];
+  }
+  NodeId next = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (v < loads.size() && loads[v] > 0.0) continue;
+    owner[v] = static_cast<TileId>(next % num_tiles);
+    ++next;
   }
   return {std::move(owner), num_tiles};
 }

@@ -237,6 +237,7 @@ void MemoryController::respond(const InFlight& head) {
   resp.kind = noc::MsgKind::kMemReadResp;
   // Safe: b <= kMaxRequestBytes was enforced at admission.
   resp.payload_bytes = static_cast<std::uint32_t>(req.b);
+  resp.owner = req.owner;
   resp.a = req.a;
   resp.b = req.b;
   resp.c = req.c;

@@ -48,12 +48,21 @@ enum class MsgKind : std::uint8_t {
   return "?";
 }
 
+/// Work-attribution owner id meaning "no owner" (weight preloads, control
+/// traffic). Mirrors trace::kUnowned; the NoC itself never inspects it.
+inline constexpr std::uint32_t kNoOwner = 0xffffffffU;
+
 /// A component-to-component message.
 struct Message {
   EndpointId src = kInvalidEndpoint;
   EndpointId dst = kInvalidEndpoint;
   std::uint32_t payload_bytes = 0;  // semantic size; flits = ceil(/64), min 1
   MsgKind kind = MsgKind::kGeneric;
+  /// The global work item (vertex / graph id) whose computation this
+  /// message serves, or kNoOwner. Carried end-to-end (responders echo the
+  /// request's owner) purely for the attribution trace sink; the timing
+  /// model never reads it.
+  std::uint32_t owner = kNoOwner;
   /// For requests expecting a response: where the response should be sent.
   /// This is how the GPE's *indirect* asynchronous memory requests work —
   /// the GPE issues the read but the data lands directly in the AGG or DNQ

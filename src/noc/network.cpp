@@ -348,6 +348,10 @@ void MeshNetwork::phase_arrive() {
                            static_cast<double>(m.delivered_at - m.injected_at),
                            (std::uint64_t{m.src} << 32) | m.dst,
                            m.payload_bytes);
+          // Attribution hook: flits, hop distance, and the owning work
+          // item of the delivered packet.
+          tracer_.packet(m.src, m.dst, m.owner, m.flit_count(),
+                         hops_between(m.src, m.dst), m.payload_bytes);
         }
         ep.delivery.push_back(m);
       }

@@ -1,0 +1,60 @@
+#include "sim/attribution_io.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/json.hpp"
+
+namespace gnna::sim {
+namespace {
+
+/// The attribution block of one run object, or nullptr.
+const json::Value* attribution_of(const json::Value& run) {
+  if (!run.is_object()) return nullptr;
+  const json::Value* attr = run.find("attribution");
+  return (attr != nullptr && attr->is_object()) ? attr : nullptr;
+}
+
+}  // namespace
+
+AttributionProfile load_attribution_profile(const std::string& path) {
+  const json::Value root = json::parse_file(path);
+
+  const json::Value* attr = attribution_of(root);
+  if (attr == nullptr && root.is_array()) {
+    for (const json::Value& run : root.items()) {
+      attr = attribution_of(run);
+      if (attr != nullptr) break;
+    }
+  }
+  if (attr == nullptr) {
+    throw std::runtime_error(
+        path +
+        ": no attribution block found (was the profiling run made with "
+        "--attribution?)");
+  }
+
+  AttributionProfile p;
+  p.busy_max_mean = attr->num_or("busy_max_mean", 0.0);
+  p.flit_gini = attr->num_or("flit_gini", 0.0);
+  if (const json::Value* tiles = attr->find("tiles");
+      tiles != nullptr && tiles->is_array()) {
+    p.num_tiles = tiles->size();
+  }
+  if (const json::Value* verts = attr->find("vertices");
+      verts != nullptr && verts->is_array()) {
+    for (const json::Value& v : verts->items()) {
+      if (!v.is_object()) continue;
+      const double id = v.num_or("vertex", -1.0);
+      const double busy = v.num_or("busy", 0.0);
+      if (id < 0.0 || busy <= 0.0) continue;
+      const auto idx = static_cast<std::size_t>(id);
+      if (idx >= p.vertex_busy.size()) p.vertex_busy.resize(idx + 1, 0.0);
+      // Keep the larger measurement if a vertex somehow appears twice.
+      p.vertex_busy[idx] = std::max(p.vertex_busy[idx], busy);
+    }
+  }
+  return p;
+}
+
+}  // namespace gnna::sim

@@ -68,6 +68,10 @@ std::optional<graph::PartitionPolicy> partition_by_name(
     const std::string& name) {
   if (name == "round-robin") return graph::PartitionPolicy::kRoundRobin;
   if (name == "block") return graph::PartitionPolicy::kBlock;
+  if (name == "degree-greedy") return graph::PartitionPolicy::kDegreeGreedy;
+  if (name == "profile-guided") {
+    return graph::PartitionPolicy::kProfileGuided;
+  }
   return std::nullopt;
 }
 
@@ -143,8 +147,10 @@ std::vector<RunRequest> parse_batch_manifest(std::istream& in,
       } else if (key == "partition") {
         const auto p = partition_by_name(value);
         if (!p) {
-          fail(source, lineno, "unknown partition policy '" + value +
-                                   "' (round-robin | block)");
+          fail(source, lineno,
+               "unknown partition policy '" + value +
+                   "' (round-robin | block | degree-greedy | "
+                   "profile-guided)");
         }
         req.partition = *p;
       } else if (key == "seed") {
@@ -166,6 +172,30 @@ std::vector<RunRequest> parse_batch_manifest(std::istream& in,
                "repeat must be in [1, 100000], got '" + value + "'");
         }
         repeat = *r;
+      } else if (key == "attribution") {
+        if (value == "1") {
+          req.trace.attribution = true;
+        } else if (value == "0") {
+          req.trace.attribution = false;
+        } else {
+          fail(source, lineno,
+               "attribution must be 0 or 1, got '" + value + "'");
+        }
+      } else if (key == "attribution_top_k") {
+        const auto n = parse_u64(value);
+        if (!n || *n == 0 || *n > (1ULL << 24)) {
+          fail(source, lineno,
+               "attribution_top_k must be in [1, 2^24], got '" + value +
+                   "'");
+        }
+        req.trace.attribution_top_k = static_cast<std::size_t>(*n);
+      } else if (key == "attribution_from") {
+        // Path to a prior run's stats JSON; consumed by
+        // partition=profile-guided. Paths cannot contain whitespace.
+        if (value.empty()) {
+          fail(source, lineno, "attribution_from needs a file path");
+        }
+        req.attribution_from = value;
       } else if (key == "mem_scheduler") {
         // Memory keys override fields of req.config.mem_params; put them
         // after any config= token on the line, since config= replaces the

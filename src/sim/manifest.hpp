@@ -23,6 +23,14 @@
 // mem_row_hit_ns, mem_row_miss_ns, mem_window, mem_bank_xor) override
 // fields of the line's configuration; since `config=` replaces the whole
 // configuration, put it before any mem_* token on the same line.
+//
+// Attribution keys: `attribution=1` turns on the per-vertex/per-tile work
+// attribution sink for the line (`attribution_top_k=N` bounds its hotspot
+// table), and `partition=profile-guided attribution_from=<stats.json>`
+// rebalances the line's vertices from a prior run's attribution block:
+//
+//   benchmark=GCN/Cora config=gpu-iso-bw attribution=1
+//   benchmark=GCN/Cora partition=profile-guided attribution_from=p1.json
 #pragma once
 
 #include <istream>

@@ -5,6 +5,7 @@
 
 #include "accel/compiler.hpp"
 #include "accel/ir.hpp"
+#include "sim/attribution_io.hpp"
 
 namespace gnna::sim {
 
@@ -105,10 +106,25 @@ accel::RunStats Session::run(const RunRequest& req) {
   if (req.clock_ghz) cfg = cfg.with_core_clock(*req.clock_ghz);
   if (req.threads) cfg.tile_params.gpe_threads = *req.threads;
 
+  const std::uint32_t num_tiles = cfg.num_tiles();
   accel::AcceleratorSim sim(std::move(cfg), req.partition);
   if (req.watchdog_cycles) sim.set_watchdog_cycles(*req.watchdog_cycles);
   sim.set_verify(req.verify);
   sim.set_trace(req.trace);
+  if (req.partition == graph::PartitionPolicy::kProfileGuided &&
+      !req.attribution_from.empty()) {
+    // Rebalance from the prior run's measured per-vertex load; unprofiled
+    // vertices stay round-robin (make_profile_partition's fallback).
+    const AttributionProfile prof =
+        load_attribution_profile(req.attribution_from);
+    NodeId total_vertices = 0;
+    for (const auto& g : r.dataset->graphs) total_vertices += g.num_nodes();
+    const graph::Partition part = graph::make_profile_partition(
+        total_vertices, static_cast<TileId>(num_tiles), prof.vertex_busy);
+    std::vector<TileId> owners(total_vertices, 0);
+    for (NodeId v = 0; v < total_vertices; ++v) owners[v] = part.owner(v);
+    sim.set_work_owners(std::move(owners));
+  }
 
   accel::RunStats rs = sim.run(*r.program, *r.dataset);
   rs.program_hash = r.hash;

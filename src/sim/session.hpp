@@ -58,6 +58,14 @@ struct RunRequest {
   /// GPE software-thread override; unset keeps config.tile_params.
   std::optional<std::uint32_t> threads;
   graph::PartitionPolicy partition = graph::PartitionPolicy::kRoundRobin;
+  /// Profile-guided partitioning input: path to a prior run's stats JSON
+  /// (written with TraceOptions::attribution on). With partition ==
+  /// kProfileGuided, Session::run loads its per-vertex busy cycles and
+  /// rebalances heavy vertices onto underloaded tiles
+  /// (graph::make_profile_partition); vertices the profile does not cover
+  /// fall back to round-robin. Empty with kProfileGuided degrades to plain
+  /// round-robin (nothing to guide).
+  std::string attribution_from;
   /// Dataset seed (benchmark form only; explicit datasets carry their own).
   std::uint64_t seed = 2020;
   std::optional<Cycle> watchdog_cycles;

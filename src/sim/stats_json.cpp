@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <string>
 
+#include "trace/attribution.hpp"
 #include "trace/profiler.hpp"
 
 namespace gnna::sim {
@@ -138,9 +139,49 @@ std::string profile_json(const trace::ProfileReport& pr) {
       out += "\", \"name\": \"" + json_escape(c.name) +
              "\", \"samples\": " + std::to_string(c.samples) +
              ", \"last\": " + json_double(c.last) +
-             ", \"max\": " + json_double(c.max) + "}";
+             ", \"max\": " + json_double(c.max) +
+             ", \"mean\": " + json_double(c.mean) + "}";
     }
     out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+/// The embedded attribution block ("attribution": {...}): per-tile
+/// busy/idle/traffic totals, the derived imbalance metrics, and the
+/// bounded top-K per-vertex hotspot table (see trace/attribution.hpp).
+std::string attribution_json(const trace::AttributionReport& ar) {
+  std::string out = "{\"version\": 1, \"top_k\": " + std::to_string(ar.top_k) +
+                    ", \"span\": " + json_double(ar.span) +
+                    ", \"total_busy\": " + json_double(ar.total_busy) +
+                    ", \"busy_max_mean\": " + json_double(ar.busy_max_mean()) +
+                    ", \"flit_gini\": " + json_double(ar.flit_gini()) +
+                    ", \"unattributed_flits\": " +
+                    std::to_string(ar.unattributed_flits) + ", \"tiles\": [";
+  for (std::size_t i = 0; i < ar.tiles.size(); ++i) {
+    const auto& t = ar.tiles[i];
+    if (i > 0) out += ", ";
+    out += "{\"tile\": " + std::to_string(i) +
+           ", \"busy\": " + json_double(t.busy) +
+           ", \"idle\": " + json_double(t.idle) +
+           ", \"agg_busy\": " + json_double(t.agg_busy) +
+           ", \"tasks\": " + std::to_string(t.tasks) +
+           ", \"flits\": " + std::to_string(t.flits) +
+           ", \"flit_hops\": " + std::to_string(t.flit_hops) +
+           ", \"bytes\": " + std::to_string(t.bytes) + "}";
+  }
+  out += "], \"vertices\": [";
+  for (std::size_t i = 0; i < ar.vertices.size(); ++i) {
+    const auto& v = ar.vertices[i];
+    if (i > 0) out += ", ";
+    out += "{\"vertex\": " + std::to_string(v.vertex) +
+           ", \"busy\": " + json_double(v.busy) +
+           ", \"agg_busy\": " + json_double(v.agg_busy) +
+           ", \"tasks\": " + std::to_string(v.tasks) +
+           ", \"flits\": " + std::to_string(v.flits) +
+           ", \"bytes\": " + std::to_string(v.bytes) +
+           ", \"approx\": " + (v.approx ? "true" : "false") + "}";
   }
   out += "]}";
   return out;
@@ -216,6 +257,9 @@ void write_run_stats_json(std::ostream& os, const accel::RunStats& rs,
   phases += "]";
   w.field("phases", phases);
   if (rs.profile) w.field("profile", profile_json(*rs.profile));
+  if (rs.attribution) {
+    w.field("attribution", attribution_json(*rs.attribution));
+  }
   w.close();
 }
 

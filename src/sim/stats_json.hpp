@@ -18,9 +18,12 @@ namespace gnna::sim {
 /// "mem_banks" array (empty under the in-order scheduler); v4 added the
 /// program-provenance pair "program_hash" (GNNA-IR content hash, 16 hex
 /// digits) and "program_cache" (hit | dedupe | miss | file | adhoc |
-/// given), present when the run went through the session layer. Readers
-/// should treat a missing field as v1.
-inline constexpr int kStatsJsonSchemaVersion = 4;
+/// given), present when the run went through the session layer; v5 added
+/// the optional embedded "attribution" block (per-tile busy/idle/flit
+/// totals, imbalance metrics, top-K per-vertex hotspots — see
+/// trace/attribution.hpp) and the time-weighted "mean" field on profile
+/// counters. Readers should treat a missing field as v1.
+inline constexpr int kStatsJsonSchemaVersion = 5;
 
 /// One run as a JSON object (all counters, utilizations, and the per-phase
 /// breakdown). Doubles are emitted with round-trip precision.

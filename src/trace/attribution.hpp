@@ -1,0 +1,146 @@
+// Per-vertex / per-tile work attribution — a TraceSink that answers
+// "which vertices and tiles are hot, and why" (DESIGN.md §13).
+//
+// The profiler (profiler.hpp) aggregates by phase and unit *category*;
+// this sink aggregates by *owner*: every GPE span is charged to the tile
+// that ran it and the vertex it computed, every delivered NoC packet to
+// the tile endpoint it touched and the work item whose data it carried
+// (noc::Message::owner), and AGG reduce occupancy to the entry's owner via
+// the charge() hook. Per-tile totals are exact (a fixed array). Per-vertex
+// totals are bounded-memory: a count-min sketch admits candidates into a
+// space-saving top-K table, so memory is O(top_k), not O(V) — large graphs
+// do not blow up the sink.
+//
+// Conservation invariant (tested): per-tile `busy` sums every kGpe
+// complete duration — the same event set the profiler folds into its
+// per-phase busy[gpe] totals — so sum(tiles.busy) equals the profiler's
+// GPE busy summed over phases exactly. Per-vertex busy counts only the
+// top-level "task" spans to avoid double-charging the nested
+// traverse/body sub-spans.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace gnna::trace {
+
+/// Owner id meaning "no owner" (weight preloads, control traffic).
+/// Matches noc::kNoOwner without depending on the noc headers.
+inline constexpr std::uint32_t kUnowned = 0xffffffffU;
+
+/// Exact per-tile totals.
+struct TileAttribution {
+  double busy = 0.0;      // GPE complete cycles (task + sub-spans)
+  double idle = 0.0;      // run span minus busy (derived at report time)
+  double agg_busy = 0.0;  // AGG reduce occupancy charged to this tile
+  std::uint64_t tasks = 0;
+  std::uint64_t flits = 0;      // flits of packets touching this tile
+  std::uint64_t flit_hops = 0;  // sum over packets of flits * hops
+  std::uint64_t bytes = 0;
+};
+
+/// One top-K hotspot row. `approx` marks a candidate admitted after an
+/// eviction: its counters include a count-min-estimated carry-over and are
+/// an upper bound rather than exact.
+struct VertexHotspot {
+  std::uint32_t vertex = 0;
+  double busy = 0.0;
+  double agg_busy = 0.0;
+  std::uint64_t tasks = 0;
+  std::uint64_t flits = 0;
+  std::uint64_t bytes = 0;
+  bool approx = false;
+};
+
+struct AttributionReport {
+  std::size_t top_k = 0;
+  double span = 0.0;        // cycles covered by phase markers
+  double total_busy = 0.0;  // sum of per-tile busy
+  std::uint64_t unattributed_flits = 0;  // delivered flits with no owner
+  std::vector<TileAttribution> tiles;
+  std::vector<VertexHotspot> vertices;  // sorted by busy desc, then id
+
+  /// Imbalance: max over tiles of busy divided by the mean (1.0 =
+  /// perfectly balanced; 0 when no tile did work).
+  [[nodiscard]] double busy_max_mean() const;
+  /// Gini coefficient of per-tile flit counts (0 = uniform, →1 = one
+  /// tile carries everything).
+  [[nodiscard]] double flit_gini() const;
+};
+
+/// The sink. Single-run, single-threaded (each AcceleratorSim owns its
+/// own instance and fans events in via TeeSink).
+class Attribution final : public TraceSink {
+ public:
+  /// `ep_to_tile` maps NoC endpoint id -> owning tile, with kNoTile for
+  /// endpoints that are not tile-attached (memory controllers).
+  static constexpr std::uint32_t kNoTile = 0xffffffffU;
+  Attribution(std::uint32_t num_tiles, std::vector<std::uint32_t> ep_to_tile,
+              std::size_t top_k = 64);
+
+  void complete(Category cat, std::uint32_t unit, const char* name,
+                double start, double dur, std::uint64_t a,
+                std::uint64_t b) override;
+  void instant(Category, std::uint32_t, const char*, double, std::uint64_t,
+               std::uint64_t) override {}
+  void counter(Category, std::uint32_t, const char*, double, double) override {
+  }
+  void phase_begin(const char* name, double at) override;
+  void phase_end(const char* name, double at) override;
+  void packet(std::uint32_t src_ep, std::uint32_t dst_ep, std::uint32_t owner,
+              std::uint32_t flits, std::uint32_t hops,
+              std::uint32_t payload_bytes) override;
+  void charge(Category cat, std::uint32_t unit, std::uint32_t owner,
+              double cycles) override;
+
+  /// Snapshot totals; hotspots sorted by busy desc then vertex id, at most
+  /// `top_k` rows.
+  [[nodiscard]] AttributionReport report() const;
+
+ private:
+  struct Candidate {
+    double busy = 0.0;
+    double agg_busy = 0.0;
+    std::uint64_t tasks = 0;
+    std::uint64_t flits = 0;
+    std::uint64_t bytes = 0;
+    double carry = 0.0;  // sketch-estimated score inherited on admission
+  };
+
+  /// Route any per-owner update through the sketch + candidate table.
+  /// `score_delta` orders eviction (busy cycles + flits).
+  Candidate& touch(std::uint32_t owner, double score_delta);
+  [[nodiscard]] double score(const Candidate& c) const {
+    return c.busy + c.carry + static_cast<double>(c.flits);
+  }
+
+  void sketch_update(std::uint32_t owner, double w);
+  [[nodiscard]] double sketch_estimate(std::uint32_t owner) const;
+
+  std::size_t top_k_;
+  std::vector<std::uint32_t> ep_to_tile_;
+  std::vector<TileAttribution> tiles_;
+  std::uint64_t unattributed_flits_ = 0;
+  double span_begin_ = 0.0;
+  double span_end_ = 0.0;
+  bool span_started_ = false;
+
+  // Count-min sketch (kRows x width_, width a power of two) over the
+  // eviction score of every owner ever seen, including evicted ones.
+  static constexpr std::size_t kRows = 4;
+  std::size_t width_;
+  std::vector<double> sketch_;
+
+  // Space-saving candidate table, keyed by owner (std::map for
+  // deterministic tie-breaking on eviction). `min_score_` is a cached
+  // lower bound on the true minimum: candidate scores only grow, so the
+  // bound stays valid and is refreshed on the occasional full scan.
+  std::map<std::uint32_t, Candidate> candidates_;
+  double min_score_ = 0.0;
+  Candidate discard_;  // sink for updates rejected by admission
+};
+
+}  // namespace gnna::trace

@@ -82,21 +82,41 @@ void print_profile(std::ostream& os, const ProfileReport& report,
   pt.print(os);
 
   std::vector<FlameNode> flame = report.merged_flame();
-  if (flame.empty()) return;
-  std::sort(flame.begin(), flame.end(),
-            [](const FlameNode& a, const FlameNode& b) {
-              return a.total > b.total;
-            });
-  if (flame.size() > top_n) flame.resize(top_n);
+  if (!flame.empty()) {
+    std::sort(flame.begin(), flame.end(),
+              [](const FlameNode& a, const FlameNode& b) {
+                return a.total > b.total;
+              });
+    if (flame.size() > top_n) flame.resize(top_n);
 
-  os << "\nGPE flame rollup (top " << flame.size() << " by total):\n";
-  Table ft({"Path", "Count", "Total", "Self", "Avg", "Max"});
-  for (const auto& n : flame) {
-    ft.add_row({n.path, std::to_string(n.count), fmt(n.total), fmt(n.self),
-                format_double(n.count > 0 ? n.total / n.count : 0.0, 1),
-                fmt(n.max)});
+    os << "\nGPE flame rollup (top " << flame.size() << " by total):\n";
+    Table ft({"Path", "Count", "Total", "Self", "Avg", "Max"});
+    for (const auto& n : flame) {
+      ft.add_row({n.path, std::to_string(n.count), fmt(n.total), fmt(n.self),
+                  format_double(n.count > 0 ? n.total / n.count : 0.0, 1),
+                  fmt(n.max)});
+    }
+    ft.print(os);
   }
-  ft.print(os);
+
+  // Counter series, one row per (phase, category, name). `Mean` is the
+  // time-weighted average — for change-sampled series like AGG table
+  // occupancy, that is the average occupancy over the phase.
+  bool any_counters = false;
+  for (const auto& ph : report.phases) {
+    any_counters = any_counters || !ph.counters.empty();
+  }
+  if (!any_counters) return;
+  os << "\ncounters (Mean = time-weighted over the phase):\n";
+  Table ct({"Phase", "Unit", "Counter", "Samples", "Mean", "Last", "Max"});
+  for (const auto& ph : report.phases) {
+    for (const auto& c : ph.counters) {
+      ct.add_row({ph.name, category_name(c.cat), c.name,
+                  std::to_string(c.samples), format_double(c.mean, 1),
+                  fmt(c.last), fmt(c.max)});
+    }
+  }
+  ct.print(os);
 }
 
 Profiler::PhaseAgg& Profiler::current() {
@@ -149,15 +169,22 @@ void Profiler::instant(Category cat, std::uint32_t unit, const char* name,
 }
 
 void Profiler::counter(Category cat, std::uint32_t /*unit*/, const char* name,
-                       double /*at*/, double value) {
+                       double at, double value) {
   std::lock_guard<std::mutex> lock(mu_);
   PhaseAgg& ph = current();
-  CounterStat& cs = ph.counters[{static_cast<std::uint8_t>(cat), name}];
+  CounterAgg& ca = ph.counters[{static_cast<std::uint8_t>(cat), name}];
+  CounterStat& cs = ca.cs;
   cs.cat = cat;
   if (cs.name.empty()) cs.name = name;
   ++cs.samples;
   cs.last = value;
   cs.max = std::max(cs.max, value);
+  if (ca.has_prev && at > ca.prev_at) {
+    ca.acc.add_weighted(ca.prev_value, at - ca.prev_at);
+  }
+  ca.prev_value = value;
+  ca.prev_at = at;
+  ca.has_prev = true;
 }
 
 void Profiler::phase_begin(const char* name, double at) {
@@ -201,7 +228,17 @@ ProfileReport Profiler::report() const {
     for (const auto& [path, n] : agg.flame) ph.flame.push_back(n);
     finalize_self_times(ph.flame);
     ph.counters.reserve(agg.counters.size());
-    for (const auto& [key, cs] : agg.counters) ph.counters.push_back(cs);
+    for (const auto& [key, ca] : agg.counters) {
+      CounterStat cs = ca.cs;
+      // Close the final sample's interval at the phase end so the mean is
+      // weighted over the whole observed span.
+      Accumulator acc = ca.acc;
+      if (ca.has_prev && agg.end > ca.prev_at) {
+        acc.add_weighted(ca.prev_value, agg.end - ca.prev_at);
+      }
+      cs.mean = acc.mean();
+      ph.counters.push_back(std::move(cs));
+    }
     r.phases.push_back(std::move(ph));
   };
   // "(outside)" first (if any events landed there), then the real phases

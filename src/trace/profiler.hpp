@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "trace/trace.hpp"
 
 namespace gnna::trace {
@@ -64,6 +65,10 @@ struct CounterStat {
   std::uint64_t samples = 0;
   double last = 0.0;
   double max = 0.0;
+  /// Time-weighted mean: each sampled value weighted by the cycles it was
+  /// current (change-sampled series become occupancy averages). The final
+  /// value's weight runs to the phase end.
+  double mean = 0.0;
 };
 
 /// One phase's profile. `busy` per category sums duration events: for the
@@ -127,6 +132,17 @@ class Profiler final : public TraceSink {
   [[nodiscard]] ProfileReport report() const;
 
  private:
+  /// CounterStat plus the running time-weighted accumulator: each sample
+  /// closes the previous value's interval (weight = cycles it was
+  /// current); report() closes the final interval at the phase end.
+  struct CounterAgg {
+    CounterStat cs;
+    Accumulator acc;
+    double prev_value = 0.0;
+    double prev_at = 0.0;
+    bool has_prev = false;
+  };
+
   struct PhaseAgg {
     std::string name;
     double start = 0.0;
@@ -139,7 +155,7 @@ class Profiler final : public TraceSink {
     std::uint64_t alloc_stalls = 0;
     std::map<std::pair<std::uint8_t, std::uint32_t>, UnitProfile> units;
     std::map<std::string, FlameNode> flame;
-    std::map<std::pair<std::uint8_t, std::string>, CounterStat> counters;
+    std::map<std::pair<std::uint8_t, std::string>, CounterAgg> counters;
   };
 
   /// The phase receiving events right now: the open phase, or the

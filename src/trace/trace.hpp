@@ -89,6 +89,28 @@ class TraceSink {
     (void)name;
     (void)at;
   }
+
+  /// Attribution hooks — like phase markers, pure observation with no-op
+  /// defaults so existing sinks keep compiling. `owner` is the global work
+  /// item (vertex or graph id) a cost belongs to, or 0xffffffff when the
+  /// traffic has no owner (weight preloads, control messages).
+  ///
+  /// A NoC packet fully delivered: `flits` wormhole flits travelled `hops`
+  /// mesh links from endpoint `src_ep` to `dst_ep` carrying
+  /// `payload_bytes` of owner `owner`'s data.
+  virtual void packet(std::uint32_t src_ep, std::uint32_t dst_ep,
+                      std::uint32_t owner, std::uint32_t flits,
+                      std::uint32_t hops, std::uint32_t payload_bytes) {
+    (void)src_ep, (void)dst_ep, (void)owner;
+    (void)flits, (void)hops, (void)payload_bytes;
+  }
+
+  /// `cycles` of unit `unit`'s busy time (category `cat`) charged to work
+  /// item `owner` — e.g. an AGG entry's reduce occupancy.
+  virtual void charge(Category cat, std::uint32_t unit, std::uint32_t owner,
+                      double cycles) {
+    (void)cat, (void)unit, (void)owner, (void)cycles;
+  }
 };
 
 /// Fans one event stream out to several sinks (e.g. a ChromeTraceSink and
@@ -120,6 +142,17 @@ class TeeSink final : public TraceSink {
   }
   void phase_end(const char* name, double at) override {
     for (TraceSink* s : sinks_) s->phase_end(name, at);
+  }
+  void packet(std::uint32_t src_ep, std::uint32_t dst_ep, std::uint32_t owner,
+              std::uint32_t flits, std::uint32_t hops,
+              std::uint32_t payload_bytes) override {
+    for (TraceSink* s : sinks_) {
+      s->packet(src_ep, dst_ep, owner, flits, hops, payload_bytes);
+    }
+  }
+  void charge(Category cat, std::uint32_t unit, std::uint32_t owner,
+              double cycles) override {
+    for (TraceSink* s : sinks_) s->charge(cat, unit, owner, cycles);
   }
 
  private:
@@ -158,6 +191,16 @@ class Tracer {
     if (sink_ != nullptr) {
       sink_->counter(cat_, unit_, name, static_cast<double>(*clock_), value);
     }
+  }
+  void packet(std::uint32_t src_ep, std::uint32_t dst_ep, std::uint32_t owner,
+              std::uint32_t flits, std::uint32_t hops,
+              std::uint32_t payload_bytes) const {
+    if (sink_ != nullptr) {
+      sink_->packet(src_ep, dst_ep, owner, flits, hops, payload_bytes);
+    }
+  }
+  void charge(std::uint32_t owner, double cycles) const {
+    if (sink_ != nullptr) sink_->charge(cat_, unit_, owner, cycles);
   }
 
  private:

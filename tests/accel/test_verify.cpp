@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "accel/compiler.hpp"
+#include "accel/config.hpp"
 #include "gnn/model.hpp"
 #include "graph/dataset.hpp"
 #include "graph/generator.hpp"
@@ -388,6 +389,63 @@ TEST(Verify, NoDatasetBoundWarnsOnce) {
   EXPECT_EQ(n, 1U);
 }
 
+// ---- GV108: NoC bisection saturation ----
+
+TEST(Verify, OverprovisionedMemorySaturatesBisectionWarning) {
+  const auto c = gcn();
+  // gpu-iso-bw but with each memory node cranked to 400 GB/s: the
+  // aggregate stream (8 nodes) would push ~half its bytes across the mesh
+  // bisection, which the 4x4 mesh's 512 B/cycle cut cannot carry.
+  AcceleratorConfig cfg = AcceleratorConfig::gpu_iso_bw();
+  cfg.mem_params.bandwidth = Bandwidth::gb_per_s(400.0);
+  const VerifyReport r =
+      verify_program(c.prog, TileParams{}, c.ds.get(), &cfg);
+  EXPECT_TRUE(r.ok()) << r.to_string();  // warning, not an error
+  EXPECT_TRUE(r.has(LintCode::kNocBisectionSaturated)) << r.to_string();
+  std::size_t n = 0;
+  for (const auto& d : r.diagnostics) {
+    if (d.code == LintCode::kNocBisectionSaturated) {
+      ++n;
+      EXPECT_EQ(d.severity, Severity::kWarning);
+      EXPECT_GE(d.phase, 0);  // attributed to a concrete phase
+    }
+  }
+  // One warning per phase that actually moves bytes.
+  EXPECT_GE(n, 1U);
+}
+
+TEST(Verify, SkinnyMeshLowersTheBisectionBound) {
+  const auto c = gcn();
+  // Same memory system, but a 16x1 chain has a single-link bisection
+  // (min(W,H) = 1 -> 128 B/cycle); a moderate 200 GB/s per node already
+  // overwhelms it.
+  AcceleratorConfig cfg = AcceleratorConfig::gpu_iso_bw();
+  cfg.mesh_width = 16;
+  cfg.mesh_height = 1;
+  cfg.mem_params.bandwidth = Bandwidth::gb_per_s(200.0);
+  const VerifyReport r =
+      verify_program(c.prog, TileParams{}, c.ds.get(), &cfg);
+  EXPECT_TRUE(r.has(LintCode::kNocBisectionSaturated)) << r.to_string();
+}
+
+TEST(Verify, ShippedConfigsDoNotSaturateBisection) {
+  const auto c = gcn();
+  for (const AcceleratorConfig& cfg :
+       {AcceleratorConfig::cpu_iso_bw(), AcceleratorConfig::gpu_iso_bw(),
+        AcceleratorConfig::gpu_iso_flops()}) {
+    const VerifyReport r =
+        verify_program(c.prog, TileParams{}, c.ds.get(), &cfg);
+    EXPECT_FALSE(r.has(LintCode::kNocBisectionSaturated))
+        << cfg.name << ":\n" << r.to_string();
+  }
+}
+
+TEST(Verify, NoConfigSkipsBisectionCheck) {
+  const auto c = gcn();
+  const VerifyReport r = verify_program(c.prog, TileParams{}, c.ds.get());
+  EXPECT_FALSE(r.has(LintCode::kNocBisectionSaturated));
+}
+
 // ---- report plumbing ----
 
 TEST(Verify, VerifyOrThrowCarriesTheReport) {
@@ -423,9 +481,10 @@ TEST(Verify, ReportPrintsCodeAndPhaseProvenance) {
 
 TEST(Verify, LintCodeTableIsCompleteAndStable) {
   const auto table = lint_code_table();
-  EXPECT_EQ(table.size(), 19U);
+  EXPECT_EQ(table.size(), 20U);
   EXPECT_STREQ(lint_code_name(LintCode::kDnqEntryTooLarge), "GV001");
   EXPECT_STREQ(lint_code_name(LintCode::kOutputClobbersPreload), "GV106");
+  EXPECT_STREQ(lint_code_name(LintCode::kNocBisectionSaturated), "GV108");
   for (const auto& e : table) {
     EXPECT_EQ(e.severity, lint_code_severity(e.code));
   }

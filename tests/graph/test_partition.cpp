@@ -104,5 +104,72 @@ TEST(Partition, ZeroTilesThrows) {
                std::invalid_argument);
 }
 
+TEST(Partition, ByTileIsAscendingWithinEachBucket) {
+  const Graph g = test_graph();
+  for (const PartitionPolicy policy :
+       {PartitionPolicy::kRoundRobin, PartitionPolicy::kBlock,
+        PartitionPolicy::kDegreeGreedy, PartitionPolicy::kProfileGuided}) {
+    const auto buckets = make_partition(g, 4, policy).by_tile();
+    for (const auto& b : buckets) {
+      EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
+      EXPECT_EQ(std::adjacent_find(b.begin(), b.end()), b.end());
+    }
+  }
+}
+
+TEST(Partition, ProfileGuidedWithoutLoadsFallsBackToRoundRobin) {
+  // make_partition has no profile to consume; the policy must degrade to
+  // the round-robin baseline the profiling pass itself uses.
+  const Graph g = test_graph();
+  const Partition p = make_partition(g, 4, PartitionPolicy::kProfileGuided);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(p.owner(v), v % 4);
+  }
+}
+
+TEST(ProfilePartition, LptBalancesMeasuredLoads) {
+  // Loads 8,7,..,1 over 2 tiles: LPT packs {8,5,4,1} vs {7,6,3,2} = 18/18.
+  const std::vector<double> loads = {8, 7, 6, 5, 4, 3, 2, 1};
+  const Partition p = make_profile_partition(8, 2, loads);
+  std::vector<double> tile_load(2, 0.0);
+  for (NodeId v = 0; v < 8; ++v) tile_load[p.owner(v)] += loads[v];
+  EXPECT_DOUBLE_EQ(tile_load[0], 18.0);
+  EXPECT_DOUBLE_EQ(tile_load[1], 18.0);
+  // Heaviest vertex (id 0, load 8) seeds the lowest tile id.
+  EXPECT_EQ(p.owner(0), 0);
+}
+
+TEST(ProfilePartition, UnprofiledVerticesRoundRobin) {
+  // Only vertices 0..3 carry loads; 4..11 are missing from the profile
+  // (loads vector shorter than n) and must spread round-robin.
+  const std::vector<double> loads = {4, 3, 2, 1};
+  const Partition p = make_profile_partition(12, 4, loads);
+  std::vector<std::size_t> count(4, 0);
+  for (NodeId v = 4; v < 12; ++v) ++count[p.owner(v)];
+  for (const std::size_t c : count) EXPECT_EQ(c, 2U);
+}
+
+TEST(ProfilePartition, ZeroLoadEntriesCountAsUnprofiled) {
+  // Zero entries (evicted from the bounded top-K table) take the fallback
+  // path too, not a tile-0 pile-up.
+  const std::vector<double> loads = {0, 0, 0, 0, 0, 0, 0, 0};
+  const Partition p = make_profile_partition(8, 4, loads);
+  std::vector<std::size_t> count(4, 0);
+  for (NodeId v = 0; v < 8; ++v) ++count[p.owner(v)];
+  for (const std::size_t c : count) EXPECT_EQ(c, 2U);
+}
+
+TEST(ProfilePartition, EmptyLoadsIsPureRoundRobin) {
+  const Partition p = make_profile_partition(10, 3, {});
+  for (NodeId v = 0; v < 10; ++v) {
+    EXPECT_EQ(p.owner(v), v % 3);
+  }
+}
+
+TEST(ProfilePartition, ZeroTilesThrows) {
+  EXPECT_THROW(make_profile_partition(4, 0, {1, 2, 3, 4}),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace gnna::graph

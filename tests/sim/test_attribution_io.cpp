@@ -1,0 +1,108 @@
+// load_attribution_profile: the bridge from a prior run's stats JSON to
+// the dense load vector profile-guided partitioning consumes.
+#include "sim/attribution_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace gnna::sim {
+namespace {
+
+/// Writes `text` to a temp file for the duration of the test.
+class TempJson {
+ public:
+  explicit TempJson(const std::string& text)
+      : path_(std::string(::testing::TempDir()) + "attr_io_" +
+              std::to_string(counter_++) + ".json") {
+    std::ofstream out(path_);
+    out << text;
+  }
+  ~TempJson() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  static int counter_;
+  std::string path_;
+};
+
+int TempJson::counter_ = 0;
+
+constexpr const char* kRunWithAttribution = R"({
+  "schema_version": 5,
+  "cycles": 1000,
+  "attribution": {
+    "version": 1, "top_k": 4, "span": 1000, "total_busy": 60,
+    "busy_max_mean": 1.25, "flit_gini": 0.1, "unattributed_flits": 2,
+    "tiles": [
+      {"tile": 0, "busy": 40}, {"tile": 1, "busy": 20}
+    ],
+    "vertices": [
+      {"vertex": 7, "busy": 30.0, "approx": false},
+      {"vertex": 2, "busy": 20.0, "approx": false},
+      {"vertex": 9, "busy": 10.0, "approx": true}
+    ]
+  }
+})";
+
+TEST(AttributionIo, LoadsSingleRunObject) {
+  const TempJson f(kRunWithAttribution);
+  const AttributionProfile p = load_attribution_profile(f.path());
+  EXPECT_EQ(p.num_tiles, 2U);
+  EXPECT_DOUBLE_EQ(p.busy_max_mean, 1.25);
+  EXPECT_DOUBLE_EQ(p.flit_gini, 0.1);
+  // Dense vector sized to max id + 1; untabled vertices stay 0.
+  ASSERT_EQ(p.vertex_busy.size(), 10U);
+  EXPECT_DOUBLE_EQ(p.vertex_busy[7], 30.0);
+  EXPECT_DOUBLE_EQ(p.vertex_busy[2], 20.0);
+  EXPECT_DOUBLE_EQ(p.vertex_busy[9], 10.0);
+  EXPECT_DOUBLE_EQ(p.vertex_busy[0], 0.0);
+}
+
+TEST(AttributionIo, FindsFirstAttributedRunInBatchArray) {
+  const TempJson f(std::string("[{\"error\": \"boom\"}, {\"cycles\": 5}, ") +
+                   kRunWithAttribution + "]");
+  const AttributionProfile p = load_attribution_profile(f.path());
+  EXPECT_EQ(p.num_tiles, 2U);
+  EXPECT_DOUBLE_EQ(p.vertex_busy[7], 30.0);
+}
+
+TEST(AttributionIo, MissingBlockThrowsWithHint) {
+  const TempJson f(R"({"schema_version": 5, "cycles": 1000})");
+  try {
+    (void)load_attribution_profile(f.path());
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("--attribution"),
+              std::string::npos);
+  }
+}
+
+TEST(AttributionIo, UnreadableFileThrows) {
+  EXPECT_THROW((void)load_attribution_profile("/nonexistent/attr.json"),
+               std::runtime_error);
+}
+
+TEST(AttributionIo, IgnoresMalformedVertexRows) {
+  const TempJson f(R"({
+    "attribution": {
+      "tiles": [],
+      "vertices": [
+        {"vertex": -1, "busy": 5.0},
+        {"vertex": 3, "busy": 0.0},
+        {"vertex": 1, "busy": 7.0},
+        "not-an-object"
+      ]
+    }
+  })");
+  const AttributionProfile p = load_attribution_profile(f.path());
+  EXPECT_EQ(p.num_tiles, 0U);
+  ASSERT_EQ(p.vertex_busy.size(), 2U);
+  EXPECT_DOUBLE_EQ(p.vertex_busy[1], 7.0);
+}
+
+}  // namespace
+}  // namespace gnna::sim

@@ -53,8 +53,10 @@ void usage(std::ostream& os) {
         " (default cpu-iso-bw)\n"
         "  --clock <ghz>              core clock in GHz (default 2.4)\n"
         "  --threads <n>              GPE software threads (default 16)\n"
-        "  --partition <policy>       round-robin | block (default"
-        " round-robin)\n"
+        "  --partition <policy>       round-robin | block | degree-greedy |\n"
+        "                             profile-guided (default round-robin;\n"
+        "                             profile-guided needs"
+        " --attribution-from)\n"
         "  --seed <n>                 dataset seed (default 2020)\n"
         "  --energy                   print the energy breakdown\n"
         "  --batch <manifest>         run one simulation per manifest line\n"
@@ -69,6 +71,16 @@ void usage(std::ostream& os) {
         "                             printed after the report, embedded in\n"
         "                             --json output, and (with =<file>) also\n"
         "                             written there as JSON for gnnatrace\n"
+        "  --attribution[=<file>]     charge work to owning vertices/tiles;\n"
+        "                             per-tile totals + top-K hotspots are\n"
+        "                             embedded in --json output and (with\n"
+        "                             =<file>) also written there as JSON\n"
+        "                             for gnnatrace hotspots\n"
+        "  --attribution-top-k <n>    hotspot-table bound (default 64; use\n"
+        "                             >= the vertex count for an exact\n"
+        "                             profiling pass)\n"
+        "  --attribution-from <file>  prior run's stats JSON consumed by\n"
+        "                             --partition profile-guided\n"
         "  --trace <file>             write a Chrome-trace JSON event log\n"
         "                             (open in chrome://tracing or Perfetto;\n"
         "                             per-run files <file>.runN in --batch)\n"
@@ -109,7 +121,11 @@ void usage_batch(std::ostream& os) {
         "Memory keys mem_scheduler=in_order|frfcfs, mem_banks=N,\n"
         "mem_row_bytes=N, mem_row_hit_ns=X, mem_row_miss_ns=X, mem_window=N,\n"
         "mem_bank_xor=0|1 override the line's configuration; put them after\n"
-        "any config= token (config= replaces the whole configuration).\n";
+        "any config= token (config= replaces the whole configuration).\n"
+        "Attribution keys: attribution=0|1 toggles the per-vertex/per-tile\n"
+        "work-attribution sink, attribution_top_k=N bounds its hotspot\n"
+        "table, and partition=profile-guided attribution_from=<stats.json>\n"
+        "rebalances the line from a prior run's attribution block.\n";
 }
 
 /// "t.json" -> "t.run3.json" (suffix before the extension, if any).
@@ -252,6 +268,10 @@ int main(int argc, char** argv) {
   std::string json_path;
   bool profile = false;
   std::string profile_path;
+  bool attribution = false;
+  std::string attribution_path;
+  std::optional<std::size_t> attribution_top_k;
+  std::string attribution_from;
   unsigned jobs = 1;
   std::string trace_path;
   std::string sample_path;
@@ -377,6 +397,31 @@ int main(int argc, char** argv) {
         std::cerr << "error: --profile= needs a file name\n";
         return 2;
       }
+    } else if (arg == "--attribution") {
+      attribution = true;
+    } else if (arg.rfind("--attribution=", 0) == 0) {
+      attribution = true;
+      attribution_path = arg.substr(std::strlen("--attribution="));
+      if (attribution_path.empty()) {
+        std::cerr << "error: --attribution= needs a file name\n";
+        return 2;
+      }
+    } else if (arg == "--attribution-top-k") {
+      const auto v = next();
+      const auto parsed = v ? sim::parse_u64(*v) : std::nullopt;
+      if (!parsed || *parsed == 0 || *parsed > (1ULL << 24)) {
+        std::cerr << "error: --attribution-top-k needs a count in "
+                     "[1, 2^24]\n";
+        return 2;
+      }
+      attribution_top_k = static_cast<std::size_t>(*parsed);
+    } else if (arg == "--attribution-from") {
+      const auto v = next();
+      if (!v || v->empty()) {
+        std::cerr << "error: --attribution-from needs a stats JSON file\n";
+        return 2;
+      }
+      attribution_from = *v;
     } else if (arg == "--trace") {
       const auto v = next();
       if (!v) {
@@ -553,6 +598,11 @@ int main(int argc, char** argv) {
     defaults.seed = seed;
     defaults.watchdog_cycles = watchdog;
     defaults.verify = verify;
+    defaults.trace.attribution = attribution;
+    if (attribution_top_k) {
+      defaults.trace.attribution_top_k = *attribution_top_k;
+    }
+    defaults.attribution_from = attribution_from;
 
     std::vector<sim::RunRequest> requests;
     try {
@@ -643,6 +693,12 @@ int main(int argc, char** argv) {
         })) {
       return 2;
     }
+    if (!attribution_path.empty() &&
+        !write_json_file(attribution_path, [&](std::ostream& os) {
+          sim::write_batch_json(os, results);
+        })) {
+      return 2;
+    }
     if (failures > 0) {
       std::cerr << "error: " << failures << " of " << results.size()
                 << " runs failed\n";
@@ -674,6 +730,9 @@ int main(int argc, char** argv) {
   req.watchdog_cycles = watchdog;
   req.verify = verify;
   req.trace.profile = profile;
+  req.trace.attribution = attribution;
+  if (attribution_top_k) req.trace.attribution_top_k = *attribution_top_k;
+  req.attribution_from = attribution_from;
 
   // Observability outputs. The streams must outlive run(); the trace
   // sink's destructor closes the JSON document.
@@ -705,6 +764,15 @@ int main(int argc, char** argv) {
     std::cout << '\n';
     trace::print_profile(std::cout, *rs.profile);
   }
+  if (rs.attribution) {
+    const trace::AttributionReport& ar = *rs.attribution;
+    std::cout << "\nattribution: " << ar.tiles.size()
+              << " tiles, busy max/mean "
+              << format_double(ar.busy_max_mean(), 3) << ", flit gini "
+              << format_double(ar.flit_gini(), 3) << ", top-"
+              << ar.vertices.size()
+              << " hotspots captured (gnnatrace hotspots for the tables)\n";
+  }
 
   const auto emit_run = [&](std::ostream& os) {
     sim::write_run_stats_json(os, rs);
@@ -712,6 +780,10 @@ int main(int argc, char** argv) {
   };
   if (!json_path.empty() && !write_json_file(json_path, emit_run)) return 2;
   if (!profile_path.empty() && !write_json_file(profile_path, emit_run)) {
+    return 2;
+  }
+  if (!attribution_path.empty() &&
+      !write_json_file(attribution_path, emit_run)) {
     return 2;
   }
   return 0;

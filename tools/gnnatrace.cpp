@@ -1,16 +1,23 @@
 // gnnatrace — offline profile viewer and A/B regression differ.
 //
 //   gnnatrace report <run.json> [--run N] [--top N] [--collapsed]
-//   gnnatrace diff <a.json> <b.json> [--run N] [--threshold PCT] [--top N]
+//   gnnatrace hotspots <run.json> [--run N] [--top N] [--csv]
+//   gnnatrace diff <a.json> <b.json> [--run N] [--threshold PCT]
+//                  [--imbalance-threshold PCT] [--top N]
 //
 // Inputs are `gnnasim --json` outputs (a single run object or a batch
 // array; `--run` selects the array element). `report` prints the embedded
 // per-phase/per-unit profile — or, with --collapsed, the GPE flame rollup
 // in collapsed-stack format ("a;b;c N", one line per path, feedable to
-// flamegraph.pl and friends). `diff` lines two runs up phase by phase and
-// unit by unit, prints absolute and percentage deltas, flags phases that
-// exist in only one run, and exits 1 when the total-cycle regression
-// exceeds `--threshold` or a phase appears/disappears — the CI gate.
+// flamegraph.pl and friends). `hotspots` renders the attribution block
+// (`gnnasim --attribution`): the top-K per-vertex hotspot table and a
+// per-tile heatmap of busy/flit load, or machine-readable CSV rows with
+// --csv. `diff` lines two runs up phase by phase and unit by unit, prints
+// absolute and percentage deltas, flags phases that exist in only one run,
+// and exits 1 when the total-cycle regression exceeds `--threshold`, a
+// phase appears/disappears, or (when both runs carry attribution and
+// --imbalance-threshold is given) the per-tile busy imbalance
+// (busy max/mean) regresses by more than that percentage — the CI gates.
 //
 // Exit codes: 0 ok, 1 regression beyond threshold, 2 usage/parse error.
 #include <cmath>
@@ -26,6 +33,7 @@
 
 #include "common/table.hpp"
 #include "sim/json.hpp"
+#include "trace/attribution.hpp"
 #include "trace/profiler.hpp"
 #include "trace/trace.hpp"
 
@@ -34,6 +42,7 @@ namespace {
 using gnna::Table;
 using gnna::format_double;
 using gnna::sim::json::Value;
+using gnna::trace::AttributionReport;
 using gnna::trace::Category;
 using gnna::trace::FlameNode;
 using gnna::trace::kNumCategories;
@@ -43,18 +52,28 @@ using gnna::trace::ProfileReport;
 void usage(std::ostream& os) {
   os << "usage: gnnatrace report <run.json> [--run N] [--top N]"
         " [--collapsed]\n"
+        "       gnnatrace hotspots <run.json> [--run N] [--top N] [--csv]\n"
         "       gnnatrace diff <a.json> <b.json> [--run N] [--threshold PCT]"
-        " [--top N]\n"
+        " [--imbalance-threshold PCT] [--top N]\n"
         "\n"
         "Reads gnnasim --json output (single run or batch array).\n"
         "  --run N         batch array element to use (default 0)\n"
-        "  --top N         flame paths to show in report (default 12)\n"
+        "  --top N         flame paths in report / hotspot rows in hotspots\n"
+        "                  (default 12)\n"
         "  --collapsed     report: print the flame rollup as collapsed\n"
         "                  stacks (`a;b;c N', flamegraph.pl input) instead\n"
         "                  of tables\n"
+        "  --csv           hotspots: machine-readable CSV (one `tile' row\n"
+        "                  per tile, one `vertex' row per hotspot) instead\n"
+        "                  of tables\n"
         "  --threshold PCT diff: exit 1 if total cycles regress by more\n"
         "                  than PCT percent, or if any phase exists in\n"
-        "                  only one run (default: report only)\n";
+        "                  only one run (default: report only)\n"
+        "  --imbalance-threshold PCT\n"
+        "                  diff: exit 1 if per-tile busy imbalance (busy\n"
+        "                  max/mean from the attribution block) regresses\n"
+        "                  by more than PCT percent (needs attribution in\n"
+        "                  both runs)\n";
 }
 
 /// One loaded run: the raw JSON object plus the decoded profile (empty
@@ -66,6 +85,10 @@ struct LoadedRun {
   double cycles = 0.0;
   ProfileReport profile;
   bool has_profile = false;
+  /// Decoded "attribution" block (empty when the run was produced without
+  /// --attribution).
+  AttributionReport attr;
+  bool has_attr = false;
   /// Fallback phase spans from the plain "phases" array (always present).
   std::vector<std::pair<std::string, double>> phase_cycles;
 };
@@ -119,10 +142,49 @@ PhaseProfile decode_phase(const Value& p) {
       ph.counters.push_back(
           {static_cast<Category>(cat), c.str_or("name", "?"),
            static_cast<std::uint64_t>(c.num_or("samples", 0.0)),
-           c.num_or("last", 0.0), c.num_or("max", 0.0)});
+           c.num_or("last", 0.0), c.num_or("max", 0.0),
+           c.num_or("mean", 0.0)});
     }
   }
   return ph;
+}
+
+AttributionReport decode_attribution(const Value& a) {
+  AttributionReport ar;
+  ar.top_k = static_cast<std::size_t>(a.num_or("top_k", 0.0));
+  ar.span = a.num_or("span", 0.0);
+  ar.total_busy = a.num_or("total_busy", 0.0);
+  ar.unattributed_flits =
+      static_cast<std::uint64_t>(a.num_or("unattributed_flits", 0.0));
+  if (const Value* tiles = a.find("tiles"); tiles != nullptr) {
+    for (const Value& t : tiles->items()) {
+      gnna::trace::TileAttribution ta;
+      ta.busy = t.num_or("busy", 0.0);
+      ta.idle = t.num_or("idle", 0.0);
+      ta.agg_busy = t.num_or("agg_busy", 0.0);
+      ta.tasks = static_cast<std::uint64_t>(t.num_or("tasks", 0.0));
+      ta.flits = static_cast<std::uint64_t>(t.num_or("flits", 0.0));
+      ta.flit_hops = static_cast<std::uint64_t>(t.num_or("flit_hops", 0.0));
+      ta.bytes = static_cast<std::uint64_t>(t.num_or("bytes", 0.0));
+      ar.tiles.push_back(ta);
+    }
+  }
+  if (const Value* verts = a.find("vertices"); verts != nullptr) {
+    for (const Value& v : verts->items()) {
+      gnna::trace::VertexHotspot vh;
+      vh.vertex = static_cast<std::uint32_t>(v.num_or("vertex", 0.0));
+      vh.busy = v.num_or("busy", 0.0);
+      vh.agg_busy = v.num_or("agg_busy", 0.0);
+      vh.tasks = static_cast<std::uint64_t>(v.num_or("tasks", 0.0));
+      vh.flits = static_cast<std::uint64_t>(v.num_or("flits", 0.0));
+      vh.bytes = static_cast<std::uint64_t>(v.num_or("bytes", 0.0));
+      const Value* ap = v.find("approx");
+      vh.approx = ap != nullptr && ap->type() == Value::Type::kBool &&
+                  ap->as_bool();
+      ar.vertices.push_back(vh);
+    }
+  }
+  return ar;
 }
 
 LoadedRun load_run(const std::string& path, std::size_t run_index) {
@@ -160,6 +222,10 @@ LoadedRun load_run(const std::string& path, std::size_t run_index) {
       }
       run.has_profile = true;
     }
+  }
+  if (const Value* attr = obj->find("attribution"); attr != nullptr) {
+    run.attr = decode_attribution(*attr);
+    run.has_attr = true;
   }
   return run;
 }
@@ -227,8 +293,95 @@ int cmd_report(const LoadedRun& run, std::size_t top_n) {
   return 0;
 }
 
+/// ASCII heat bar: `value / max` of the bar filled with '#'.
+std::string heat_bar(double value, double max, std::size_t width = 20) {
+  std::size_t fill = 0;
+  if (max > 0.0 && value > 0.0) {
+    fill = static_cast<std::size_t>(
+        std::llround(value / max * static_cast<double>(width)));
+    if (fill == 0) fill = 1;  // nonzero load is always visible
+    if (fill > width) fill = width;
+  }
+  return std::string(fill, '#') + std::string(width - fill, '.');
+}
+
+int cmd_hotspots(const LoadedRun& run, std::size_t top_n, bool csv) {
+  if (!run.has_attr) {
+    std::cerr << "error: " << run.path << " has no attribution block "
+                 "(rerun gnnasim with --attribution)\n";
+    return 2;
+  }
+  const AttributionReport& ar = run.attr;
+  if (csv) {
+    // One flat table; the first column tells tile rows from vertex rows.
+    std::cout << "kind,id,busy,idle,agg_busy,tasks,flits,flit_hops,bytes,"
+                 "approx\n";
+    for (std::size_t i = 0; i < ar.tiles.size(); ++i) {
+      const auto& t = ar.tiles[i];
+      std::cout << "tile," << i << ',' << format_double(t.busy, 0) << ','
+                << format_double(t.idle, 0) << ','
+                << format_double(t.agg_busy, 0) << ',' << t.tasks << ','
+                << t.flits << ',' << t.flit_hops << ',' << t.bytes << ",\n";
+    }
+    std::size_t rows = 0;
+    for (const auto& v : ar.vertices) {
+      if (rows++ >= top_n) break;
+      std::cout << "vertex," << v.vertex << ',' << format_double(v.busy, 0)
+                << ",," << format_double(v.agg_busy, 0) << ',' << v.tasks
+                << ',' << v.flits << ",," << v.bytes << ','
+                << (v.approx ? 1 : 0) << '\n';
+    }
+    return 0;
+  }
+
+  std::cout << "run: " << run.program << " on " << run.config << " ("
+            << format_double(run.cycles, 0) << " cycles)\n"
+            << "attribution: span " << format_double(ar.span, 0)
+            << " cycles, GPE busy " << format_double(ar.total_busy, 0)
+            << ", busy max/mean " << format_double(ar.busy_max_mean(), 3)
+            << ", flit gini " << format_double(ar.flit_gini(), 3) << ", "
+            << ar.unattributed_flits << " unattributed flit(s)\n\n";
+
+  double max_busy = 0.0;
+  std::uint64_t max_flits = 0;
+  for (const auto& t : ar.tiles) {
+    max_busy = std::max(max_busy, t.busy);
+    max_flits = std::max(max_flits, t.flits);
+  }
+  std::cout << "per-tile load (heat bars scaled to the hottest tile):\n";
+  Table tiles({"Tile", "Busy", "Heat", "Idle", "AGG busy", "Tasks", "Flits",
+               "Flit heat", "Flit-hops", "Bytes"});
+  for (std::size_t i = 0; i < ar.tiles.size(); ++i) {
+    const auto& t = ar.tiles[i];
+    tiles.add_row({std::to_string(i), format_double(t.busy, 0),
+                   heat_bar(t.busy, max_busy),
+                   format_double(t.idle, 0), format_double(t.agg_busy, 0),
+                   std::to_string(t.tasks), std::to_string(t.flits),
+                   heat_bar(static_cast<double>(t.flits),
+                            static_cast<double>(max_flits)),
+                   std::to_string(t.flit_hops), std::to_string(t.bytes)});
+  }
+  tiles.print(std::cout);
+
+  const std::size_t n = std::min(top_n, ar.vertices.size());
+  std::cout << "\nvertex hotspots (top " << n << " of " << ar.vertices.size()
+            << " captured, table bound top_k=" << ar.top_k
+            << "; ~ = upper bound after sketch admission):\n";
+  Table verts({"Vertex", "Busy", "AGG busy", "Tasks", "Flits", "Bytes"});
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& v = ar.vertices[i];
+    verts.add_row({(v.approx ? "~" : "") + std::to_string(v.vertex),
+                   format_double(v.busy, 0), format_double(v.agg_busy, 0),
+                   std::to_string(v.tasks), std::to_string(v.flits),
+                   std::to_string(v.bytes)});
+  }
+  verts.print(std::cout);
+  return 0;
+}
+
 int cmd_diff(const LoadedRun& a, const LoadedRun& b,
-             std::optional<double> threshold) {
+             std::optional<double> threshold,
+             std::optional<double> imbalance_threshold) {
   std::cout << "A: " << a.path << " (" << a.program << " on " << a.config
             << ", " << format_double(a.cycles, 0) << " cycles)\n"
             << "B: " << b.path << " (" << b.program << " on " << b.config
@@ -288,8 +441,44 @@ int cmd_diff(const LoadedRun& a, const LoadedRun& b,
     units.print(std::cout);
   }
 
+  // Per-tile busy-imbalance comparison, when both runs carry attribution.
+  const bool both_attr = a.has_attr && b.has_attr;
+  double imb_a = 0.0, imb_b = 0.0;
+  if (both_attr) {
+    imb_a = a.attr.busy_max_mean();
+    imb_b = b.attr.busy_max_mean();
+    std::cout << "\nPer-tile imbalance (attribution):\n";
+    Table imb({"Metric", "A", "B", "Delta %"});
+    imb.add_row({"busy max/mean", format_double(imb_a, 3),
+                 format_double(imb_b, 3), pct_cell(imb_a, imb_b)});
+    imb.add_row({"flit gini", format_double(a.attr.flit_gini(), 3),
+                 format_double(b.attr.flit_gini(), 3),
+                 pct_cell(a.attr.flit_gini(), b.attr.flit_gini())});
+    imb.print(std::cout);
+  }
+
   const double pct =
       a.cycles != 0.0 ? (b.cycles - a.cycles) / a.cycles * 100.0 : 0.0;
+  if (imbalance_threshold) {
+    if (!both_attr) {
+      std::cerr << "error: --imbalance-threshold needs an attribution block "
+                   "in both runs (rerun gnnasim with --attribution)\n";
+      return 2;
+    }
+    const double ipct =
+        imb_a != 0.0 ? (imb_b - imb_a) / imb_a * 100.0 : 0.0;
+    if (ipct > *imbalance_threshold) {
+      std::cout << "\nREGRESSION: busy max/mean "
+                << format_double(imb_a, 3) << " -> " << format_double(imb_b, 3)
+                << " (" << (ipct >= 0 ? "+" : "") << format_double(ipct, 2)
+                << "%) exceeds imbalance threshold "
+                << format_double(*imbalance_threshold, 2) << "%\n";
+      return 1;
+    }
+    std::cout << "\nok: busy max/mean " << (ipct >= 0 ? "+" : "")
+              << format_double(ipct, 2) << "% within imbalance threshold "
+              << format_double(*imbalance_threshold, 2) << "%\n";
+  }
   if (threshold) {
     // A phase that appears or disappears is a structural change no cycle
     // percentage can summarize — the gate fails regardless of the total.
@@ -327,7 +516,9 @@ int main(int argc, char** argv) {
   std::size_t run_index = 0;
   std::size_t top_n = 12;
   std::optional<double> threshold;
+  std::optional<double> imbalance_threshold;
   bool collapsed = false;
+  bool csv = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -352,17 +543,19 @@ int main(int argc, char** argv) {
         std::cerr << "error: --top needs a non-negative integer\n";
         return 2;
       }
-    } else if (arg == "--threshold") {
+    } else if (arg == "--threshold" || arg == "--imbalance-threshold") {
       char* end = nullptr;
       const char* v = next();
       const double t = std::strtod(v, &end);
       if (end == v || *end != '\0' || !std::isfinite(t)) {
-        std::cerr << "error: --threshold needs a percentage\n";
+        std::cerr << "error: " << arg << " needs a percentage\n";
         return 2;
       }
-      threshold = t;
+      (arg == "--threshold" ? threshold : imbalance_threshold) = t;
     } else if (arg == "--collapsed") {
       collapsed = true;
+    } else if (arg == "--csv") {
+      csv = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "error: unknown flag " << arg << "\n";
       usage(std::cerr);
@@ -386,13 +579,21 @@ int main(int argc, char** argv) {
       const LoadedRun run = load_run(positional[1], run_index);
       return collapsed ? cmd_report_collapsed(run) : cmd_report(run, top_n);
     }
+    if (cmd == "hotspots") {
+      if (positional.size() != 2) {
+        std::cerr << "error: hotspots needs exactly one input file\n";
+        return 2;
+      }
+      return cmd_hotspots(load_run(positional[1], run_index), top_n, csv);
+    }
     if (cmd == "diff") {
       if (positional.size() != 3) {
         std::cerr << "error: diff needs exactly two input files\n";
         return 2;
       }
       return cmd_diff(load_run(positional[1], run_index),
-                      load_run(positional[2], run_index), threshold);
+                      load_run(positional[2], run_index), threshold,
+                      imbalance_threshold);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

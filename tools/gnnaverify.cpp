@@ -48,7 +48,8 @@ void usage(std::ostream& os) {
         "  --all                 lint every built-in benchmark\n"
         "  --config <name>       cpu-iso-bw | gpu-iso-bw | gpu-iso-flops\n"
         "                        (default cpu-iso-bw; sets the tile\n"
-        "                        parameters programs are checked against)\n"
+        "                        parameters programs are checked against\n"
+        "                        and the mesh/memory shape GV108 checks)\n"
         "  --threads <n>         GPE software-thread override\n"
         "  --seed <n>            dataset seed (default 2020)\n"
         "  --werror              treat warnings as errors\n"
@@ -220,7 +221,7 @@ int main(int argc, char** argv) {
     accel::TileParams params = req.config.tile_params;
     if (req.threads) params.gpe_threads = *req.threads;
     const accel::VerifyReport report = accel::verify_program(
-        *resolved.program, params, resolved.dataset.get());
+        *resolved.program, params, resolved.dataset.get(), &req.config);
     ++programs;
     errors += report.num_errors();
     warnings += report.num_warnings();
@@ -248,7 +249,7 @@ int main(int argc, char** argv) {
       continue;
     }
     const accel::VerifyReport report =
-        accel::verify_program(prog, file_params, bound.get());
+        accel::verify_program(prog, file_params, bound.get(), &cfg);
     errors += report.num_errors();
     warnings += report.num_warnings();
     if (!quiet || !report.diagnostics.empty()) report.print(std::cout);
