@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "accel/analysis.hpp"
 #include "accel/report.hpp"
 #include "accel/verify.hpp"
 
@@ -155,16 +156,17 @@ void AcceleratorSim::maybe_sample(const std::string& phase_name) {
     *trace_.sample_out << row.str();
   }
   if (sink_ != nullptr) {
-    sink_->counter(trace::Category::kGpe, 0, "busy_frac", now, gpe_frac);
-    sink_->counter(trace::Category::kDna, 0, "busy_frac", now, dna_frac);
-    sink_->counter(trace::Category::kAgg, 0, "busy_frac", now, agg_frac);
-    sink_->counter(trace::Category::kDnq, 0, "live_entries", now,
+    const auto at = static_cast<double>(now);
+    sink_->counter(trace::Category::kGpe, 0, "busy_frac", at, gpe_frac);
+    sink_->counter(trace::Category::kDna, 0, "busy_frac", at, dna_frac);
+    sink_->counter(trace::Category::kAgg, 0, "busy_frac", at, agg_frac);
+    sink_->counter(trace::Category::kDnq, 0, "live_entries", at,
                    static_cast<double>(dnq_live));
-    sink_->counter(trace::Category::kNoc, 0, "inflight_packets", now,
+    sink_->counter(trace::Category::kNoc, 0, "inflight_packets", at,
                    static_cast<double>(inflight));
-    sink_->counter(trace::Category::kMem, 0, "queue_depth", now,
+    sink_->counter(trace::Category::kMem, 0, "queue_depth", at,
                    static_cast<double>(mem_depth));
-    sink_->counter(trace::Category::kMem, 0, "total_gbps", now, total_gbps);
+    sink_->counter(trace::Category::kMem, 0, "total_gbps", at, total_gbps);
   }
 }
 
@@ -214,7 +216,7 @@ RunStats AcceleratorSim::run(const CompiledProgram& prog,
   // fails here with structured diagnostics instead of deadlocking into
   // the watchdog. The bound dataset enables the topology-dependent
   // checks (walk-tree recomputation, layout/dataset agreement).
-  if (verify_) verify_or_throw(prog, cfg_.tile_params, &ds, &cfg_);
+  if (verify_) verify_or_throw(prog, cfg_.tile_params, &ds, &cfg_, partition_);
   build();
   attach_tracers();
   begin_sampling();
@@ -381,6 +383,15 @@ RunStats AcceleratorSim::run(const CompiledProgram& prog,
   if (attribution_) {
     rs.attribution = std::make_shared<const trace::AttributionReport>(
         attribution_->report());
+  }
+  {
+    // Static shadow model of the run just measured (purely analytic — no
+    // simulator state involved, so cycle counts cannot move).
+    AnalysisOptions aopt;
+    aopt.dataset = &ds;
+    aopt.partition = partition_;
+    rs.static_model = std::make_shared<const ProgramAnalysis>(
+        analyze_program(prog, cfg_, aopt));
   }
   return rs;
 }

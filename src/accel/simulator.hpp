@@ -20,6 +20,8 @@
 
 namespace gnna::accel {
 
+struct ProgramAnalysis;  // accel/analysis.hpp
+
 /// Observability knobs for one run. All default to "off"; with the
 /// defaults the simulator behaves (and performs) exactly as before.
 struct TraceOptions {
@@ -123,6 +125,11 @@ struct RunStats {
   /// Per-vertex/per-tile attribution; set when TraceOptions::attribution
   /// was on.
   std::shared_ptr<const trace::AttributionReport> attribution;
+
+  /// Static analytic performance model (accel/analysis.hpp), evaluated on
+  /// the same (program, config, partition) this run executed. Always set
+  /// by AcceleratorSim::run — purely static, never perturbs cycle counts.
+  std::shared_ptr<const ProgramAnalysis> static_model;
 };
 
 class AcceleratorSim {

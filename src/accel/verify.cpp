@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "accel/analysis.hpp"
 #include "accel/dnq.hpp"
 #include "common/units.hpp"
 
@@ -52,8 +53,10 @@ std::optional<std::vector<std::uint64_t>> recompute_walk_counts(
 class Linter {
  public:
   Linter(const CompiledProgram& prog, const TileParams& params,
-         const graph::Dataset* ds, const AcceleratorConfig* cfg)
-      : prog_(prog), params_(params), ds_(ds), cfg_(cfg) {
+         const graph::Dataset* ds, const AcceleratorConfig* cfg,
+         graph::PartitionPolicy partition)
+      : prog_(prog), params_(params), ds_(ds), cfg_(cfg),
+        partition_(partition) {
     report_.program_name = prog.name;
   }
 
@@ -74,6 +77,7 @@ class Linter {
       check_phase(static_cast<int>(i), prog_.phases[i]);
     }
     check_dataflow();
+    check_perf_model();
     return std::move(report_);
   }
 
@@ -710,10 +714,31 @@ class Linter {
     return os.str();
   }
 
+  // ---- GV201..GV204: static-model performance lints ----
+  // Only meaningful with a full config bound, and only on programs with no
+  // error diagnostics (the analytic model's numbers are nonsense for a
+  // program that cannot execute).
+  void check_perf_model() {
+    if (cfg_ == nullptr) return;
+    if (std::any_of(report_.diagnostics.begin(), report_.diagnostics.end(),
+                    [](const VerifyDiagnostic& d) {
+                      return d.severity == Severity::kError;
+                    })) {
+      return;
+    }
+    AnalysisOptions options;
+    options.dataset = ds_;
+    options.partition = partition_;
+    for (const PerfDiagnostic& d : perf_lints(prog_, *cfg_, options)) {
+      add(d.code, d.phase, d.message);
+    }
+  }
+
   const CompiledProgram& prog_;
   const TileParams& params_;
   const graph::Dataset* ds_;
   const AcceleratorConfig* cfg_;
+  graph::PartitionPolicy partition_;
   VerifyReport report_;
   bool split_valid_ = true;
 };
@@ -723,8 +748,9 @@ class Linter {
 VerifyReport verify_program(const CompiledProgram& prog,
                             const TileParams& params,
                             const graph::Dataset* ds,
-                            const AcceleratorConfig* cfg) {
-  return Linter(prog, params, ds, cfg).run();
+                            const AcceleratorConfig* cfg,
+                            graph::PartitionPolicy partition) {
+  return Linter(prog, params, ds, cfg, partition).run();
 }
 
 std::size_t VerifyReport::num_errors() const {
@@ -770,8 +796,9 @@ ProgramVerifyError::ProgramVerifyError(VerifyReport report)
 VerifyReport verify_or_throw(const CompiledProgram& prog,
                              const TileParams& params,
                              const graph::Dataset* ds,
-                             const AcceleratorConfig* cfg) {
-  VerifyReport report = verify_program(prog, params, ds, cfg);
+                             const AcceleratorConfig* cfg,
+                             graph::PartitionPolicy partition) {
+  VerifyReport report = verify_program(prog, params, ds, cfg, partition);
   if (!report.ok()) throw ProgramVerifyError(std::move(report));
   return report;
 }
@@ -819,6 +846,17 @@ constexpr LintCodeInfo kLintTable[] = {
      "no dataset bound: topology-dependent checks skipped"},
     {LintCode::kNocBisectionSaturated, Severity::kWarning, "GV108",
      "estimated NoC traffic saturates the mesh bisection bandwidth"},
+    {LintCode::kReuseDistanceThrash, Severity::kWarning, "GV201",
+     "scratchpad admits far fewer concurrent entries than GPE threads "
+     "(reuse-distance thrash: most threads stall on allocation)"},
+    {LintCode::kQueueSplitStarved, Severity::kWarning, "GV202",
+     "DNQ virtual-queue split starves one queue; another split admits "
+     ">= 2 entries in both"},
+    {LintCode::kBankCamping, Severity::kWarning, "GV203",
+     "predicted bank camping: page/bank interleave maps each controller's "
+     "traffic onto a strict subset of its banks"},
+    {LintCode::kPartitionImbalance, Severity::kWarning, "GV204",
+     "modeled partition concentrates per-tile load (max/mean >= 1.5)"},
 };
 
 }  // namespace
@@ -839,6 +877,15 @@ const char* lint_code_summary(LintCode code) {
 
 std::vector<LintCodeInfo> lint_code_table() {
   return {std::begin(kLintTable), std::end(kLintTable)};
+}
+
+const char* lint_family_name(LintFamily family) {
+  switch (family) {
+    case LintFamily::kError: return "errors";
+    case LintFamily::kWarning: return "warnings";
+    case LintFamily::kPerf: return "perf";
+  }
+  return "unknown";
 }
 
 }  // namespace gnna::accel

@@ -42,6 +42,25 @@
 //          bounds every data-moving phase. Needs the accelerator config;
 //          skipped without one.
 //
+// GV2xx = performance lints from the static analytic model
+// (accel/analysis.hpp). They report configurations that will run, and run
+// correctly, but leave modeled hardware parallelism on the table. Like
+// GV108 they need the accelerator config and are skipped without one:
+//
+//   GV201  scratchpad reuse-distance thrash: a DNQ virtual queue or the
+//          AGG scratchpad admits fewer concurrent entries than a quarter
+//          of the GPE thread pool, so most in-flight threads stall on
+//          allocation (the serialized < 2 case stays GV101/GV102)
+//   GV202  DNQ virtual-queue split starvation: the configured
+//          queue0_sixteenths starves one virtual queue below 2 entries
+//          while some other split admits >= 2 in both
+//   GV203  predicted bank camping: under FR-FCFS, the page/bank
+//          interleave combination maps every controller's traffic onto a
+//          strict subset of its banks (mem_bank_xor=1 fixes it)
+//   GV204  partition load imbalance: the modeled partition concentrates a
+//          phase's per-vertex load so the heaviest tile does >= 1.5x the
+//          mean work
+//
 // Programs are dataset-independent, so most checks run from the program's
 // own graph-layout table alone. Passing the dataset the program will run
 // against enables the topology-dependent checks (GV006 walk-tree
@@ -58,6 +77,7 @@
 #include "accel/config.hpp"
 #include "accel/program.hpp"
 #include "graph/dataset.hpp"
+#include "graph/partition.hpp"
 
 namespace gnna::accel {
 
@@ -84,9 +104,18 @@ enum class LintCode : std::uint16_t {
   kOutputClobbersPreload = 106,
   kNoDatasetBound = 107,
   kNocBisectionSaturated = 108,
+  // Performance lints from the static analytic model (accel/analysis.hpp).
+  kReuseDistanceThrash = 201,
+  kQueueSplitStarved = 202,
+  kBankCamping = 203,
+  kPartitionImbalance = 204,
 };
 
 enum class Severity : std::uint8_t { kWarning, kError };
+
+/// Code families, for grouped `gnnaverify --list-codes` output. Perf lints
+/// are warnings by severity; the family tells the two apart.
+enum class LintFamily : std::uint8_t { kError, kWarning, kPerf };
 
 /// "GV001", "GV102", ... — the stable identifier printed in diagnostics.
 [[nodiscard]] const char* lint_code_name(LintCode code);
@@ -96,6 +125,13 @@ enum class Severity : std::uint8_t { kWarning, kError };
   return static_cast<std::uint16_t>(code) >= 100 ? Severity::kWarning
                                                  : Severity::kError;
 }
+[[nodiscard]] constexpr LintFamily lint_code_family(LintCode code) {
+  const auto v = static_cast<std::uint16_t>(code);
+  return v >= 200 ? LintFamily::kPerf
+         : v >= 100 ? LintFamily::kWarning
+                    : LintFamily::kError;
+}
+[[nodiscard]] const char* lint_family_name(LintFamily family);
 
 struct VerifyDiagnostic {
   LintCode code = LintCode::kBadMemoryMap;
@@ -124,14 +160,15 @@ struct VerifyReport {
 /// (optional) is the dataset the program will run against; it enables the
 /// topology-dependent checks (see the header comment). `cfg` (optional) is
 /// the full accelerator configuration; it enables the config-dependent
-/// checks (GV108 bisection saturation) — pass the same config the program
-/// will execute on. Never throws on program defects — they all land in the
-/// report.
-[[nodiscard]] VerifyReport verify_program(const CompiledProgram& prog,
-                                          const TileParams& params,
-                                          const graph::Dataset* ds = nullptr,
-                                          const AcceleratorConfig* cfg =
-                                              nullptr);
+/// checks (GV108 bisection saturation and the GV2xx perf lints) — pass the
+/// same config the program will execute on. `partition` is the policy the
+/// simulator will apply (GV204 models it). Never throws on program defects
+/// — they all land in the report.
+[[nodiscard]] VerifyReport verify_program(
+    const CompiledProgram& prog, const TileParams& params,
+    const graph::Dataset* ds = nullptr,
+    const AcceleratorConfig* cfg = nullptr,
+    graph::PartitionPolicy partition = graph::PartitionPolicy::kRoundRobin);
 
 /// Thrown by verify_or_throw; carries the full report.
 class ProgramVerifyError : public std::runtime_error {
@@ -145,10 +182,11 @@ class ProgramVerifyError : public std::runtime_error {
 
 /// verify_program + throw ProgramVerifyError if any *error* diagnostics
 /// were produced (warnings never throw). Returns the report otherwise.
-VerifyReport verify_or_throw(const CompiledProgram& prog,
-                             const TileParams& params,
-                             const graph::Dataset* ds = nullptr,
-                             const AcceleratorConfig* cfg = nullptr);
+VerifyReport verify_or_throw(
+    const CompiledProgram& prog, const TileParams& params,
+    const graph::Dataset* ds = nullptr,
+    const AcceleratorConfig* cfg = nullptr,
+    graph::PartitionPolicy partition = graph::PartitionPolicy::kRoundRobin);
 
 /// The full lint-code catalog, for `gnnaverify --list-codes` and docs.
 struct LintCodeInfo {

@@ -15,7 +15,8 @@ DnnAccelResult run_dnn_accel_study(graph::DatasetId dataset,
   // Adjacency density as the paper counts it: E nonzeros in the dense
   // N x N vertex adjacency matrix.
   const double density =
-      static_cast<double>(spec.total_edges) / (static_cast<double>(n) * n);
+      static_cast<double>(spec.total_edges) /
+      (static_cast<double>(n) * static_cast<double>(n));
   res.adjacency_sparsity = 1.0 - density;
 
   // GCN as the paper describes it for this study: a series of FC layers

@@ -239,6 +239,15 @@ std::vector<RunRequest> parse_batch_manifest(std::istream& in,
         }
         req.config.mem_params.window_entries =
             static_cast<std::uint32_t>(*n);
+      } else if (key == "mem_bank_interleave_bytes") {
+        const auto n = parse_u64(value);
+        if (!n || *n == 0 || *n > (1ULL << 30)) {
+          fail(source, lineno,
+               "mem_bank_interleave_bytes must be in [1, 2^30], got '" +
+                   value + "'");
+        }
+        req.config.mem_params.bank_interleave_bytes =
+            static_cast<std::uint32_t>(*n);
       } else if (key == "mem_bank_xor") {
         if (value == "1") {
           req.config.mem_params.bank_xor = true;
@@ -248,6 +257,32 @@ std::vector<RunRequest> parse_batch_manifest(std::istream& in,
           fail(source, lineno,
                "mem_bank_xor must be 0 or 1, got '" + value + "'");
         }
+      } else if (key == "tile_agg_data_bytes" ||
+                 key == "tile_dnq_data_bytes") {
+        // Tile scratchpad overrides (what `gnnaverify --fix` suggests for
+        // GV201). Like mem_*, these override fields of req.config, so put
+        // them after any config= token.
+        const auto n = parse_u64(value);
+        if (!n || *n == 0 || *n > (1ULL << 30)) {
+          fail(source, lineno,
+               key + " must be in [1, 2^30], got '" + value + "'");
+        }
+        if (key == "tile_agg_data_bytes") {
+          req.config.tile_params.agg_data_bytes =
+              static_cast<std::uint32_t>(*n);
+        } else {
+          req.config.tile_params.dnq_data_bytes =
+              static_cast<std::uint32_t>(*n);
+        }
+      } else if (key == "tile_dnq_queue0_sixteenths") {
+        const auto n = parse_u64(value);
+        if (!n || *n > 16) {
+          fail(source, lineno,
+               "tile_dnq_queue0_sixteenths must be in [0, 16], got '" +
+                   value + "'");
+        }
+        req.config.tile_params.dnq_queue0_sixteenths =
+            static_cast<std::uint32_t>(*n);
       } else {
         fail(source, lineno, "unknown key '" + key + "'");
       }

@@ -20,9 +20,12 @@
 // simulation.
 //
 // Memory-controller keys (mem_scheduler, mem_banks, mem_row_bytes,
-// mem_row_hit_ns, mem_row_miss_ns, mem_window, mem_bank_xor) override
+// mem_row_hit_ns, mem_row_miss_ns, mem_window, mem_bank_interleave_bytes,
+// mem_bank_xor) and tile
+// scratchpad keys (tile_agg_data_bytes, tile_dnq_data_bytes,
+// tile_dnq_queue0_sixteenths — what `gnnaverify --fix` suggests) override
 // fields of the line's configuration; since `config=` replaces the whole
-// configuration, put it before any mem_* token on the same line.
+// configuration, put it before any mem_*/tile_* token on the same line.
 //
 // Attribution keys: `attribution=1` turns on the per-vertex/per-tile work
 // attribution sink for the line (`attribution_top_k=N` bounds its hotspot

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <string>
 
+#include "accel/analysis.hpp"
 #include "trace/attribution.hpp"
 #include "trace/profiler.hpp"
 
@@ -187,6 +188,39 @@ std::string attribution_json(const trace::AttributionReport& ar) {
   return out;
 }
 
+/// The embedded static-model block ("static_model": {...}): the analytic
+/// cycle lower bound + per-phase roofline terms (accel/analysis.hpp).
+std::string static_model_json(const accel::ProgramAnalysis& pa) {
+  std::string out = "{\"version\": 1, \"bound_cycles\": " +
+                    json_double(pa.bound_cycles) + ", \"phases\": [";
+  for (std::size_t i = 0; i < pa.phases.size(); ++i) {
+    const auto& ph = pa.phases[i];
+    if (i > 0) out += ", ";
+    out += "{\"name\": \"" + json_escape(ph.name) +
+           "\", \"bound_cycles\": " + json_double(ph.bound_cycles) +
+           ", \"compute_cycles\": " + json_double(ph.compute_cycles) +
+           ", \"memory_cycles\": " + json_double(ph.memory_cycles) +
+           ", \"noc_cycles\": " + json_double(ph.noc_cycles) +
+           ", \"gpe_cycles\": " + json_double(ph.gpe_cycles) +
+           ", \"dna_cycles\": " + json_double(ph.dna_cycles) +
+           ", \"agg_cycles\": " + json_double(ph.agg_cycles) +
+           ", \"read_bytes\": " + std::to_string(ph.read_bytes) +
+           ", \"write_bytes\": " + std::to_string(ph.write_bytes) +
+           ", \"payload_bytes\": " + std::to_string(ph.payload_bytes) +
+           ", \"mem_requests\": " + std::to_string(ph.mem_requests) +
+           ", \"predicted_row_hit_rate\": " +
+           json_double(ph.predicted_row_hit_rate) + ", \"bottleneck\": \"" +
+           json_escape(ph.bottleneck) +
+           "\", \"imbalance\": " + json_double(ph.imbalance) +
+           ", \"dnq0_concurrency\": " + std::to_string(ph.dnq0.concurrency) +
+           ", \"dnq1_concurrency\": " + std::to_string(ph.dnq1.concurrency) +
+           ", \"agg_concurrency\": " + std::to_string(ph.agg.concurrency) +
+           "}";
+  }
+  out += "]}";
+  return out;
+}
+
 }  // namespace
 
 void write_run_stats_json(std::ostream& os, const accel::RunStats& rs,
@@ -259,6 +293,9 @@ void write_run_stats_json(std::ostream& os, const accel::RunStats& rs,
   if (rs.profile) w.field("profile", profile_json(*rs.profile));
   if (rs.attribution) {
     w.field("attribution", attribution_json(*rs.attribution));
+  }
+  if (rs.static_model) {
+    w.field("static_model", static_model_json(*rs.static_model));
   }
   w.close();
 }

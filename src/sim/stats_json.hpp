@@ -22,8 +22,12 @@ namespace gnna::sim {
 /// the optional embedded "attribution" block (per-tile busy/idle/flit
 /// totals, imbalance metrics, top-K per-vertex hotspots — see
 /// trace/attribution.hpp) and the time-weighted "mean" field on profile
-/// counters. Readers should treat a missing field as v1.
-inline constexpr int kStatsJsonSchemaVersion = 5;
+/// counters; v6 added the "static_model" block (accel/analysis.hpp): the
+/// analytic cycle lower bound and per-phase roofline terms evaluated on
+/// the exact (program, config, partition) the run executed, so gnnatrace
+/// can compare prediction vs. measurement. Readers should treat a missing
+/// field as v1.
+inline constexpr int kStatsJsonSchemaVersion = 6;
 
 /// One run as a JSON object (all counters, utilizations, and the per-phase
 /// breakdown). Doubles are emitted with round-trip precision.

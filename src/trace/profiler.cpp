@@ -93,7 +93,10 @@ void print_profile(std::ostream& os, const ProfileReport& report,
     Table ft({"Path", "Count", "Total", "Self", "Avg", "Max"});
     for (const auto& n : flame) {
       ft.add_row({n.path, std::to_string(n.count), fmt(n.total), fmt(n.self),
-                  format_double(n.count > 0 ? n.total / n.count : 0.0, 1),
+                  format_double(n.count > 0
+                                    ? n.total / static_cast<double>(n.count)
+                                    : 0.0,
+                                1),
                   fmt(n.max)});
     }
     ft.print(os);

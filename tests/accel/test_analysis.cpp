@@ -1,0 +1,419 @@
+// Static analytic performance model (accel::analysis): the roofline bound
+// must stay a true lower bound on every shipped benchmark's measured cycle
+// count (and a tight one on GCN/Cora), every GV2xx perf lint must fire on
+// a crafted degenerate configuration while staying clean on the shipped
+// benchmarks, and every suggest_fixes() suggestion — applied and re-linted
+// — must clear the diagnostic it targets.
+#include "accel/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "accel/compiler.hpp"
+#include "accel/config.hpp"
+#include "accel/verify.hpp"
+#include "gnn/model.hpp"
+#include "graph/dataset.hpp"
+#include "graph/generator.hpp"
+#include "graph/graph.hpp"
+#include "sim/session.hpp"
+
+namespace gnna::accel {
+namespace {
+
+graph::Dataset tiny_dataset(std::uint32_t vf = 6, std::uint32_t ef = 0) {
+  Rng rng(3);
+  graph::Dataset ds;
+  ds.spec = {"tiny", 1, 20, 40, vf, ef, 3};
+  ds.graphs.push_back(graph::generate_random_graph(rng, 20, 40));
+  ds.undirected.push_back(ds.graphs[0].symmetrized());
+  ds.node_features.emplace_back(std::size_t{20} * vf, 0.5F);
+  ds.edge_features.emplace_back(std::size_t{40} * ef, 0.5F);
+  return ds;
+}
+
+/// A 40-vertex star: vertex 0 touches every other vertex, so any static
+/// partition concentrates its load on one tile.
+graph::Dataset star_dataset(std::uint32_t vf = 6) {
+  graph::Dataset ds;
+  graph::GraphBuilder gb(40);
+  for (NodeId v = 1; v < 40; ++v) gb.add_undirected_edge(0, v);
+  ds.graphs.push_back(std::move(gb).build());
+  ds.undirected.push_back(ds.graphs[0].symmetrized());
+  ds.spec = {"star", 1, 40, ds.graphs[0].num_edges(), vf, 0, 3};
+  ds.node_features.emplace_back(std::size_t{40} * vf, 0.5F);
+  ds.edge_features.emplace_back(0);
+  return ds;
+}
+
+struct Compiled {
+  std::unique_ptr<graph::Dataset> ds;
+  CompiledProgram prog;
+};
+
+Compiled compile(const gnn::ModelSpec& model, graph::Dataset ds) {
+  Compiled c;
+  c.ds = std::make_unique<graph::Dataset>(std::move(ds));
+  c.prog = ProgramCompiler{}.compile(model, *c.ds);
+  return c;
+}
+
+Compiled gcn() { return compile(gnn::make_gcn(6, 3, 4), tiny_dataset()); }
+
+bool lints_fire(const std::vector<PerfDiagnostic>& lints, LintCode code) {
+  return std::any_of(lints.begin(), lints.end(),
+                     [code](const PerfDiagnostic& d) {
+                       return d.code == code;
+                     });
+}
+
+// ---- cycle lower bound vs. the measured golden counts ----
+
+// Measured end-to-end cycle counts on cpu-iso-bw, seed 2020, default
+// threads, round-robin partition (the test_golden pins). The static bound
+// must sit at or below every one of them: the model counts a strict subset
+// of the work the simulator serializes on the same resource.
+struct GoldenBound {
+  gnn::Benchmark benchmark;
+  double measured_cycles;
+};
+
+constexpr GoldenBound kGoldens[] = {
+    {gnn::Benchmark::kGcnCora, 2871294.0},
+    {gnn::Benchmark::kGcnCiteseer, 6822970.0},
+    {gnn::Benchmark::kGcnPubmed, 8687246.0},
+    {gnn::Benchmark::kGatCora, 1775046.0},
+    {gnn::Benchmark::kMpnnQm9, 220668937.0},
+    {gnn::Benchmark::kPgnnDblp, 47914224.0},
+};
+
+TEST(Analysis, BoundIsBelowMeasuredOnAllGoldenBenchmarks) {
+  sim::Session& session = sim::Session::global();
+  for (const GoldenBound& g : kGoldens) {
+    sim::RunRequest req;
+    req.benchmark = g.benchmark;
+    const auto resolved = session.resolve(req);
+    AnalysisOptions opt;
+    opt.dataset = resolved.dataset.get();
+    const ProgramAnalysis pa =
+        analyze_program(*resolved.program, req.config, opt);
+    EXPECT_GT(pa.bound_cycles, 0.0) << gnn::benchmark_name(g.benchmark);
+    EXPECT_LE(pa.bound_cycles, g.measured_cycles)
+        << gnn::benchmark_name(g.benchmark)
+        << ": static bound exceeds the measured cycle count "
+           "(the model is no longer a lower bound)";
+  }
+}
+
+TEST(Analysis, BoundIsTightOnGcnCora) {
+  sim::Session& session = sim::Session::global();
+  sim::RunRequest req;
+  req.benchmark = gnn::Benchmark::kGcnCora;
+  const auto resolved = session.resolve(req);
+  AnalysisOptions opt;
+  opt.dataset = resolved.dataset.get();
+  const ProgramAnalysis pa =
+      analyze_program(*resolved.program, req.config, opt);
+  // Within 25% of the measurement: the bound must explain at least 75% of
+  // the measured cycles (it currently sits near 98.5%).
+  EXPECT_GE(pa.bound_cycles, 0.75 * 2871294.0);
+}
+
+// ---- model structure ----
+
+TEST(Analysis, PhaseModelsCoverEveryPhaseAndSumToTheBound) {
+  const auto c = gcn();
+  AnalysisOptions opt;
+  opt.dataset = c.ds.get();
+  const ProgramAnalysis pa =
+      analyze_program(c.prog, AcceleratorConfig::cpu_iso_bw(), opt);
+  ASSERT_EQ(pa.phases.size(), c.prog.phases.size());
+  double sum = 0.0;
+  for (const PhaseModel& ph : pa.phases) {
+    EXPECT_FALSE(ph.name.empty());
+    // The bound is the max of the three roofline axes...
+    EXPECT_DOUBLE_EQ(
+        ph.bound_cycles,
+        std::max({ph.compute_cycles, ph.memory_cycles, ph.noc_cycles}));
+    // ...and the compute axis the max of its per-unit terms.
+    EXPECT_DOUBLE_EQ(
+        ph.compute_cycles,
+        std::max({ph.gpe_cycles, ph.dna_cycles, ph.agg_cycles}));
+    EXPECT_TRUE(std::strcmp(ph.bottleneck, "gpe") == 0 ||
+                std::strcmp(ph.bottleneck, "dna") == 0 ||
+                std::strcmp(ph.bottleneck, "agg") == 0 ||
+                std::strcmp(ph.bottleneck, "memory") == 0 ||
+                std::strcmp(ph.bottleneck, "noc") == 0)
+        << ph.bottleneck;
+    EXPECT_GT(ph.read_bytes, 0U);
+    sum += ph.bound_cycles;
+  }
+  EXPECT_DOUBLE_EQ(pa.bound_cycles, sum);
+}
+
+TEST(Analysis, OccupancyReflectsTheQueueSplit) {
+  const auto c = gcn();
+  AcceleratorConfig cfg = AcceleratorConfig::cpu_iso_bw();
+  AnalysisOptions opt;
+  opt.dataset = c.ds.get();
+  const ProgramAnalysis pa = analyze_program(c.prog, cfg, opt);
+  const PhaseModel& ph = pa.phases[0];
+  EXPECT_TRUE(ph.dnq0.used);
+  EXPECT_FALSE(ph.dnq1.used);  // GCN has no second DNA stage
+  EXPECT_TRUE(ph.agg.used);
+  EXPECT_GT(ph.dnq0.concurrency, 0U);
+  EXPECT_GT(ph.agg.concurrency, 0U);
+  // With no second DNA stage the virtual-queue split does not apply:
+  // queue 0 gets the whole DNQ scratchpad.
+  EXPECT_EQ(ph.dnq0.capacity_bytes,
+            std::uint64_t{cfg.tile_params.dnq_data_bytes});
+
+  // On a dna2 model (MPNN) both queues are live and the split divides
+  // the scratchpad dnq_queue0_sixteenths/16 vs the rest.
+  auto m = compile(gnn::make_mpnn(6, 5, 3, 8, 2), tiny_dataset(6, 5));
+  const ProgramAnalysis mpa = analyze_program(m.prog, cfg, [&] {
+    AnalysisOptions o;
+    o.dataset = m.ds.get();
+    return o;
+  }());
+  bool saw_dna2 = false;
+  for (const PhaseModel& mp : mpa.phases) {
+    if (!mp.dnq1.used) continue;
+    saw_dna2 = true;
+    EXPECT_EQ(mp.dnq0.capacity_bytes,
+              std::uint64_t{cfg.tile_params.dnq_data_bytes} *
+                  cfg.tile_params.dnq_queue0_sixteenths / 16);
+    EXPECT_EQ(mp.dnq1.capacity_bytes,
+              std::uint64_t{cfg.tile_params.dnq_data_bytes} *
+                  (16 - cfg.tile_params.dnq_queue0_sixteenths) / 16);
+  }
+  EXPECT_TRUE(saw_dna2);
+}
+
+TEST(Analysis, NeverThrowsOnDefectivePrograms) {
+  auto c = gcn();
+  c.prog.phases[0].output.region = 999;  // dangling buffer ref
+  c.prog.phases[0].dna_shapes = {{0, 0, 0}};
+  AcceleratorConfig cfg = AcceleratorConfig::cpu_iso_bw();
+  cfg.tile_params.agg_alus = 0;
+  cfg.tile_params.dnq_data_bytes = 0;
+  EXPECT_NO_THROW({
+    const ProgramAnalysis pa = analyze_program(c.prog, cfg);
+    (void)pa;
+  });
+}
+
+// ---- GV201: scratchpad reuse-distance thrash ----
+
+TEST(Analysis, ReuseDistanceThrashFiresOnNarrowAggScratchpad) {
+  const auto c = gcn();
+  AcceleratorConfig cfg = AcceleratorConfig::cpu_iso_bw();
+  // Three 24B entries fit: >= 2 (so GV101 stays quiet) but below the
+  // healthy quarter of the 16-thread GPE pool (4).
+  cfg.tile_params.agg_data_bytes = 80;
+  AnalysisOptions opt;
+  opt.dataset = c.ds.get();
+  const auto lints = perf_lints(c.prog, cfg, opt);
+  EXPECT_TRUE(lints_fire(lints, LintCode::kReuseDistanceThrash));
+}
+
+TEST(Analysis, ReuseDistanceFixIsVerifiedAndClears) {
+  const auto c = gcn();
+  AcceleratorConfig cfg = AcceleratorConfig::cpu_iso_bw();
+  cfg.tile_params.agg_data_bytes = 80;
+  AnalysisOptions opt;
+  opt.dataset = c.ds.get();
+  const auto fixes = suggest_fixes(c.prog, cfg, opt);
+  ASSERT_EQ(fixes.size(), 1U);
+  const FixSuggestion& fix = fixes[0];
+  EXPECT_EQ(fix.code, LintCode::kReuseDistanceThrash);
+  EXPECT_TRUE(fix.verified);
+  EXPECT_NE(fix.manifest_snippet.find("tile_agg_data_bytes="),
+            std::string::npos)
+      << fix.manifest_snippet;
+  // Apply the patched config ourselves and re-lint: the diagnostic is gone.
+  AnalysisOptions fixed_opt;
+  fixed_opt.dataset = c.ds.get();
+  fixed_opt.partition = fix.partition;
+  const auto relint = perf_lints(c.prog, fix.patched, fixed_opt);
+  EXPECT_FALSE(lints_fire(relint, LintCode::kReuseDistanceThrash));
+}
+
+// ---- GV202: DNQ virtual-queue split starvation ----
+
+TEST(Analysis, QueueSplitStarvationFiresOnSkewedSplit) {
+  auto c = compile(gnn::make_mpnn(6, 5, 3, 8, 2), tiny_dataset(6, 5));
+  AcceleratorConfig cfg = AcceleratorConfig::cpu_iso_bw();
+  // 15/16 of 1600B leaves queue 1 a single 64B entry; an 8/16 split would
+  // give both queues >= 2.
+  cfg.tile_params.dnq_data_bytes = 1600;
+  cfg.tile_params.dnq_queue0_sixteenths = 15;
+  AnalysisOptions opt;
+  opt.dataset = c.ds.get();
+  const auto lints = perf_lints(c.prog, cfg, opt);
+  EXPECT_TRUE(lints_fire(lints, LintCode::kQueueSplitStarved));
+}
+
+TEST(Analysis, QueueSplitFixRebalancesAndClears) {
+  auto c = compile(gnn::make_mpnn(6, 5, 3, 8, 2), tiny_dataset(6, 5));
+  AcceleratorConfig cfg = AcceleratorConfig::cpu_iso_bw();
+  cfg.tile_params.dnq_data_bytes = 1600;
+  cfg.tile_params.dnq_queue0_sixteenths = 15;
+  AnalysisOptions opt;
+  opt.dataset = c.ds.get();
+  const auto fixes = suggest_fixes(c.prog, cfg, opt);
+  const auto it = std::find_if(fixes.begin(), fixes.end(),
+                               [](const FixSuggestion& f) {
+                                 return f.code == LintCode::kQueueSplitStarved;
+                               });
+  ASSERT_NE(it, fixes.end());
+  EXPECT_TRUE(it->verified);
+  EXPECT_NE(it->manifest_snippet.find("tile_dnq_queue0_sixteenths="),
+            std::string::npos)
+      << it->manifest_snippet;
+  EXPECT_NE(it->patched.tile_params.dnq_queue0_sixteenths, 15U);
+  AnalysisOptions fixed_opt;
+  fixed_opt.dataset = c.ds.get();
+  fixed_opt.partition = it->partition;
+  const auto relint = perf_lints(c.prog, it->patched, fixed_opt);
+  EXPECT_FALSE(lints_fire(relint, LintCode::kQueueSplitStarved));
+}
+
+// ---- GV203: predicted bank camping ----
+
+TEST(Analysis, BankCampingFiresWhenPageInterleaveSwallowsTheBankStride) {
+  const auto c = gcn();
+  // 4096B page interleave == 4096B bank interleave: every granule a
+  // controller serves lands on the same bank index modulo the controller
+  // count, so each of the 8 banks sees traffic from one controller only.
+  AcceleratorConfig cfg = AcceleratorConfig::gpu_iso_bw();
+  cfg.mem_params.scheduler = mem::MemScheduler::kFrFcfs;
+  cfg.mem_params.banks = 8;
+  cfg.mem_params.row_bytes = 4096;
+  cfg.mem_params.bank_interleave_bytes = 4096;
+  AnalysisOptions opt;
+  opt.dataset = c.ds.get();
+  const auto lints = perf_lints(c.prog, cfg, opt);
+  EXPECT_TRUE(lints_fire(lints, LintCode::kBankCamping));
+  // Whole-program finding: not attributed to any phase.
+  for (const PerfDiagnostic& d : lints) {
+    if (d.code == LintCode::kBankCamping) EXPECT_EQ(d.phase, -1);
+  }
+}
+
+TEST(Analysis, BankCampingFixEnablesXorPermutationAndClears) {
+  const auto c = gcn();
+  AcceleratorConfig cfg = AcceleratorConfig::gpu_iso_bw();
+  cfg.mem_params.scheduler = mem::MemScheduler::kFrFcfs;
+  cfg.mem_params.banks = 8;
+  cfg.mem_params.row_bytes = 4096;
+  cfg.mem_params.bank_interleave_bytes = 4096;
+  AnalysisOptions opt;
+  opt.dataset = c.ds.get();
+  const auto fixes = suggest_fixes(c.prog, cfg, opt);
+  const auto it = std::find_if(fixes.begin(), fixes.end(),
+                               [](const FixSuggestion& f) {
+                                 return f.code == LintCode::kBankCamping;
+                               });
+  ASSERT_NE(it, fixes.end());
+  EXPECT_TRUE(it->verified);
+  EXPECT_TRUE(it->patched.mem_params.bank_xor);
+  EXPECT_NE(it->manifest_snippet.find("mem_bank_xor=1"), std::string::npos)
+      << it->manifest_snippet;
+  const auto relint = perf_lints(c.prog, it->patched, opt);
+  EXPECT_FALSE(lints_fire(relint, LintCode::kBankCamping));
+}
+
+TEST(Analysis, DefaultInterleaveDoesNotCampBanks) {
+  const auto c = gcn();
+  AcceleratorConfig cfg = AcceleratorConfig::gpu_iso_bw();
+  cfg.mem_params.scheduler = mem::MemScheduler::kFrFcfs;
+  AnalysisOptions opt;
+  opt.dataset = c.ds.get();
+  const auto lints = perf_lints(c.prog, cfg, opt);
+  EXPECT_FALSE(lints_fire(lints, LintCode::kBankCamping));
+}
+
+// ---- GV204: modeled partition load imbalance ----
+
+TEST(Analysis, PartitionImbalanceFiresOnStarGraphUnderBlockPartition) {
+  auto c = compile(gnn::make_gcn(6, 3, 4), star_dataset());
+  AnalysisOptions opt;
+  opt.dataset = c.ds.get();
+  opt.partition = graph::PartitionPolicy::kBlock;
+  const auto lints =
+      perf_lints(c.prog, AcceleratorConfig::gpu_iso_bw(), opt);
+  EXPECT_TRUE(lints_fire(lints, LintCode::kPartitionImbalance));
+}
+
+TEST(Analysis, PartitionImbalanceFixIsVerifiedAndClears) {
+  auto c = compile(gnn::make_gcn(6, 3, 4), star_dataset());
+  const AcceleratorConfig cfg = AcceleratorConfig::gpu_iso_bw();
+  AnalysisOptions opt;
+  opt.dataset = c.ds.get();
+  opt.partition = graph::PartitionPolicy::kBlock;
+  const auto fixes = suggest_fixes(c.prog, cfg, opt);
+  const auto it = std::find_if(fixes.begin(), fixes.end(),
+                               [](const FixSuggestion& f) {
+                                 return f.code ==
+                                        LintCode::kPartitionImbalance;
+                               });
+  ASSERT_NE(it, fixes.end());
+  EXPECT_TRUE(it->verified);
+  EXPECT_NE(it->partition, graph::PartitionPolicy::kBlock);
+  EXPECT_NE(it->manifest_snippet.find("partition="), std::string::npos)
+      << it->manifest_snippet;
+  AnalysisOptions fixed_opt;
+  fixed_opt.dataset = c.ds.get();
+  fixed_opt.partition = it->partition;
+  const auto relint = perf_lints(c.prog, it->patched, fixed_opt);
+  EXPECT_FALSE(lints_fire(relint, LintCode::kPartitionImbalance));
+}
+
+// ---- shipped benchmarks stay clean ----
+
+TEST(Analysis, ShippedBenchmarksFireNoPerfLints) {
+  sim::Session& session = sim::Session::global();
+  for (const gnn::Benchmark b : gnn::kAllBenchmarks) {
+    sim::RunRequest req;
+    req.benchmark = b;
+    const auto resolved = session.resolve(req);
+    AnalysisOptions opt;
+    opt.dataset = resolved.dataset.get();
+    const auto lints = perf_lints(*resolved.program, req.config, opt);
+    EXPECT_TRUE(lints.empty()) << gnn::benchmark_name(b) << ": "
+                               << (lints.empty() ? "" : lints[0].message);
+    // ...and with no perf lints firing, suggest_fixes has nothing to do.
+    EXPECT_TRUE(suggest_fixes(*resolved.program, req.config, opt).empty());
+  }
+}
+
+// ---- verify integration (the GV2xx family in VerifyReport) ----
+
+TEST(Analysis, VerifyProgramCarriesPerfLintsWhenConfigBound) {
+  const auto c = gcn();
+  AcceleratorConfig cfg = AcceleratorConfig::cpu_iso_bw();
+  cfg.tile_params.agg_data_bytes = 80;
+  const VerifyReport r =
+      verify_program(c.prog, cfg.tile_params, c.ds.get(), &cfg);
+  EXPECT_TRUE(r.has(LintCode::kReuseDistanceThrash)) << r.to_string();
+  EXPECT_TRUE(r.ok()) << r.to_string();  // warnings, not errors
+}
+
+TEST(Analysis, PerfLintsAreSuppressedOnBrokenPrograms) {
+  auto c = gcn();
+  c.prog.phases[0].agg_op = ReduceOp::kMean;  // GV003 error
+  AcceleratorConfig cfg = AcceleratorConfig::cpu_iso_bw();
+  cfg.tile_params.agg_data_bytes = 80;  // would fire GV201 when clean
+  const VerifyReport r =
+      verify_program(c.prog, cfg.tile_params, c.ds.get(), &cfg);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.has(LintCode::kReuseDistanceThrash)) << r.to_string();
+}
+
+}  // namespace
+}  // namespace gnna::accel

@@ -7,12 +7,14 @@
 
 #include <memory>
 #include <sstream>
+#include <string_view>
 
 #include "accel/compiler.hpp"
 #include "accel/config.hpp"
 #include "gnn/model.hpp"
 #include "graph/dataset.hpp"
 #include "graph/generator.hpp"
+#include "graph/graph.hpp"
 #include "sim/session.hpp"
 
 namespace gnna::accel {
@@ -67,8 +69,12 @@ TEST(Verify, AllShippedBenchmarksVerifyClean) {
     sim::RunRequest req;
     req.benchmark = b;
     const auto resolved = session.resolve(req);
-    const VerifyReport r = verify_program(
-        *resolved.program, req.config.tile_params, resolved.dataset.get());
+    // Bind the full config so the GV108 bisection check and the GV2xx
+    // perf-lint family run too: shipped benchmarks must be clean of all
+    // of them.
+    const VerifyReport r =
+        verify_program(*resolved.program, req.config.tile_params,
+                       resolved.dataset.get(), &req.config, req.partition);
     EXPECT_TRUE(r.diagnostics.empty())
         << gnn::benchmark_name(b) << ":\n" << r.to_string();
   }
@@ -481,12 +487,218 @@ TEST(Verify, ReportPrintsCodeAndPhaseProvenance) {
 
 TEST(Verify, LintCodeTableIsCompleteAndStable) {
   const auto table = lint_code_table();
-  EXPECT_EQ(table.size(), 20U);
+  EXPECT_EQ(table.size(), 24U);
   EXPECT_STREQ(lint_code_name(LintCode::kDnqEntryTooLarge), "GV001");
   EXPECT_STREQ(lint_code_name(LintCode::kOutputClobbersPreload), "GV106");
   EXPECT_STREQ(lint_code_name(LintCode::kNocBisectionSaturated), "GV108");
+  EXPECT_STREQ(lint_code_name(LintCode::kReuseDistanceThrash), "GV201");
+  EXPECT_STREQ(lint_code_name(LintCode::kQueueSplitStarved), "GV202");
+  EXPECT_STREQ(lint_code_name(LintCode::kBankCamping), "GV203");
+  EXPECT_STREQ(lint_code_name(LintCode::kPartitionImbalance), "GV204");
   for (const auto& e : table) {
     EXPECT_EQ(e.severity, lint_code_severity(e.code));
+    EXPECT_FALSE(std::string_view(e.summary).empty())
+        << lint_code_name(e.code);
+  }
+}
+
+TEST(Verify, LintFamiliesPartitionTheTable) {
+  EXPECT_EQ(lint_code_family(LintCode::kDnqEntryTooLarge),
+            LintFamily::kError);
+  EXPECT_EQ(lint_code_family(LintCode::kAggLowConcurrency),
+            LintFamily::kWarning);
+  EXPECT_EQ(lint_code_family(LintCode::kReuseDistanceThrash),
+            LintFamily::kPerf);
+  EXPECT_STREQ(lint_family_name(LintFamily::kError), "errors");
+  EXPECT_STREQ(lint_family_name(LintFamily::kWarning), "warnings");
+  EXPECT_STREQ(lint_family_name(LintFamily::kPerf), "perf");
+  for (const auto& e : lint_code_table()) {
+    // Perf lints are warnings severity-wise (they never abort a run).
+    if (lint_code_family(e.code) == LintFamily::kPerf) {
+      EXPECT_EQ(e.severity, Severity::kWarning) << lint_code_name(e.code);
+    }
+    // Family follows the code-number band: <100 errors, <200 warnings.
+    const auto n = static_cast<int>(e.code);
+    EXPECT_EQ(lint_code_family(e.code),
+              n < 100 ? LintFamily::kError
+                      : (n < 200 ? LintFamily::kWarning : LintFamily::kPerf))
+        << lint_code_name(e.code);
+  }
+}
+
+/// Exhaustive registry check: every code in the lint table has a crafted
+/// program/config scenario that fires it. A new LintCode without a
+/// scenario here fails the `default:` branch — extend the switch when you
+/// extend the enum.
+VerifyReport fire_scenario(LintCode code) {
+  switch (code) {
+    case LintCode::kDnqEntryTooLarge: {
+      const auto c = gcn();
+      TileParams p;
+      p.dnq_data_bytes = 16;
+      return verify_program(c.prog, p);
+    }
+    case LintCode::kAggEntryTooLarge: {
+      const auto c = gcn();
+      TileParams p;
+      p.agg_data_bytes = 16;
+      return verify_program(c.prog, p);
+    }
+    case LintCode::kNonAssociativeAggOp: {
+      auto c = gcn();
+      c.prog.phases[0].agg_op = ReduceOp::kMean;
+      return verify_program(c.prog, TileParams{});
+    }
+    case LintCode::kBadBufferRef: {
+      auto c = gcn();
+      c.prog.phases[0].output.region = 999;
+      return verify_program(c.prog, TileParams{});
+    }
+    case LintCode::kBadDnaModel: {
+      auto c = gcn();
+      c.prog.phases[0].dna_shapes = {{1, 6, 4}, {1, 5, 7}};
+      return verify_program(c.prog, TileParams{});
+    }
+    case LintCode::kBadExpectedContribs: {
+      auto c = compile(gnn::make_pgnn(1, 3, 4, 2, 1), tiny_dataset(1));
+      c.prog.phases[1].expected_contribs[0] += 1;
+      return verify_program(c.prog, TileParams{}, c.ds.get());
+    }
+    case LintCode::kBadMemoryMap: {
+      auto c = gcn();
+      c.prog.memmap.add_region_at("overlap",
+                                  c.prog.memmap.region(0).base + 64, 256);
+      return verify_program(c.prog, TileParams{});
+    }
+    case LintCode::kReadBeforeWrite: {
+      auto c = gcn();
+      std::swap(c.prog.phases[0], c.prog.phases[1]);
+      return verify_program(c.prog, TileParams{});
+    }
+    case LintCode::kIllegalPhaseCombo: {
+      auto c = gcn();
+      c.prog.phases[0].agg_width_words = 0;
+      return verify_program(c.prog, TileParams{});
+    }
+    case LintCode::kBadTileParams: {
+      const auto c = gcn();
+      TileParams p;
+      p.agg_alus = 0;
+      return verify_program(c.prog, p);
+    }
+    case LintCode::kBadGraphLayout: {
+      auto c = gcn();
+      c.prog.graphs.clear();
+      return verify_program(c.prog, TileParams{});
+    }
+    case LintCode::kDatasetMismatch: {
+      auto c = gcn();
+      c.prog.graphs[0].num_edges -= 2;
+      return verify_program(c.prog, TileParams{}, c.ds.get());
+    }
+    case LintCode::kAggLowConcurrency: {
+      const auto c = gcn();
+      TileParams p;
+      p.agg_data_bytes = 44;
+      return verify_program(c.prog, p);
+    }
+    case LintCode::kDnqLowConcurrency: {
+      const auto c = gcn();
+      TileParams p;
+      p.dnq_data_bytes = 32;
+      return verify_program(c.prog, p);
+    }
+    case LintCode::kDeadStore: {
+      auto c = compile(gnn::make_gat(6, 3, 2, 4), tiny_dataset());
+      c.prog.phases[1].gather = BufferRef{0, 6};
+      for (RegionId id = 0; id < c.prog.memmap.num_regions(); ++id) {
+        if (c.prog.memmap.region(id).name == "input") {
+          c.prog.phases[1].gather.region = id;
+        }
+      }
+      return verify_program(c.prog, TileParams{});
+    }
+    case LintCode::kUnusedExpectedContribs: {
+      auto c = compile(gnn::make_pgnn(1, 3, 4, 2, 1), tiny_dataset(1));
+      c.prog.phases[0].expected_contribs[0] += 5;
+      return verify_program(c.prog, TileParams{}, c.ds.get());
+    }
+    case LintCode::kWeightsWithoutDna: {
+      auto c = gcn();
+      c.prog.phases[0].dna_shapes.clear();
+      c.prog.phases[0].dna_out_words = 0;
+      c.prog.phases[0].output.width_words = 6;
+      return verify_program(c.prog, TileParams{});
+    }
+    case LintCode::kOutputClobbersPreload: {
+      auto c = gcn();
+      for (RegionId id = 0; id < c.prog.memmap.num_regions(); ++id) {
+        if (c.prog.memmap.region(id).name == "input") {
+          c.prog.phases[0].output.region = id;
+        }
+      }
+      return verify_program(c.prog, TileParams{});
+    }
+    case LintCode::kNoDatasetBound: {
+      const auto c = gcn();
+      return verify_program(c.prog, TileParams{});
+    }
+    case LintCode::kNocBisectionSaturated: {
+      const auto c = gcn();
+      AcceleratorConfig cfg = AcceleratorConfig::gpu_iso_bw();
+      cfg.mem_params.bandwidth = Bandwidth::gb_per_s(400.0);
+      return verify_program(c.prog, TileParams{}, c.ds.get(), &cfg);
+    }
+    case LintCode::kReuseDistanceThrash: {
+      const auto c = gcn();
+      AcceleratorConfig cfg = AcceleratorConfig::cpu_iso_bw();
+      cfg.tile_params.agg_data_bytes = 80;  // 3 entries, healthy is 4
+      return verify_program(c.prog, cfg.tile_params, c.ds.get(), &cfg);
+    }
+    case LintCode::kQueueSplitStarved: {
+      auto c = compile(gnn::make_mpnn(6, 5, 3, 8, 2), tiny_dataset(6, 5));
+      AcceleratorConfig cfg = AcceleratorConfig::cpu_iso_bw();
+      cfg.tile_params.dnq_data_bytes = 1600;
+      cfg.tile_params.dnq_queue0_sixteenths = 15;
+      return verify_program(c.prog, cfg.tile_params, c.ds.get(), &cfg);
+    }
+    case LintCode::kBankCamping: {
+      const auto c = gcn();
+      AcceleratorConfig cfg = AcceleratorConfig::gpu_iso_bw();
+      cfg.mem_params.scheduler = mem::MemScheduler::kFrFcfs;
+      cfg.mem_params.banks = 8;
+      cfg.mem_params.row_bytes = 4096;
+      cfg.mem_params.bank_interleave_bytes = 4096;
+      return verify_program(c.prog, cfg.tile_params, c.ds.get(), &cfg);
+    }
+    case LintCode::kPartitionImbalance: {
+      // A 40-vertex star concentrates vertex 0's load on one tile under
+      // any static partition.
+      graph::Dataset ds;
+      graph::GraphBuilder gb(40);
+      for (NodeId v = 1; v < 40; ++v) gb.add_undirected_edge(0, v);
+      ds.graphs.push_back(std::move(gb).build());
+      ds.undirected.push_back(ds.graphs[0].symmetrized());
+      ds.spec = {"star", 1, 40, ds.graphs[0].num_edges(), 6, 0, 3};
+      ds.node_features.emplace_back(std::size_t{40} * 6, 0.5F);
+      ds.edge_features.emplace_back(0);
+      auto c = compile(gnn::make_gcn(6, 3, 4), std::move(ds));
+      const AcceleratorConfig cfg = AcceleratorConfig::gpu_iso_bw();
+      return verify_program(c.prog, cfg.tile_params, c.ds.get(), &cfg,
+                            graph::PartitionPolicy::kBlock);
+    }
+  }
+  ADD_FAILURE() << "no firing scenario for lint code "
+                << static_cast<int>(code);
+  return VerifyReport{};
+}
+
+TEST(Verify, EveryLintCodeHasAFiringScenario) {
+  for (const auto& e : lint_code_table()) {
+    const VerifyReport r = fire_scenario(e.code);
+    EXPECT_TRUE(r.has(e.code))
+        << lint_code_name(e.code) << " scenario did not fire:\n"
+        << r.to_string();
   }
 }
 

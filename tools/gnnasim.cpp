@@ -106,6 +106,12 @@ void usage(std::ostream& os) {
         "  --mem-bank-xor             FR-FCFS: XOR-permute the bank index\n"
         "                             with the row index so strided access\n"
         "                             patterns spread across banks\n"
+        "  --tile-agg-data-bytes <n>  per-tile AGG scratchpad bytes (what\n"
+        "                             gnnaverify --fix suggests for GV201)\n"
+        "  --tile-dnq-data-bytes <n>  per-tile DNQ scratchpad bytes\n"
+        "  --tile-dnq-queue0-sixteenths <n>\n"
+        "                             DNQ virtual-queue split: sixteenths of\n"
+        "                             the DNQ scratchpad given to queue 0\n"
         "  --help                     this text\n";
 }
 
@@ -120,8 +126,10 @@ void usage_batch(std::ostream& os) {
         "compiling (benchmark= still names the dataset).\n"
         "Memory keys mem_scheduler=in_order|frfcfs, mem_banks=N,\n"
         "mem_row_bytes=N, mem_row_hit_ns=X, mem_row_miss_ns=X, mem_window=N,\n"
-        "mem_bank_xor=0|1 override the line's configuration; put them after\n"
-        "any config= token (config= replaces the whole configuration).\n"
+        "mem_bank_xor=0|1 and tile scratchpad keys tile_agg_data_bytes=N,\n"
+        "tile_dnq_data_bytes=N, tile_dnq_queue0_sixteenths=N override the\n"
+        "line's configuration; put them after any config= token (config=\n"
+        "replaces the whole configuration).\n"
         "Attribution keys: attribution=0|1 toggles the per-vertex/per-tile\n"
         "work-attribution sink, attribution_top_k=N bounds its hotspot\n"
         "table, and partition=profile-guided attribution_from=<stats.json>\n"
@@ -286,6 +294,9 @@ int main(int argc, char** argv) {
   std::optional<double> mem_row_miss_ns;
   std::optional<std::uint32_t> mem_window;
   bool mem_bank_xor = false;
+  std::optional<std::uint32_t> tile_agg_data_bytes;
+  std::optional<std::uint32_t> tile_dnq_data_bytes;
+  std::optional<std::uint32_t> tile_dnq_queue0_sixteenths;
   std::string program_path;
   std::string emit_program_path;
 
@@ -509,6 +520,28 @@ int main(int argc, char** argv) {
       mem_window = static_cast<std::uint32_t>(*parsed);
     } else if (arg == "--mem-bank-xor") {
       mem_bank_xor = true;
+    } else if (arg == "--tile-agg-data-bytes" ||
+               arg == "--tile-dnq-data-bytes") {
+      const auto v = next();
+      const auto parsed = v ? sim::parse_u64(*v) : std::nullopt;
+      if (!parsed || *parsed == 0 || *parsed > (1ULL << 30)) {
+        std::cerr << "error: " << arg << " needs a size in [1, 2^30]\n";
+        return 2;
+      }
+      if (arg == "--tile-agg-data-bytes") {
+        tile_agg_data_bytes = static_cast<std::uint32_t>(*parsed);
+      } else {
+        tile_dnq_data_bytes = static_cast<std::uint32_t>(*parsed);
+      }
+    } else if (arg == "--tile-dnq-queue0-sixteenths") {
+      const auto v = next();
+      const auto parsed = v ? sim::parse_u64(*v) : std::nullopt;
+      if (!parsed || *parsed > 16) {
+        std::cerr << "error: --tile-dnq-queue0-sixteenths needs a value in "
+                     "[0, 16]\n";
+        return 2;
+      }
+      tile_dnq_queue0_sixteenths = static_cast<std::uint32_t>(*parsed);
     } else if (arg == "--program") {
       const auto v = next();
       if (!v || v->empty()) {
@@ -539,6 +572,15 @@ int main(int argc, char** argv) {
   if (mem_row_miss_ns) cfg.mem_params.row_miss_ns = *mem_row_miss_ns;
   if (mem_window) cfg.mem_params.window_entries = *mem_window;
   if (mem_bank_xor) cfg.mem_params.bank_xor = true;
+  if (tile_agg_data_bytes) {
+    cfg.tile_params.agg_data_bytes = *tile_agg_data_bytes;
+  }
+  if (tile_dnq_data_bytes) {
+    cfg.tile_params.dnq_data_bytes = *tile_dnq_data_bytes;
+  }
+  if (tile_dnq_queue0_sixteenths) {
+    cfg.tile_params.dnq_queue0_sixteenths = *tile_dnq_queue0_sixteenths;
+  }
   try {
     mem::validate(cfg.mem_params);
   } catch (const std::invalid_argument& e) {

@@ -51,7 +51,7 @@ using gnna::trace::ProfileReport;
 
 void usage(std::ostream& os) {
   os << "usage: gnnatrace report <run.json> [--run N] [--top N]"
-        " [--collapsed]\n"
+        " [--collapsed] [--model-tolerance PCT]\n"
         "       gnnatrace hotspots <run.json> [--run N] [--top N] [--csv]\n"
         "       gnnatrace diff <a.json> <b.json> [--run N] [--threshold PCT]"
         " [--imbalance-threshold PCT] [--top N]\n"
@@ -73,8 +73,31 @@ void usage(std::ostream& os) {
         "                  diff: exit 1 if per-tile busy imbalance (busy\n"
         "                  max/mean from the attribution block) regresses\n"
         "                  by more than PCT percent (needs attribution in\n"
-        "                  both runs)\n";
+        "                  both runs)\n"
+        "  --model-tolerance PCT\n"
+        "                  report: gate the static model (the v6\n"
+        "                  \"static_model\" block) against the measurement:\n"
+        "                  exit 1 if the analytic lower bound exceeds the\n"
+        "                  measured cycles (model unsound) or undershoots\n"
+        "                  them by more than PCT percent (model too loose)\n";
 }
+
+/// One phase of the decoded "static_model" block (schema v6; see
+/// accel/analysis.hpp for the model itself).
+struct StaticModelPhase {
+  std::string name;
+  double bound = 0.0;
+  double compute = 0.0;
+  double memory = 0.0;
+  double noc = 0.0;
+  std::string bottleneck;
+  double imbalance = 0.0;
+};
+
+struct StaticModel {
+  double bound_cycles = 0.0;
+  std::vector<StaticModelPhase> phases;
+};
 
 /// One loaded run: the raw JSON object plus the decoded profile (empty
 /// when the run was produced without --profile).
@@ -89,6 +112,9 @@ struct LoadedRun {
   /// --attribution).
   AttributionReport attr;
   bool has_attr = false;
+  /// Decoded "static_model" block (absent before schema v6).
+  StaticModel model;
+  bool has_model = false;
   /// Fallback phase spans from the plain "phases" array (always present).
   std::vector<std::pair<std::string, double>> phase_cycles;
 };
@@ -227,6 +253,23 @@ LoadedRun load_run(const std::string& path, std::size_t run_index) {
     run.attr = decode_attribution(*attr);
     run.has_attr = true;
   }
+  if (const Value* sm = obj->find("static_model"); sm != nullptr) {
+    run.model.bound_cycles = sm->num_or("bound_cycles", 0.0);
+    if (const Value* phases = sm->find("phases"); phases != nullptr) {
+      for (const Value& p : phases->items()) {
+        StaticModelPhase mp;
+        mp.name = p.str_or("name", "?");
+        mp.bound = p.num_or("bound_cycles", 0.0);
+        mp.compute = p.num_or("compute_cycles", 0.0);
+        mp.memory = p.num_or("memory_cycles", 0.0);
+        mp.noc = p.num_or("noc_cycles", 0.0);
+        mp.bottleneck = p.str_or("bottleneck", "?");
+        mp.imbalance = p.num_or("imbalance", 0.0);
+        run.model.phases.push_back(std::move(mp));
+      }
+    }
+    run.has_model = true;
+  }
   return run;
 }
 
@@ -275,9 +318,76 @@ int cmd_report_collapsed(const LoadedRun& run) {
   return 0;
 }
 
-int cmd_report(const LoadedRun& run, std::size_t top_n) {
+/// Prediction-vs-measurement section: the static model's per-phase lower
+/// bounds lined up (by name and occurrence) against the measured spans.
+/// Returns the gate result when `tolerance` is set: 1 if the bound exceeds
+/// the measurement (model unsound) or undershoots it by more than
+/// `tolerance` percent (model too loose), else 0.
+int print_static_model(const LoadedRun& run, std::optional<double> tolerance) {
+  const StaticModel& sm = run.model;
+  std::cout << "\nstatic model (analytic lower bound, accel/analysis.hpp):\n";
+  std::map<std::string, std::vector<double>> measured_by_name;
+  for (const auto& [name, cycles] : run.phase_cycles) {
+    measured_by_name[name].push_back(cycles);
+  }
+  std::map<std::string, std::size_t> seen;
+  Table t({"Phase", "Bound", "Measured", "Bound %", "Bottleneck",
+           "Imbalance"});
+  for (const StaticModelPhase& mp : sm.phases) {
+    const std::size_t occurrence = seen[mp.name]++;
+    const auto it = measured_by_name.find(mp.name);
+    const double measured = (it != measured_by_name.end() &&
+                             occurrence < it->second.size())
+                                ? it->second[occurrence]
+                                : 0.0;
+    t.add_row({mp.name, format_double(mp.bound, 0),
+               measured > 0.0 ? format_double(measured, 0) : "-",
+               measured > 0.0
+                   ? format_double(mp.bound / measured * 100.0, 1) + "%"
+                   : "-",
+               mp.bottleneck,
+               mp.imbalance > 0.0 ? format_double(mp.imbalance, 3) : "-"});
+  }
+  const double ratio =
+      run.cycles > 0.0 ? sm.bound_cycles / run.cycles * 100.0 : 0.0;
+  t.add_row({"total", format_double(sm.bound_cycles, 0),
+             format_double(run.cycles, 0), format_double(ratio, 1) + "%",
+             "", ""});
+  t.print(std::cout);
+
+  if (!tolerance) return 0;
+  if (sm.bound_cycles > run.cycles) {
+    std::cout << "\nMODEL UNSOUND: static lower bound "
+              << format_double(sm.bound_cycles, 0)
+              << " exceeds measured cycles " << format_double(run.cycles, 0)
+              << "\n";
+    return 1;
+  }
+  const double floor = (1.0 - *tolerance / 100.0) * run.cycles;
+  if (sm.bound_cycles < floor) {
+    std::cout << "\nMODEL TOO LOOSE: static lower bound "
+              << format_double(sm.bound_cycles, 0) << " is "
+              << format_double(100.0 - ratio, 1)
+              << "% below measured cycles, beyond tolerance "
+              << format_double(*tolerance, 2) << "%\n";
+    return 1;
+  }
+  std::cout << "\nok: static lower bound at " << format_double(ratio, 1)
+            << "% of measured cycles, within tolerance "
+            << format_double(*tolerance, 2) << "%\n";
+  return 0;
+}
+
+int cmd_report(const LoadedRun& run, std::size_t top_n,
+               std::optional<double> model_tolerance) {
   std::cout << "run: " << run.program << " on " << run.config << " ("
             << format_double(run.cycles, 0) << " cycles)\n";
+  if (model_tolerance && !run.has_model) {
+    std::cerr << "error: " << run.path << " has no static_model block "
+                 "(rerun gnnasim with schema v6 or newer)\n";
+    return 2;
+  }
+  int rc = 0;
   if (!run.has_profile) {
     std::cout << "no embedded profile (rerun gnnasim with --profile); "
                  "showing phase totals only\n\n";
@@ -286,11 +396,12 @@ int cmd_report(const LoadedRun& run, std::size_t top_n) {
       t.add_row({name, format_double(cycles, 0)});
     }
     t.print(std::cout);
-    return 0;
+  } else {
+    std::cout << '\n';
+    gnna::trace::print_profile(std::cout, run.profile, top_n);
   }
-  std::cout << '\n';
-  gnna::trace::print_profile(std::cout, run.profile, top_n);
-  return 0;
+  if (run.has_model) rc = print_static_model(run, model_tolerance);
+  return rc;
 }
 
 /// ASCII heat bar: `value / max` of the bar filled with '#'.
@@ -457,6 +568,29 @@ int cmd_diff(const LoadedRun& a, const LoadedRun& b,
     imb.print(std::cout);
   }
 
+  // Prediction vs measurement, for each run that carries a static model:
+  // how tight the analytic lower bound is on each side of the A/B pair.
+  if (a.has_model || b.has_model) {
+    std::cout << "\nStatic model (analytic lower bound vs measured):\n";
+    Table model({"Run", "Bound", "Measured", "Bound %"});
+    const auto add = [&model](const char* label, const LoadedRun& r) {
+      if (!r.has_model) {
+        model.add_row({label, "-", format_double(r.cycles, 0), "-"});
+        return;
+      }
+      model.add_row(
+          {label, format_double(r.model.bound_cycles, 0),
+           format_double(r.cycles, 0),
+           r.cycles > 0.0
+               ? format_double(r.model.bound_cycles / r.cycles * 100.0, 1) +
+                     "%"
+               : "-"});
+    };
+    add("A", a);
+    add("B", b);
+    model.print(std::cout);
+  }
+
   const double pct =
       a.cycles != 0.0 ? (b.cycles - a.cycles) / a.cycles * 100.0 : 0.0;
   if (imbalance_threshold) {
@@ -517,6 +651,7 @@ int main(int argc, char** argv) {
   std::size_t top_n = 12;
   std::optional<double> threshold;
   std::optional<double> imbalance_threshold;
+  std::optional<double> model_tolerance;
   bool collapsed = false;
   bool csv = false;
 
@@ -543,7 +678,8 @@ int main(int argc, char** argv) {
         std::cerr << "error: --top needs a non-negative integer\n";
         return 2;
       }
-    } else if (arg == "--threshold" || arg == "--imbalance-threshold") {
+    } else if (arg == "--threshold" || arg == "--imbalance-threshold" ||
+               arg == "--model-tolerance") {
       char* end = nullptr;
       const char* v = next();
       const double t = std::strtod(v, &end);
@@ -551,7 +687,13 @@ int main(int argc, char** argv) {
         std::cerr << "error: " << arg << " needs a percentage\n";
         return 2;
       }
-      (arg == "--threshold" ? threshold : imbalance_threshold) = t;
+      if (arg == "--threshold") {
+        threshold = t;
+      } else if (arg == "--imbalance-threshold") {
+        imbalance_threshold = t;
+      } else {
+        model_tolerance = t;
+      }
     } else if (arg == "--collapsed") {
       collapsed = true;
     } else if (arg == "--csv") {
@@ -577,7 +719,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       const LoadedRun run = load_run(positional[1], run_index);
-      return collapsed ? cmd_report_collapsed(run) : cmd_report(run, top_n);
+      return collapsed ? cmd_report_collapsed(run)
+                       : cmd_report(run, top_n, model_tolerance);
     }
     if (cmd == "hotspots") {
       if (positional.size() != 2) {

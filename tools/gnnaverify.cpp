@@ -11,13 +11,22 @@
 //   gnnaverify runs.txt sweeps.txt        # lint every manifest line
 //   gnnaverify prog.gnna                  # lint a GNNA-IR program file
 //   gnnaverify --bind GCN/Cora prog.gnna  # ... with topology checks too
+//   gnnaverify --fix --all                # suggest config fixes for GV2xx
+//   gnnaverify --json out.json --all      # machine-readable diagnostics
 //   gnnaverify --list-codes               # print the lint-code catalog
 //
 // Positional files ending in ".gnna" are parsed as GNNA-IR programs and
 // linted directly; parse errors count as lint errors. Without --bind the
 // dataset-dependent checks are skipped and GV107 reports that (which
 // --werror escalates), so CI pipelines should bind the matching benchmark.
+//
+// --fix runs the static analytic model's search (accel/analysis.hpp) over
+// every program that fired a GV2xx performance lint and prints, per code,
+// a minimal TileParams/MemParams/split/partition adjustment plus the
+// manifest snippet that applies it. Every suggestion is re-linted before
+// printing; "verified" means the patched config no longer fires the code.
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -25,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "accel/analysis.hpp"
 #include "accel/ir.hpp"
 #include "accel/verify.hpp"
 #include "sim/manifest.hpp"
@@ -49,9 +59,18 @@ void usage(std::ostream& os) {
         "  --config <name>       cpu-iso-bw | gpu-iso-bw | gpu-iso-flops\n"
         "                        (default cpu-iso-bw; sets the tile\n"
         "                        parameters programs are checked against\n"
-        "                        and the mesh/memory shape GV108 checks)\n"
+        "                        and the mesh/memory shape GV108 and the\n"
+        "                        GV2xx perf lints check)\n"
+        "  --partition <policy>  round-robin | block | degree-greedy |\n"
+        "                        profile-guided (default round-robin;\n"
+        "                        modeled by the GV204 imbalance lint)\n"
         "  --threads <n>         GPE software-thread override\n"
         "  --seed <n>            dataset seed (default 2020)\n"
+        "  --fix                 for each GV2xx perf lint, search a minimal\n"
+        "                        config adjustment that clears it and print\n"
+        "                        the patched manifest snippet\n"
+        "  --json <file>         also write all diagnostics (code,\n"
+        "                        severity, phase, message) as JSON\n"
         "  --werror              treat warnings as errors\n"
         "  --quiet               print only programs with findings\n"
         "  --list-codes          print the lint-code catalog and exit\n"
@@ -59,21 +78,71 @@ void usage(std::ostream& os) {
 }
 
 void print_codes(std::ostream& os) {
-  for (const auto& e : accel::lint_code_table()) {
-    os << e.name << "  "
-       << (e.severity == accel::Severity::kError ? "error  " : "warning")
-       << "  " << e.summary << '\n';
+  // Grouped by family, pulled from the same table verify.cpp checks
+  // against, so the catalog cannot drift from the implementation.
+  for (const accel::LintFamily fam :
+       {accel::LintFamily::kError, accel::LintFamily::kWarning,
+        accel::LintFamily::kPerf}) {
+    os << accel::lint_family_name(fam) << ":\n";
+    for (const auto& e : accel::lint_code_table()) {
+      if (accel::lint_code_family(e.code) != fam) continue;
+      os << "  " << e.name << "  "
+         << (e.severity == accel::Severity::kError ? "error  " : "warning")
+         << "  " << e.summary << '\n';
+    }
   }
+}
+
+const char* partition_name(graph::PartitionPolicy p) {
+  switch (p) {
+    case graph::PartitionPolicy::kRoundRobin: return "round-robin";
+    case graph::PartitionPolicy::kBlock: return "block";
+    case graph::PartitionPolicy::kDegreeGreedy: return "degree-greedy";
+    case graph::PartitionPolicy::kProfileGuided: return "profile-guided";
+  }
+  return "?";
 }
 
 /// Dedup key: two requests with the same workload and tile parameters
 /// produce the same report (repeat=N manifest lines collapse to one lint).
+/// Also the program's name in --json output, so keep it readable.
 std::string request_key(const sim::RunRequest& req) {
   std::string k = req.benchmark ? gnn::benchmark_name(*req.benchmark) : "?";
   if (!req.program_file.empty()) k += "|program=" + req.program_file;
   k += "|seed=" + std::to_string(req.seed);
   k += "|config=" + req.config.name;
   if (req.threads) k += "|threads=" + std::to_string(*req.threads);
+  k += std::string("|partition=") + partition_name(req.partition);
+  // Manifest mem_*/tile_* tokens override config fields without changing
+  // its name; fold the lint-relevant ones into the key (only when they
+  // differ from the pristine named config) so such lines don't collapse
+  // into the base config's report.
+  const accel::AcceleratorConfig* base = nullptr;
+  static const accel::AcceleratorConfig kBases[] = {
+      accel::AcceleratorConfig::cpu_iso_bw(),
+      accel::AcceleratorConfig::gpu_iso_bw(),
+      accel::AcceleratorConfig::gpu_iso_flops()};
+  for (const auto& b : kBases) {
+    if (b.name == req.config.name) base = &b;
+  }
+  const accel::TileParams& tp = req.config.tile_params;
+  if (!base || tp.agg_data_bytes != base->tile_params.agg_data_bytes ||
+      tp.dnq_data_bytes != base->tile_params.dnq_data_bytes ||
+      tp.dnq_queue0_sixteenths != base->tile_params.dnq_queue0_sixteenths) {
+    k += "|tile=" + std::to_string(tp.agg_data_bytes) + "," +
+         std::to_string(tp.dnq_data_bytes) + "," +
+         std::to_string(tp.dnq_queue0_sixteenths);
+  }
+  const mem::MemParams& mp = req.config.mem_params;
+  if (!base || mp.scheduler != base->mem_params.scheduler ||
+      mp.banks != base->mem_params.banks ||
+      mp.bank_xor != base->mem_params.bank_xor ||
+      mp.bank_interleave_bytes != base->mem_params.bank_interleave_bytes) {
+    k += "|mem=" + std::to_string(static_cast<int>(mp.scheduler)) + "," +
+         std::to_string(mp.banks) + "," +
+         std::to_string(mp.bank_interleave_bytes) + "," +
+         std::to_string(static_cast<int>(mp.bank_xor));
+  }
   return k;
 }
 
@@ -81,6 +150,108 @@ std::string request_key(const sim::RunRequest& req) {
   const std::string ext = accel::ir::kIrExtension;
   return path.size() > ext.size() &&
          path.compare(path.size() - ext.size(), ext.size(), ext) == 0;
+}
+
+/// One linted program's findings, collected for --json / --fix output.
+struct LintedProgram {
+  std::string name;  // request key or file path
+  accel::VerifyReport report;
+  std::vector<accel::FixSuggestion> fixes;
+  std::string failure;  // compile/parse error, if any
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Machine-readable diagnostics: the CI verify-programs artifact.
+void write_json(std::ostream& os, const std::vector<LintedProgram>& linted,
+                std::size_t errors, std::size_t warnings) {
+  os << "{\n  \"version\": 1,\n  \"programs\": [";
+  for (std::size_t i = 0; i < linted.size(); ++i) {
+    const LintedProgram& lp = linted[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"name\": \""
+       << json_escape(lp.name) << "\"";
+    if (!lp.failure.empty()) {
+      os << ", \"failure\": \"" << json_escape(lp.failure) << "\"";
+    }
+    os << ", \"diagnostics\": [";
+    for (std::size_t d = 0; d < lp.report.diagnostics.size(); ++d) {
+      const auto& diag = lp.report.diagnostics[d];
+      os << (d == 0 ? "\n" : ",\n") << "      {\"code\": \""
+         << accel::lint_code_name(diag.code) << "\", \"severity\": \""
+         << (diag.severity == accel::Severity::kError ? "error" : "warning")
+         << "\", \"family\": \""
+         << accel::lint_family_name(accel::lint_code_family(diag.code))
+         << "\", \"phase\": " << diag.phase << ", \"phase_name\": \""
+         << json_escape(diag.phase_name) << "\", \"message\": \""
+         << json_escape(diag.message) << "\"}";
+    }
+    os << (lp.report.diagnostics.empty() ? "]" : "\n    ]");
+    if (!lp.fixes.empty()) {
+      os << ", \"fixes\": [";
+      for (std::size_t f = 0; f < lp.fixes.size(); ++f) {
+        const auto& fix = lp.fixes[f];
+        os << (f == 0 ? "\n" : ",\n") << "      {\"code\": \""
+           << accel::lint_code_name(fix.code) << "\", \"verified\": "
+           << (fix.verified ? "true" : "false") << ", \"description\": \""
+           << json_escape(fix.description) << "\", \"manifest_snippet\": \""
+           << json_escape(fix.manifest_snippet) << "\"}";
+      }
+      os << "\n    ]";
+    }
+    os << "}";
+  }
+  os << (linted.empty() ? "]" : "\n  ]") << ",\n  \"errors\": " << errors
+     << ",\n  \"warnings\": " << warnings << "\n}\n";
+}
+
+/// Print --fix suggestions for one program.
+void print_fixes(std::ostream& os, const LintedProgram& lp) {
+  for (const auto& fix : lp.fixes) {
+    os << "  fix " << accel::lint_code_name(fix.code)
+       << (fix.verified ? " (verified)" : " (NOT verified)") << ": "
+       << fix.description << '\n';
+    if (!fix.manifest_snippet.empty()) {
+      os << "    manifest:\n";
+      std::size_t start = 0;
+      while (start < fix.manifest_snippet.size()) {
+        std::size_t end = fix.manifest_snippet.find('\n', start);
+        if (end == std::string::npos) end = fix.manifest_snippet.size();
+        os << "      " << fix.manifest_snippet.substr(start, end - start)
+           << '\n';
+        start = end + 1;
+      }
+    }
+  }
+}
+
+[[nodiscard]] bool fired_perf_lint(const accel::VerifyReport& report) {
+  for (const auto& d : report.diagnostics) {
+    if (accel::lint_code_family(d.code) == accel::LintFamily::kPerf) {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace
@@ -92,9 +263,12 @@ int main(int argc, char** argv) {
   std::optional<gnn::Benchmark> bind;
   accel::AcceleratorConfig cfg = accel::AcceleratorConfig::cpu_iso_bw();
   std::optional<std::uint32_t> threads;
+  graph::PartitionPolicy partition = graph::PartitionPolicy::kRoundRobin;
   std::uint64_t seed = 2020;
   bool werror = false;
   bool quiet = false;
+  bool fix = false;
+  std::string json_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -141,6 +315,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       cfg = *c;
+    } else if (arg == "--partition") {
+      const auto v = next();
+      const auto p = v ? sim::partition_by_name(*v) : std::nullopt;
+      if (!p) {
+        std::cerr << "error: --partition needs round-robin | block |"
+                     " degree-greedy | profile-guided\n";
+        return 2;
+      }
+      partition = *p;
     } else if (arg == "--threads") {
       const auto v = next();
       const auto n = v ? sim::parse_u64(*v) : std::nullopt;
@@ -157,6 +340,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       seed = *n;
+    } else if (arg == "--fix") {
+      fix = true;
+    } else if (arg == "--json") {
+      const auto v = next();
+      if (!v || v->empty()) {
+        std::cerr << "error: --json needs a file path\n";
+        return 2;
+      }
+      json_path = *v;
     } else if (arg == "--werror") {
       werror = true;
     } else if (arg == "--quiet") {
@@ -177,6 +369,7 @@ int main(int argc, char** argv) {
   sim::RunRequest defaults;
   defaults.config = cfg;
   defaults.threads = threads;
+  defaults.partition = partition;
   defaults.seed = seed;
   for (const std::string& path : manifests) {
     std::ifstream in(path);
@@ -204,7 +397,36 @@ int main(int argc, char** argv) {
 
   sim::Session& session = sim::Session::global();
   std::set<std::string> seen;
+  std::vector<LintedProgram> linted;
   std::size_t programs = 0, errors = 0, warnings = 0;
+
+  const auto lint_one = [&](std::string name,
+                            const accel::CompiledProgram& prog,
+                            const accel::TileParams& params,
+                            const graph::Dataset* ds,
+                            const accel::AcceleratorConfig& config,
+                            graph::PartitionPolicy part) {
+    LintedProgram lp;
+    lp.name = std::move(name);
+    lp.report = accel::verify_program(prog, params, ds, &config, part);
+    if (fix && fired_perf_lint(lp.report)) {
+      accel::AcceleratorConfig search_cfg = config;
+      search_cfg.tile_params = params;  // honor --threads in the search
+      accel::AnalysisOptions opt;
+      opt.dataset = ds;
+      opt.partition = part;
+      lp.fixes = accel::suggest_fixes(prog, search_cfg, opt);
+    }
+    ++programs;
+    errors += lp.report.num_errors();
+    warnings += lp.report.num_warnings();
+    if (!quiet || !lp.report.diagnostics.empty()) {
+      lp.report.print(std::cout);
+      print_fixes(std::cout, lp);
+    }
+    linted.push_back(std::move(lp));
+  };
+
   for (const sim::RunRequest& req : requests) {
     if (!seen.insert(request_key(req)).second) continue;
     sim::Session::Resolved resolved;
@@ -214,18 +436,18 @@ int main(int argc, char** argv) {
       // A workload the compiler itself rejects is a lint failure too.
       std::cerr << request_key(req) << ": compile failed: " << e.what()
                 << '\n';
+      LintedProgram lp;
+      lp.name = request_key(req);
+      lp.failure = e.what();
+      linted.push_back(std::move(lp));
       ++programs;
       ++errors;
       continue;
     }
     accel::TileParams params = req.config.tile_params;
     if (req.threads) params.gpe_threads = *req.threads;
-    const accel::VerifyReport report = accel::verify_program(
-        *resolved.program, params, resolved.dataset.get(), &req.config);
-    ++programs;
-    errors += report.num_errors();
-    warnings += report.num_warnings();
-    if (!quiet || !report.diagnostics.empty()) report.print(std::cout);
+    lint_one(request_key(req), *resolved.program, params,
+             resolved.dataset.get(), req.config, req.partition);
   }
 
   // Direct GNNA-IR files: parse, then lint (against the --bind dataset's
@@ -237,7 +459,6 @@ int main(int argc, char** argv) {
   accel::TileParams file_params = cfg.tile_params;
   if (threads) file_params.gpe_threads = *threads;
   for (const std::string& path : program_files) {
-    ++programs;
     accel::CompiledProgram prog;
     try {
       prog = accel::ir::load_file(path);
@@ -245,14 +466,24 @@ int main(int argc, char** argv) {
       // Parse/IO failures are findings the compiler can never emit; they
       // only exist at the file level, so report them here.
       std::cout << path << ": parse failed: " << e.what() << '\n';
+      LintedProgram lp;
+      lp.name = path;
+      lp.failure = e.what();
+      linted.push_back(std::move(lp));
+      ++programs;
       ++errors;
       continue;
     }
-    const accel::VerifyReport report =
-        accel::verify_program(prog, file_params, bound.get(), &cfg);
-    errors += report.num_errors();
-    warnings += report.num_warnings();
-    if (!quiet || !report.diagnostics.empty()) report.print(std::cout);
+    lint_one(path, prog, file_params, bound.get(), cfg, partition);
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "error: cannot write " << json_path << '\n';
+      return 2;
+    }
+    write_json(out, linted, errors, warnings);
   }
 
   std::cout << "gnnaverify: " << programs << " program(s), " << errors
