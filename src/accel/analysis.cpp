@@ -236,9 +236,13 @@ class PhaseAnalyzer {
       const std::uint64_t per_tile =
           num_tiles > 0 ? (n_graphs + num_tiles - 1) / num_tiles : n_graphs;
       gpe = static_cast<double>(per_tile) * gpe_per;
-      if (ph_.has_dna()) {
+      if (ph_.has_dna() && per_tile > 0) {
+        // The last entry's result drains through the DNA pipeline after
+        // its array slot; the phase barrier waits for it, so one fill/
+        // drain latency per phase is part of the lower bound.
         dna = static_cast<double>(per_tile) *
-              entry_ii(ii0, ph_.agg_width_words);
+                  entry_ii(ii0, ph_.agg_width_words) +
+              static_cast<double>(tp_.dna_pipeline_latency);
       }
       if (ph_.has_agg() && tp_.agg_alus > 0) {
         // Whole-block words land on the owning tile; bound with the
@@ -357,7 +361,13 @@ class PhaseAnalyzer {
               ? tc * dna_entries_per_contrib
               : tv * static_cast<double>(dna_entries_per_vertex);
       const double q1_entries = ph_.has_dna2() ? tv : 0.0;
-      dna = std::max(dna, q0_entries * dna_ii_q0 + q1_entries * dna_ii_q1);
+      double tile_dna = q0_entries * dna_ii_q0 + q1_entries * dna_ii_q1;
+      if (tile_dna > 0.0) {
+        // Pipeline drain: the barrier waits for the last entry's result,
+        // dna_pipeline_latency core cycles after its array slot.
+        tile_dna += static_cast<double>(tp_.dna_pipeline_latency);
+      }
+      dna = std::max(dna, tile_dna);
       if (tp_.agg_alus > 0 && ph_.has_agg()) {
         agg = std::max(agg, tc * agg_words_per_contrib / tp_.agg_alus);
       }
@@ -768,12 +778,13 @@ std::vector<FixSuggestion> suggest_fixes(const CompiledProgram& prog,
     out.push_back(std::move(fix));
   }
 
-  // ---- GV202: rebalance the virtual-queue split ----
-  if (lints_have(lints, LintCode::kQueueSplitStarved)) {
-    // Pick the split maximizing the worst queue's concurrency across all
-    // dna2 phases; ties prefer the split closest to the balanced 8/16.
-    std::uint32_t best_s = tp.dnq_queue0_sixteenths;
-    std::uint64_t best_min = 0;
+  // Shared by the GV202 and joint GV202+GV204 searches: the split
+  // maximizing the worst queue's concurrency across all dna2 phases (the
+  // entry footprints don't depend on the partition, so one search serves
+  // both); ties prefer the split closest to the balanced 8/16.
+  std::uint32_t best_s = tp.dnq_queue0_sixteenths;
+  std::uint64_t best_min = 0;
+  {
     for (std::uint32_t s = 0; s <= 16; ++s) {
       std::uint64_t worst = ~std::uint64_t{0};
       bool any = false;
@@ -794,6 +805,84 @@ std::vector<FixSuggestion> suggest_fixes(const CompiledProgram& prog,
         best_s = s;
       }
     }
+  }
+
+  // ---- GV202 + GV204 together: joint split x partition search ----
+  // Fixing the split under the imbalanced partition (or the partition
+  // under the starved split) re-lints against a configuration that still
+  // fires the other code, so per-lint greedy fixes can never verify.
+  // Search the (split, partition) plane jointly instead and emit one
+  // suggestion per code sharing the joint configuration.
+  const bool joint = lints_have(lints, LintCode::kQueueSplitStarved) &&
+                     lints_have(lints, LintCode::kPartitionImbalance);
+  if (joint) {
+    AcceleratorConfig patched = cfg;
+    patched.tile_params.dnq_queue0_sixteenths = best_s;
+    const graph::PartitionPolicy candidates[] = {
+        graph::PartitionPolicy::kBlock,
+        graph::PartitionPolicy::kRoundRobin,
+        graph::PartitionPolicy::kProfileGuided,
+    };
+    graph::PartitionPolicy chosen = graph::PartitionPolicy::kProfileGuided;
+    bool cleared = false;
+    for (const auto p : candidates) {
+      if (p == options.partition) continue;
+      AnalysisOptions po = options;
+      po.partition = p;
+      const auto relint = perf_lints(prog, patched, po);
+      if (!lints_have(relint, LintCode::kQueueSplitStarved) &&
+          !lints_have(relint, LintCode::kPartitionImbalance)) {
+        chosen = p;
+        cleared = true;
+        break;
+      }
+    }
+    const auto partition_token = [](graph::PartitionPolicy p) {
+      switch (p) {
+        case graph::PartitionPolicy::kBlock:
+          return "block";
+        case graph::PartitionPolicy::kProfileGuided:
+          return "profile-guided";
+        default:
+          return "round-robin";
+      }
+    };
+    const std::string snippet =
+        "tile_dnq_queue0_sixteenths=" + std::to_string(best_s) +
+        "\npartition=" + std::string(partition_token(chosen)) + "\n";
+    AnalysisOptions chosen_options = options;
+    chosen_options.partition = chosen;
+    const auto relint = perf_lints(prog, patched, chosen_options);
+    const bool verified =
+        cleared && !lints_have(relint, LintCode::kQueueSplitStarved) &&
+        !lints_have(relint, LintCode::kPartitionImbalance);
+    for (const auto code : {LintCode::kQueueSplitStarved,
+                            LintCode::kPartitionImbalance}) {
+      FixSuggestion fix;
+      fix.code = code;
+      fix.patched = patched;
+      fix.partition = chosen;
+      std::ostringstream desc;
+      desc << "joint split x partition fix: dnq_queue0_sixteenths "
+           << tp.dnq_queue0_sixteenths << "/16 -> " << best_s
+           << "/16 (every active queue >= " << best_min
+           << " concurrent entries) with the " << partition_token(chosen)
+           << " partition"
+           << (chosen == graph::PartitionPolicy::kProfileGuided
+                   ? " (add attribution_from=<profile.json> to the "
+                     "manifest)"
+                   : "")
+           << " — searched jointly because fixing either lint alone "
+              "re-fires the other";
+      fix.description = desc.str();
+      fix.manifest_snippet = snippet;
+      fix.verified = verified;
+      out.push_back(std::move(fix));
+    }
+  }
+
+  // ---- GV202: rebalance the virtual-queue split ----
+  if (!joint && lints_have(lints, LintCode::kQueueSplitStarved)) {
     FixSuggestion fix;
     fix.code = LintCode::kQueueSplitStarved;
     fix.patched = cfg;
@@ -828,7 +917,7 @@ std::vector<FixSuggestion> suggest_fixes(const CompiledProgram& prog,
   }
 
   // ---- GV204: change the partition policy ----
-  if (lints_have(lints, LintCode::kPartitionImbalance)) {
+  if (!joint && lints_have(lints, LintCode::kPartitionImbalance)) {
     FixSuggestion fix;
     fix.code = LintCode::kPartitionImbalance;
     fix.patched = cfg;
@@ -853,7 +942,6 @@ std::vector<FixSuggestion> suggest_fixes(const CompiledProgram& prog,
           "to the manifest): no static policy balances this load";
       fix.manifest_snippet = "partition=profile-guided\n";
     }
-    fix.description += "";
     verify_fix(fix);
     out.push_back(std::move(fix));
   }

@@ -132,6 +132,32 @@ CompiledProgram ProgramCompiler::compile(const gnn::ModelSpec& model,
         break;
       }
       case gnn::LayerKind::kConv: {
+        if (!options_.fuse_conv) {
+          // Naive two-phase lowering: aggregate into an intermediate
+          // buffer, then project it in a separate phase. accel::opt's
+          // fuse-phases pass rewrites this back into the fused form.
+          PhaseSpec agg;
+          agg.name = l.name + ".agg";
+          agg.kind = PhaseKind::kGatherAggregate;
+          agg.gather = cur;
+          agg.include_self = l.include_self;
+          agg.weighted_edges = l.norm != gnn::AggNorm::kSum;
+          agg.agg_width_words = l.in_features;
+          agg.output = add_vertex_buffer(l.name + ".agg", l.in_features);
+          const BufferRef mid = agg.output;
+          prog.phases.push_back(std::move(agg));
+
+          PhaseSpec proj;
+          proj.name = l.name;
+          proj.kind = PhaseKind::kProject;
+          proj.extra_inputs = {mid};
+          proj.dna_shapes = {{1, l.in_features, l.out_features}};
+          proj.dna_out_words = l.out_features;
+          proj.output = add_vertex_buffer(l.name + ".out", l.out_features);
+          proj.weight_bytes = fc_weight_bytes(l.in_features, l.out_features);
+          prog.phases.push_back(std::move(proj));
+          break;
+        }
         // Aggregate-then-project (Fig 1): gather raw neighbor vectors into
         // the AGG, run the completed aggregate through the DNA.
         PhaseSpec ph;

@@ -7,12 +7,28 @@
 
 namespace gnna::accel {
 
+struct CompilerOptions {
+  /// Lower kConv layers as one fused gather+aggregate+project phase
+  /// (Fig 1, the default). When false, convolutions lower naively as a
+  /// gather+aggregate phase plus a separate projection phase with an
+  /// intermediate buffer — the form accel::opt's fuse-phases pass
+  /// recovers (and the baseline its win is measured against).
+  bool fuse_conv = true;
+};
+
 class ProgramCompiler {
  public:
+  ProgramCompiler() = default;
+  explicit ProgramCompiler(const CompilerOptions& options)
+      : options_(options) {}
+
   /// Lower `model` running over `dataset` into phases + a memory map.
   /// `dataset` must outlive the returned program (non-owning pointer).
   [[nodiscard]] CompiledProgram compile(const gnn::ModelSpec& model,
                                         const graph::Dataset& dataset) const;
+
+ private:
+  CompilerOptions options_{};
 };
 
 }  // namespace gnna::accel

@@ -71,6 +71,10 @@ struct RunStats {
   // Empty / zero when the simulator is driven directly.
   std::uint64_t program_hash = 0;
   std::string program_cache;
+  // Content hash of the pre-optimization program when the run resolved
+  // through the optimizer (RunRequest::optimize); 0 otherwise. Equal to
+  // program_hash when the optimizer proved the program already optimal.
+  std::uint64_t optimized_from = 0;
 
   Cycle cycles = 0;  // NoC-clock cycles end to end
   double seconds = 0.0;

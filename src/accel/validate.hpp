@@ -1,0 +1,90 @@
+// Translation validation for GNNA-IR optimization passes.
+//
+// accel::opt rewrites CompiledPrograms; this module statically proves each
+// rewrite equivalent to its source, and the optimizer refuses to emit any
+// program it cannot prove. The proof is a conjunction of obligations:
+//
+//   phase-align   Order-preserving structural diff modulo region renaming.
+//                 Every optimized phase matches one original phase field by
+//                 field (don't-care fields — a kProject gather ref, a
+//                 weight_region with weight_bytes == 0 — are ignored), or
+//                 is the recognized fusion of two adjacent original phases
+//                 (same reduce op, the intermediate buffer provably private
+//                 to the pair). Alignment builds a bijective region map as
+//                 it goes; any reorder, drop, or duplication breaks the
+//                 map and fails the obligation.
+//   def-use       The region map is a def-use chain isomorphism: mapped
+//                 regions have identical sizes and preload flags (preloaded
+//                 regions additionally keep their names — their contents
+//                 are loader-defined, so identity is the only safe
+//                 equivalence), and the per-graph topology tables map
+//                 consistently with identical counts and offsets.
+//   contribs      expected_contribs tables are equal entry for entry, or
+//                 dropped only where the runtime provably never reads them
+//                 (walk_len <= 1 gathers use direct degrees). With a
+//                 dataset bound, surviving walk_len > 1 tables are
+//                 recomputed against the walk trees by the GV006 check in
+//                 the extents obligation below.
+//   extents       Abstract interpretation of region extents and preload
+//                 state via accel::verify on both programs: the optimized
+//                 program may not introduce any error-severity lint code
+//                 (out-of-bounds extents, overlapping regions, reads of
+//                 never-written regions, ...) the original did not already
+//                 have.
+//   cycle-bound   bound_cycles(optimized) <= bound_cycles(original) under
+//                 the accel::analysis static model — an optimization must
+//                 never regress the provable lower bound.
+//
+// Soundness argument: phase-align + def-use pin every field the runtime
+// reads (ir.cpp serializes exactly these fields, so nothing else can
+// influence execution) up to region renaming; contribs covers the one
+// table the runtime consults conditionally; extents proves the renamed
+// layout still contains every access; cycle-bound keeps the static model
+// monotone. See DESIGN.md §15.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "accel/config.hpp"
+#include "accel/program.hpp"
+#include "graph/dataset.hpp"
+
+namespace gnna::accel::validate {
+
+struct ValidationOptions {
+  /// Dataset the program will run against (optional). Enables the
+  /// topology-dependent obligations: expected_contribs recomputation vs.
+  /// walk trees (GV006) and dataset/layout consistency checks.
+  const graph::Dataset* dataset = nullptr;
+  /// Accelerator configuration (optional; defaults to cpu_iso_bw). Sets
+  /// the TileParams for the extents obligation and the config for the
+  /// cycle-bound obligation.
+  const AcceleratorConfig* config = nullptr;
+};
+
+/// One proof obligation and its outcome.
+struct Obligation {
+  std::string name;
+  bool proved = false;
+  std::string detail;
+};
+
+struct ValidationResult {
+  /// True iff every obligation was proved.
+  bool equivalent = false;
+  std::vector<Obligation> obligations;
+
+  /// Multi-line report: one "PROVED name: detail" / "FAILED ..." per
+  /// obligation.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Statically prove `optimized` equivalent to `original`. Never throws on
+/// defective programs — a program the obligations cannot handle simply
+/// fails them.
+[[nodiscard]] ValidationResult validate_transform(
+    const CompiledProgram& original, const CompiledProgram& optimized,
+    const ValidationOptions& options = {});
+
+}  // namespace gnna::accel::validate

@@ -165,6 +165,15 @@ std::vector<RunRequest> parse_batch_manifest(std::istream& in,
         } else {
           fail(source, lineno, "verify must be 0 or 1, got '" + value + "'");
         }
+      } else if (key == "optimize") {
+        if (value == "1") {
+          req.optimize = true;
+        } else if (value == "0") {
+          req.optimize = false;
+        } else {
+          fail(source, lineno,
+               "optimize must be 0 or 1, got '" + value + "'");
+        }
       } else if (key == "repeat") {
         const auto r = parse_u64(value);
         if (!r || *r == 0 || *r > 100000) {

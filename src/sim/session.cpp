@@ -5,6 +5,7 @@
 
 #include "accel/compiler.hpp"
 #include "accel/ir.hpp"
+#include "accel/opt.hpp"
 #include "sim/attribution_io.hpp"
 
 namespace gnna::sim {
@@ -30,6 +31,45 @@ Session::Resolved Session::compile(
 }
 
 Session::Resolved Session::resolve(const RunRequest& req) {
+  Resolved base = resolve_base(req);
+  if (!req.optimize) return base;
+  return optimized(std::move(base), req);
+}
+
+Session::Resolved Session::optimized(Resolved base, const RunRequest& req) {
+  accel::opt::OptimizeOptions oo;
+  oo.dataset = base.dataset.get();
+  oo.config = &req.config;
+  accel::opt::OptimizeResult res =
+      accel::opt::optimize_program(*base.program, oo);
+  if (!res.validated) {
+    throw std::runtime_error("Session::resolve: optimizer refused '" +
+                             base.program->name + "': " + res.failure);
+  }
+  Resolved out;
+  out.dataset = std::move(base.dataset);
+  out.source = base.source + "+opt";
+  out.optimized_from = base.hash;
+  if (!res.changed()) {
+    // Identity pipeline: the cached instance is already optimal.
+    out.program = std::move(base.program);
+    out.hash = base.hash;
+    return out;
+  }
+  auto prog = std::make_shared<const accel::CompiledProgram>(
+      std::move(res.program));
+  const std::uint64_t h = accel::ir::content_hash(*prog);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Optimized programs are content-hashed separately: repeated optimized
+  // runs (and identical results from different sources) share one
+  // instance, distinct from the unoptimized original.
+  const auto it = store_.emplace(h, std::move(prog)).first;
+  out.program = it->second;
+  out.hash = h;
+  return out;
+}
+
+Session::Resolved Session::resolve_base(const RunRequest& req) {
   if (req.program) {
     if (!req.dataset) {
       throw std::invalid_argument(
@@ -129,6 +169,7 @@ accel::RunStats Session::run(const RunRequest& req) {
   accel::RunStats rs = sim.run(*r.program, *r.dataset);
   rs.program_hash = r.hash;
   rs.program_cache = r.source;
+  rs.optimized_from = r.optimized_from;
   if (req.benchmark) rs.program_name = gnn::benchmark_name(*req.benchmark);
   if (!req.label.empty()) rs.program_name = req.label;
   return rs;

@@ -72,6 +72,14 @@ struct RunRequest {
   /// Static program verification (accel::verify) before simulating; the
   /// run throws accel::ProgramVerifyError on lint errors. On by default.
   bool verify = true;
+  /// Route the resolved program through the accel::opt pass pipeline,
+  /// gated by the translation validator (accel::validate). The optimized
+  /// program is content-hashed and cached separately in the session
+  /// program store, with provenance "<source>+opt" and the source hash in
+  /// RunStats::optimized_from. Throws std::runtime_error if any pass
+  /// output cannot be proved equivalent (the unproven program is never
+  /// run). Off by default.
+  bool optimize = false;
   /// Per-run observability. Under a parallel BatchRunner each run should
   /// get its own sink/stream, or share a thread-safe sink (ChromeTraceSink
   /// is internally locked); plain ostream sample_out must not be shared.
@@ -91,6 +99,9 @@ class Session {
     std::shared_ptr<const accel::CompiledProgram> program;
     std::uint64_t hash = 0;
     std::string source;
+    /// Content hash of the pre-optimization program when the request ran
+    /// the optimizer (RunRequest::optimize); 0 otherwise.
+    std::uint64_t optimized_from = 0;
   };
 
   /// Cache-hit accounting (for tests and cache-effectiveness reports).
@@ -141,6 +152,12 @@ class Session {
 
  private:
   using MemoKey = std::pair<gnn::Benchmark, std::uint64_t>;
+
+  /// resolve() minus the optimize step (workload lookup + caches only).
+  [[nodiscard]] Resolved resolve_base(const RunRequest& req);
+  /// Run `base.program` through accel::opt (validator-gated), entering the
+  /// optimized program into the hash store under its own content hash.
+  [[nodiscard]] Resolved optimized(Resolved base, const RunRequest& req);
 
   graph::DatasetCache datasets_;
 

@@ -237,6 +237,14 @@ void write_run_stats_json(std::ostream& os, const accel::RunStats& rs,
     w.str("program_hash", hash_buf);
     w.str("program_cache", rs.program_cache);
   }
+  if (rs.optimized_from != 0) {
+    // Provenance of an optimizer-rewritten program: the content hash of
+    // the program the accel::opt pipeline started from.
+    char hash_buf[32];
+    std::snprintf(hash_buf, sizeof hash_buf, "%016llx",
+                  static_cast<unsigned long long>(rs.optimized_from));
+    w.str("optimized_from", hash_buf);
+  }
   w.str("config", rs.config_name);
   w.num("core_clock_ghz", rs.core_clock_ghz);
   w.num("cycles", rs.cycles);

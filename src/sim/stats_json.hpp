@@ -25,9 +25,12 @@ namespace gnna::sim {
 /// counters; v6 added the "static_model" block (accel/analysis.hpp): the
 /// analytic cycle lower bound and per-phase roofline terms evaluated on
 /// the exact (program, config, partition) the run executed, so gnnatrace
-/// can compare prediction vs. measurement. Readers should treat a missing
-/// field as v1.
-inline constexpr int kStatsJsonSchemaVersion = 6;
+/// can compare prediction vs. measurement; v7 added "optimized_from" (hex
+/// content hash of the pre-optimization program, present only when the run
+/// resolved through the validator-gated optimizer — equal to
+/// "program_hash" when the optimizer proved the program already optimal;
+/// see accel/opt.hpp). Readers should treat a missing field as v1.
+inline constexpr int kStatsJsonSchemaVersion = 7;
 
 /// One run as a JSON object (all counters, utilizations, and the per-phase
 /// breakdown). Doubles are emitted with round-trip precision.

@@ -38,15 +38,16 @@ graph::Dataset tiny_dataset(std::uint32_t vf = 6, std::uint32_t ef = 0) {
 
 /// A 40-vertex star: vertex 0 touches every other vertex, so any static
 /// partition concentrates its load on one tile.
-graph::Dataset star_dataset(std::uint32_t vf = 6) {
+graph::Dataset star_dataset(std::uint32_t vf = 6, std::uint32_t ef = 0) {
   graph::Dataset ds;
   graph::GraphBuilder gb(40);
   for (NodeId v = 1; v < 40; ++v) gb.add_undirected_edge(0, v);
   ds.graphs.push_back(std::move(gb).build());
   ds.undirected.push_back(ds.graphs[0].symmetrized());
-  ds.spec = {"star", 1, 40, ds.graphs[0].num_edges(), vf, 0, 3};
+  ds.spec = {"star", 1, 40, ds.graphs[0].num_edges(), vf, ef, 3};
   ds.node_features.emplace_back(std::size_t{40} * vf, 0.5F);
-  ds.edge_features.emplace_back(0);
+  ds.edge_features.emplace_back(
+      std::size_t{ds.graphs[0].num_edges()} * ef, 0.5F);
   return ds;
 }
 
@@ -118,9 +119,11 @@ TEST(Analysis, BoundIsTightOnGcnCora) {
   opt.dataset = resolved.dataset.get();
   const ProgramAnalysis pa =
       analyze_program(*resolved.program, req.config, opt);
-  // Within 25% of the measurement: the bound must explain at least 75% of
-  // the measured cycles (it currently sits near 98.5%).
-  EXPECT_GE(pa.bound_cycles, 0.75 * 2871294.0);
+  // With the DNA pipeline-drain term modeled, the bound explains more
+  // than 98.5% of the measured cycles — pin the tightness so a model
+  // regression (a dropped term) fails loudly instead of silently loosening
+  // the bound.
+  EXPECT_GE(pa.bound_cycles, 0.985 * 2871294.0);
 }
 
 // ---- model structure ----
@@ -372,6 +375,62 @@ TEST(Analysis, PartitionImbalanceFixIsVerifiedAndClears) {
   fixed_opt.partition = it->partition;
   const auto relint = perf_lints(c.prog, it->patched, fixed_opt);
   EXPECT_FALSE(lints_fire(relint, LintCode::kPartitionImbalance));
+}
+
+// ---- GV202 + GV204 joint fix search ----
+
+TEST(Analysis, JointSplitPartitionFixClearsBothLints) {
+  // MPNN (dna2 phases -> the split matters) on a star graph (block
+  // partition concentrates the per-edge load): a starved 15/16 split and
+  // an imbalanced partition fire together, and neither per-lint greedy
+  // fix could verify — rebalancing the split still re-lints imbalanced,
+  // switching the partition still re-lints starved.
+  auto c = compile(gnn::make_mpnn(6, 5, 3, 8, 2), star_dataset(6, 5));
+  AcceleratorConfig cfg = AcceleratorConfig::gpu_iso_bw();
+  cfg.tile_params.dnq_data_bytes = 1600;
+  cfg.tile_params.dnq_queue0_sixteenths = 15;
+  AnalysisOptions opt;
+  opt.dataset = c.ds.get();
+  opt.partition = graph::PartitionPolicy::kBlock;
+  const auto lints = perf_lints(c.prog, cfg, opt);
+  ASSERT_TRUE(lints_fire(lints, LintCode::kQueueSplitStarved));
+  ASSERT_TRUE(lints_fire(lints, LintCode::kPartitionImbalance));
+
+  const auto fixes = suggest_fixes(c.prog, cfg, opt);
+  const auto find = [&](LintCode code) {
+    return std::find_if(fixes.begin(), fixes.end(),
+                        [code](const FixSuggestion& f) {
+                          return f.code == code;
+                        });
+  };
+  const auto split_fix = find(LintCode::kQueueSplitStarved);
+  const auto part_fix = find(LintCode::kPartitionImbalance);
+  ASSERT_NE(split_fix, fixes.end());
+  ASSERT_NE(part_fix, fixes.end());
+  // The joint search hands both codes one shared (split, partition)
+  // point...
+  EXPECT_EQ(split_fix->patched.tile_params.dnq_queue0_sixteenths,
+            part_fix->patched.tile_params.dnq_queue0_sixteenths);
+  EXPECT_EQ(split_fix->partition, part_fix->partition);
+  EXPECT_NE(split_fix->patched.tile_params.dnq_queue0_sixteenths, 15U);
+  EXPECT_NE(part_fix->partition, graph::PartitionPolicy::kBlock);
+  EXPECT_TRUE(split_fix->verified) << split_fix->description;
+  EXPECT_TRUE(part_fix->verified) << part_fix->description;
+  // ...and that point clears both codes at once.
+  AnalysisOptions fixed_opt;
+  fixed_opt.dataset = c.ds.get();
+  fixed_opt.partition = split_fix->partition;
+  const auto relint = perf_lints(c.prog, split_fix->patched, fixed_opt);
+  EXPECT_FALSE(lints_fire(relint, LintCode::kQueueSplitStarved));
+  EXPECT_FALSE(lints_fire(relint, LintCode::kPartitionImbalance));
+  // Each manifest snippet ships the whole joint configuration, so
+  // applying either one lands on the verified point.
+  EXPECT_NE(split_fix->manifest_snippet.find("partition="),
+            std::string::npos)
+      << split_fix->manifest_snippet;
+  EXPECT_NE(part_fix->manifest_snippet.find("tile_dnq_queue0_sixteenths="),
+            std::string::npos)
+      << part_fix->manifest_snippet;
 }
 
 // ---- shipped benchmarks stay clean ----

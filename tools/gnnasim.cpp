@@ -92,6 +92,11 @@ void usage(std::ostream& os) {
         "  --verify / --no-verify     static program verification before\n"
         "                             simulating (default on; lint errors\n"
         "                             abort the run — see gnnaverify)\n"
+        "  --optimize                 run the program through the GNNA-IR\n"
+        "                             pass pipeline (accel::opt), gated by\n"
+        "                             the translation validator; the run\n"
+        "                             aborts if any pass output cannot be\n"
+        "                             proved equivalent (see gnnaopt)\n"
         "  --mem-scheduler <name>     in_order (default; the paper's model)\n"
         "                             | frfcfs (banked open-row reordering\n"
         "                             controller, DESIGN.md §11)\n"
@@ -122,6 +127,7 @@ void usage_batch(std::ostream& os) {
         "`benchmark' is required per line; other keys default to the CLI\n"
         "flags; `repeat=N' expands the line into N identical runs;\n"
         "`verify=0|1' toggles static program verification per line;\n"
+        "`optimize=0|1' toggles the validator-gated GNNA-IR optimizer;\n"
         "`program=<file>' loads a GNNA-IR .gnna program instead of\n"
         "compiling (benchmark= still names the dataset).\n"
         "Memory keys mem_scheduler=in_order|frfcfs, mem_banks=N,\n"
@@ -287,6 +293,7 @@ int main(int argc, char** argv) {
   Cycle sample_every = 0;
   std::optional<Cycle> watchdog;
   bool verify = true;
+  bool optimize = false;
   std::optional<mem::MemScheduler> mem_scheduler;
   std::optional<std::uint32_t> mem_banks;
   std::optional<std::uint32_t> mem_row_bytes;
@@ -474,6 +481,8 @@ int main(int argc, char** argv) {
       verify = true;
     } else if (arg == "--no-verify") {
       verify = false;
+    } else if (arg == "--optimize") {
+      optimize = true;
     } else if (arg == "--mem-scheduler") {
       const auto v = next();
       const auto s = v ? mem::mem_scheduler_by_name(*v) : std::nullopt;
@@ -640,6 +649,7 @@ int main(int argc, char** argv) {
     defaults.seed = seed;
     defaults.watchdog_cycles = watchdog;
     defaults.verify = verify;
+    defaults.optimize = optimize;
     defaults.trace.attribution = attribution;
     if (attribution_top_k) {
       defaults.trace.attribution_top_k = *attribution_top_k;
@@ -771,6 +781,7 @@ int main(int argc, char** argv) {
   req.seed = seed;
   req.watchdog_cycles = watchdog;
   req.verify = verify;
+  req.optimize = optimize;
   req.trace.profile = profile;
   req.trace.attribution = attribution;
   if (attribution_top_k) req.trace.attribution_top_k = *attribution_top_k;

@@ -183,10 +183,14 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-/// Machine-readable diagnostics: the CI verify-programs artifact.
+/// Machine-readable diagnostics: the CI verify-programs artifact. v2
+/// records the --werror promotion state per diagnostic ("promoted" +
+/// "effective_severity"), so the artifact distinguishes a warning the run
+/// escalated from a native error.
 void write_json(std::ostream& os, const std::vector<LintedProgram>& linted,
-                std::size_t errors, std::size_t warnings) {
-  os << "{\n  \"version\": 1,\n  \"programs\": [";
+                std::size_t errors, std::size_t warnings, bool werror) {
+  os << "{\n  \"version\": 2,\n  \"werror\": " << (werror ? "true" : "false")
+     << ",\n  \"programs\": [";
   for (std::size_t i = 0; i < linted.size(); ++i) {
     const LintedProgram& lp = linted[i];
     os << (i == 0 ? "\n" : ",\n") << "    {\"name\": \""
@@ -197,10 +201,15 @@ void write_json(std::ostream& os, const std::vector<LintedProgram>& linted,
     os << ", \"diagnostics\": [";
     for (std::size_t d = 0; d < lp.report.diagnostics.size(); ++d) {
       const auto& diag = lp.report.diagnostics[d];
+      const bool native_error = diag.severity == accel::Severity::kError;
+      const bool promoted = werror && !native_error;
       os << (d == 0 ? "\n" : ",\n") << "      {\"code\": \""
          << accel::lint_code_name(diag.code) << "\", \"severity\": \""
-         << (diag.severity == accel::Severity::kError ? "error" : "warning")
-         << "\", \"family\": \""
+         << (native_error ? "error" : "warning")
+         << "\", \"effective_severity\": \""
+         << (native_error || promoted ? "error" : "warning")
+         << "\", \"promoted\": " << (promoted ? "true" : "false")
+         << ", \"family\": \""
          << accel::lint_family_name(accel::lint_code_family(diag.code))
          << "\", \"phase\": " << diag.phase << ", \"phase_name\": \""
          << json_escape(diag.phase_name) << "\", \"message\": \""
@@ -483,7 +492,7 @@ int main(int argc, char** argv) {
       std::cerr << "error: cannot write " << json_path << '\n';
       return 2;
     }
-    write_json(out, linted, errors, warnings);
+    write_json(out, linted, errors, warnings, werror);
   }
 
   std::cout << "gnnaverify: " << programs << " program(s), " << errors
